@@ -1,0 +1,325 @@
+//! The ground-truth execution model: what "actually running" an application
+//! on a machine produces.
+//!
+//! The paper's Tables 6–10 are measured times-to-solution on real systems.
+//! Our substitute executes the synthetic workload at *full detail* — more
+//! detail than any of the nine prediction metrics sees:
+//!
+//! * Each block's references run through the machine's cache hierarchy per
+//!   stride class, with the block's own short stride (2–8) and its true
+//!   dependency mode; short strides pay their real line-utilization cost.
+//! * Flop work runs at the machine's *application* flop efficiency
+//!   (`app_flop_efficiency`), which is below HPL efficiency — a bias every
+//!   HPL-based flop term inherits.
+//! * Memory and flop time overlap only partially
+//!   ([`OVERLAP_RECOVERY`]); the convolver assumes perfect overlap.
+//! * Communication replays the MPI trace with a synchronization-imbalance
+//!   factor that grows with process count (strongest for the AMR code).
+//! * A per-(machine, application) idiosyncrasy factor — deterministic,
+//!   lognormal, median 1 — stands in for compiler maturity, OS jitter, and
+//!   everything else no methodology captures. This sets the error floor that
+//!   keeps even the best metric near the paper's ≈18%.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use metasim_machines::MachineConfig;
+use metasim_memsim::bandwidth::{measure_bandwidth, Workload as MemWorkload};
+use metasim_memsim::timing::{AccessKind, DependencyMode};
+use metasim_netsim::replay::replay;
+use metasim_stats::rng::SeededRng;
+use metasim_tracer::block::DependencyClass;
+
+use crate::registry::TestCase;
+use crate::workload::{AppWorkload, WorkBlock};
+
+/// Fraction of the shorter of (memory time, flop time) that does *not*
+/// overlap with the longer — real codes never achieve perfect overlap.
+pub const OVERLAP_RECOVERY: f64 = 0.25;
+
+/// Log-space standard deviation of the per-(machine, application)
+/// idiosyncrasy factor.
+pub const IDIOSYNCRASY_SIGMA: f64 = 0.13;
+
+/// Additional per-(machine, application, p) jitter.
+pub const RUN_JITTER_SIGMA: f64 = 0.04;
+
+/// Result of one ground-truth execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+    /// Compute (memory + flop) component.
+    pub compute_seconds: f64,
+    /// Communication component (after imbalance).
+    pub comm_seconds: f64,
+    /// The idiosyncrasy factor that was applied.
+    pub idiosyncrasy: f64,
+}
+
+fn dependency_mode(class: DependencyClass) -> DependencyMode {
+    match class {
+        DependencyClass::Independent => DependencyMode::Independent,
+        DependencyClass::Chained => DependencyMode::Chained,
+        DependencyClass::Branchy => DependencyMode::Branchy,
+    }
+}
+
+/// Memory time for one block across all invocations: each stride class runs
+/// through the cache simulator at the block's working set.
+fn block_memory_seconds(machine: &MachineConfig, block: &WorkBlock) -> f64 {
+    let (s1, short, random) = block.class_refs();
+    let deps = dependency_mode(block.dependency);
+    let classes = [
+        (s1, AccessKind::Sequential),
+        (short, AccessKind::Strided(block.short_stride())),
+        (random, AccessKind::Random),
+    ];
+    let mut seconds = 0.0;
+    for (refs, kind) in classes {
+        if refs == 0 {
+            continue;
+        }
+        let sample = measure_bandwidth(
+            &machine.memory,
+            &MemWorkload::new(block.working_set, kind, deps),
+        );
+        let bw = sample.bytes_per_second();
+        debug_assert!(bw > 0.0, "zero bandwidth for {kind:?}");
+        let bytes = refs as f64 * 8.0 * block.invocations as f64;
+        seconds += bytes / bw;
+    }
+    seconds
+}
+
+/// Flop time for one block across all invocations.
+fn block_flop_seconds(machine: &MachineConfig, block: &WorkBlock) -> f64 {
+    let rate = machine.processor.peak_flops() * machine.processor.app_flop_efficiency;
+    block.flops as f64 * block.invocations as f64 / rate
+}
+
+/// Synchronization-imbalance multiplier for the communication component.
+///
+/// Grows with process count (more ranks, more waiting on the slowest) and
+/// with the application's inherent imbalance (AMR worst). A small seeded
+/// jitter individualizes each (machine, app, p) run.
+#[must_use]
+pub fn imbalance_factor(app: &str, case: &str, machine: &MachineConfig, p: u64) -> f64 {
+    let inherent = match app {
+        "RFCTH" => 0.10,
+        "AVUS" => 0.05,
+        "OVERFLOW2" => 0.05,
+        "HYCOM" => 0.03,
+        _ => 0.04,
+    };
+    let mut rng = SeededRng::from_labels(&[
+        "imbalance",
+        app,
+        case,
+        machine.id.label(),
+        &p.to_string(),
+    ]);
+    let jitter = rng.lognormal_factor(0.05);
+    (1.0 + inherent * (p as f64).log2()) * jitter
+}
+
+/// The per-(machine, application) idiosyncrasy factor: everything the
+/// methodology cannot see, frozen deterministically.
+#[must_use]
+pub fn idiosyncrasy_factor(app: &str, case: &str, machine: &MachineConfig, p: u64) -> f64 {
+    let mut per_app = SeededRng::from_labels(&[
+        "idiosyncrasy",
+        app,
+        case,
+        machine.id.label(),
+    ]);
+    let mut per_run = SeededRng::from_labels(&[
+        "run-jitter",
+        app,
+        case,
+        machine.id.label(),
+        &p.to_string(),
+    ]);
+    per_app.lognormal_factor(IDIOSYNCRASY_SIGMA) * per_run.lognormal_factor(RUN_JITTER_SIGMA)
+}
+
+/// Execute a workload on a machine at full detail.
+#[must_use]
+pub fn execute(machine: &MachineConfig, workload: &AppWorkload) -> RunResult {
+    let mut compute = 0.0;
+    for block in &workload.blocks {
+        let mem = block_memory_seconds(machine, block);
+        let flop = block_flop_seconds(machine, block);
+        let overlapped = mem.max(flop) + OVERLAP_RECOVERY * mem.min(flop);
+        compute += overlapped;
+    }
+
+    let raw_comm = replay(&machine.network, workload.processes, &workload.comm.events);
+    let comm = raw_comm
+        * imbalance_factor(
+            &workload.app,
+            &workload.case,
+            machine,
+            workload.processes,
+        );
+
+    let idio = idiosyncrasy_factor(
+        &workload.app,
+        &workload.case,
+        machine,
+        workload.processes,
+    );
+    RunResult {
+        seconds: (compute + comm) * idio,
+        compute_seconds: compute,
+        comm_seconds: comm,
+        idiosyncrasy: idio,
+    }
+}
+
+/// Memoizing ground-truth runner for the study grid.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    cache: RwLock<HashMap<(TestCase, u64, metasim_machines::MachineId), RunResult>>,
+}
+
+impl GroundTruth {
+    /// Fresh runner with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observed time-to-solution for one (case, p, machine) cell.
+    #[must_use]
+    pub fn run(&self, case: TestCase, p: u64, machine: &MachineConfig) -> RunResult {
+        let key = (case, p, machine.id);
+        if let Some(hit) = self.cache.read().get(&key) {
+            return *hit;
+        }
+        let workload = case.workload(p);
+        let result = execute(machine, &workload);
+        self.cache.write().insert(key, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::TestCase;
+    use metasim_machines::{fleet, MachineId};
+
+    #[test]
+    fn faster_machine_runs_faster() {
+        let f = fleet();
+        let w = TestCase::AvusStandard.workload(64);
+        let p3 = execute(f.get(MachineId::NavoP3), &w);
+        let p655 = execute(f.get(MachineId::Navo655), &w);
+        assert!(
+            p655.seconds < p3.seconds / 2.0,
+            "p655 {} vs Power3 {}",
+            p655.seconds,
+            p3.seconds
+        );
+    }
+
+    #[test]
+    fn strong_scaling_reduces_runtime() {
+        let f = fleet();
+        let m = f.get(MachineId::AscSc45);
+        let t32 = execute(m, &TestCase::AvusStandard.workload(32)).seconds;
+        let t64 = execute(m, &TestCase::AvusStandard.workload(64)).seconds;
+        let t128 = execute(m, &TestCase::AvusStandard.workload(128)).seconds;
+        assert!(t32 > t64 && t64 > t128, "{t32} {t64} {t128}");
+        // Mild superlinearity is expected (working sets drop into cache as
+        // p grows — visible in the paper's own Table 6, e.g. ERDC O3800's
+        // 12737 → 5881 s), but not runaway.
+        assert!(t64 > t32 / 2.5, "runaway superlinear: {t32} -> {t64}");
+    }
+
+    #[test]
+    fn base_runtimes_are_in_the_appendix_ballpark() {
+        // The paper's 32-CPU AVUS-standard times span ~5,500–18,000 s; our
+        // base p690 should land inside an order-of-magnitude band of that.
+        let f = fleet();
+        let r = execute(f.base(), &TestCase::AvusStandard.workload(32));
+        assert!(
+            r.seconds > 3_000.0 && r.seconds < 40_000.0,
+            "AVUS std @32 on base: {} s",
+            r.seconds
+        );
+    }
+
+    #[test]
+    fn communication_is_minor_but_nonzero() {
+        // §6: "these application cases are not communication bound".
+        let f = fleet();
+        for id in [MachineId::MhpccP3, MachineId::ArlOpteron] {
+            let r = execute(f.get(id), &TestCase::HycomStandard.workload(96));
+            assert!(r.comm_seconds > 0.0, "{id}");
+            assert!(
+                r.comm_seconds < 0.35 * r.seconds,
+                "{id}: comm {} of {}",
+                r.comm_seconds,
+                r.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let f = fleet();
+        let w = TestCase::RfcthStandard.workload(32);
+        let a = execute(f.get(MachineId::ArlXeon), &w);
+        let b = execute(f.get(MachineId::ArlXeon), &w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idiosyncrasy_is_stable_per_machine_app() {
+        let f = fleet();
+        let m = f.get(MachineId::ErdcO3800);
+        let a = idiosyncrasy_factor("AVUS", "standard", m, 32);
+        let b = idiosyncrasy_factor("AVUS", "standard", m, 32);
+        assert_eq!(a, b);
+        // Different apps draw different factors.
+        let c = idiosyncrasy_factor("HYCOM", "standard", m, 32);
+        assert_ne!(a, c);
+        // Factors stay in a plausible band.
+        assert!(a > 0.6 && a < 1.6, "{a}");
+    }
+
+    #[test]
+    fn imbalance_grows_with_p_and_is_worst_for_amr() {
+        let f = fleet();
+        let m = f.get(MachineId::ArlOpteron);
+        let small = imbalance_factor("RFCTH", "standard", m, 16);
+        let big = imbalance_factor("RFCTH", "standard", m, 256);
+        assert!(big > small);
+        let cfd = imbalance_factor("HYCOM", "standard", m, 64);
+        let amr = imbalance_factor("RFCTH", "standard", m, 64);
+        assert!(amr > cfd * 1.1, "AMR {amr} vs ocean {cfd}");
+    }
+
+    #[test]
+    fn ground_truth_cache_returns_identical_results() {
+        let f = fleet();
+        let gt = GroundTruth::new();
+        let a = gt.run(TestCase::Overflow2Standard, 48, f.get(MachineId::ArlAltix));
+        let b = gt.run(TestCase::Overflow2Standard, 48, f.get(MachineId::ArlAltix));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dependency_classes_map_to_modes() {
+        assert_eq!(
+            dependency_mode(DependencyClass::Independent),
+            DependencyMode::Independent
+        );
+        assert_eq!(dependency_mode(DependencyClass::Chained), DependencyMode::Chained);
+        assert_eq!(dependency_mode(DependencyClass::Branchy), DependencyMode::Branchy);
+    }
+}

@@ -1,0 +1,143 @@
+//! HYCOM: the NRL/LANL/Miami hybrid-coordinate ocean model.
+//!
+//! The standard case models all the world's oceans as one global body at
+//! 1/4° equatorial resolution. HYCOM's signature: broad unit-stride
+//! baroclinic updates, a barotropic (2-D) solver that is cheap per step but
+//! synchronizes constantly with tiny all-reduces, a vertical remapping pass
+//! whose k-direction recurrences are short-strided *and* loop-carried, and a
+//! branchy equation of state.
+
+use metasim_netsim::replay::{CommEvent, CommOp};
+use metasim_tracer::block::DependencyClass;
+
+use crate::workload::{AppWorkload, BlockTemplate, WorkingSetModel, ELEMENT_BYTES};
+
+/// Processor counts of the standard case (Appendix Table 8).
+pub const STANDARD_CPUS: [u64; 3] = [59, 96, 124];
+
+/// Horizontal × vertical grid points of the 1/4° global case.
+pub const STANDARD_POINTS: u64 = 15_000_000;
+/// Model steps in the test case.
+pub const STANDARD_STEPS: u64 = 60;
+
+/// Inclusive of baroclinic/barotropic sub-stepping (~700 sweeps per model
+/// step); calibrated against the appendix runtimes.
+const REFS_PER_POINT_STEP: f64 = 17_500.0;
+
+/// Communication events scale with the sub-stepping.
+const INNER_SWEEPS: u64 = 700;
+
+fn templates() -> Vec<BlockTemplate> {
+    vec![
+        BlockTemplate {
+            name: "baroclinic_update",
+            ref_share: 0.28,
+            mix: (0.84, 0.10, 0.06),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 64.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 1.6,
+        },
+        BlockTemplate {
+            name: "barotropic_solver",
+            ref_share: 0.12,
+            mix: (0.90, 0.05, 0.05),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 16.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 1.0,
+        },
+        BlockTemplate {
+            name: "vertical_remap",
+            ref_share: 0.25,
+            mix: (0.55, 0.35, 0.10),
+            // One column slab at a time: cache-resident, like the ADI
+            // planes of structured codes.
+            ws: WorkingSetModel::Plane { bytes_per_point: 32.0 },
+            dependency: DependencyClass::Chained,
+            flops_per_ref: 1.3,
+        },
+        BlockTemplate {
+            name: "advection",
+            ref_share: 0.20,
+            mix: (0.74, 0.10, 0.16),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 40.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 1.2,
+        },
+        BlockTemplate {
+            name: "equation_of_state",
+            ref_share: 0.15,
+            mix: (0.80, 0.05, 0.15),
+            // Thermodynamic tables shared across the water column.
+            ws: WorkingSetModel::Fixed(32 << 20),
+            dependency: DependencyClass::Branchy,
+            flops_per_ref: 2.5,
+        },
+    ]
+}
+
+fn comm(points: u64, steps: u64, p: u64) -> Vec<CommEvent> {
+    // 2-D horizontal decomposition: halo width ∝ sqrt of the per-process
+    // tile, times the full vertical column.
+    let tile = points as f64 / p as f64;
+    let halo = (tile.sqrt() * 26.0 * ELEMENT_BYTES as f64) as u64;
+    vec![
+        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 4 * steps * INNER_SWEEPS),
+        // The barotropic sub-stepping synchronizes relentlessly.
+        CommEvent::new(CommOp::AllReduce { bytes: 8 }, 10 * steps * INNER_SWEEPS),
+        CommEvent::new(CommOp::AllReduce { bytes: 64 }, steps * INNER_SWEEPS),
+    ]
+}
+
+/// The HYCOM standard test case at `p` processes.
+#[must_use]
+pub fn standard(p: u64) -> AppWorkload {
+    AppWorkload::from_templates(
+        "HYCOM",
+        "standard",
+        STANDARD_POINTS,
+        STANDARD_STEPS,
+        REFS_PER_POINT_STEP,
+        &templates(),
+        p,
+        comm(STANDARD_POINTS, STANDARD_STEPS, p),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_five_blocks() {
+        let w = standard(59);
+        assert_eq!(w.blocks.len(), 5);
+        assert_eq!(w.app, "HYCOM");
+    }
+
+    #[test]
+    fn vertical_remap_is_short_stride_heavy_and_chained() {
+        let w = standard(96);
+        let remap = w.blocks.iter().find(|b| b.name.contains("remap")).unwrap();
+        assert_eq!(remap.dependency, DependencyClass::Chained);
+        let (_, short, _) = remap.class_refs();
+        assert!(short as f64 > 0.3 * remap.refs as f64);
+    }
+
+    #[test]
+    fn allreduce_dominates_message_count() {
+        let w = standard(59);
+        let allreduces: u64 = w
+            .comm
+            .events
+            .iter()
+            .filter(|e| matches!(e.op, CommOp::AllReduce { .. }))
+            .map(|e| e.count)
+            .sum();
+        assert!(allreduces > w.comm.message_count() / 2);
+    }
+
+    #[test]
+    fn uses_paper_cpu_counts() {
+        assert_eq!(STANDARD_CPUS, [59, 96, 124]);
+    }
+}

@@ -1,0 +1,48 @@
+//! The TI-05 application test cases, their tracing, and the ground truth.
+//!
+//! The paper's 150 observations come from five DoD application test cases —
+//! AVUS standard & large, HYCOM standard, OVERFLOW2 standard, and RFCTH
+//! standard — run at three processor counts each on ten systems. Those codes
+//! are export-controlled or otherwise closed, and their TI-05 input decks are
+//! DoD-internal, so this crate builds the closest synthetic equivalents (see
+//! DESIGN.md's substitution table):
+//!
+//! * Each application is a **workload generator** ([`workload`], one module
+//!   per code) whose basic blocks carry the *signature* the real code's
+//!   domain implies — the stride mixes, working-set sizes, dependency
+//!   structure, and communication pattern that CFD flux sweeps, ocean
+//!   vertical remaps, ADI line solves, and AMR shock hydrodynamics are known
+//!   for. The per-block shares are synthetic; the *kinds* of behaviour and
+//!   their diversity across the suite mirror what the paper's workload
+//!   characterization describes.
+//! * [`tracing`] instruments a workload exactly the way MetaSim Tracer
+//!   instruments a binary: blocks emit real address streams, the stride
+//!   detector classifies them, and an [`metasim_tracer::ApplicationTrace`]
+//!   comes out (with organic detection noise at chunk boundaries).
+//! * [`groundtruth`] is the "real machine": it executes a workload on a
+//!   machine model at full detail — per-block cache simulation with
+//!   dependency serialization, flop/memory overlap, network replay with
+//!   synchronization imbalance, and a deterministic per-(machine,
+//!   application) idiosyncrasy factor standing in for compiler/OS effects no
+//!   methodology captures. Its outputs play the role of the paper's
+//!   measured times-to-solution.
+//! * [`paper_data`] embeds the paper's published Appendix Tables 6–10 so
+//!   reports can show paper-vs-reproduction side by side.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod avus;
+pub mod groundtruth;
+pub mod hycom;
+pub mod overflow2;
+pub mod paper_data;
+pub mod registry;
+pub mod rfcth;
+pub mod tracing;
+pub mod workload;
+
+pub use groundtruth::{GroundTruth, RunResult};
+pub use registry::{all_test_cases, TestCase};
+pub use tracing::trace_workload;
+pub use workload::{AppWorkload, BlockTemplate, WorkBlock, WorkingSetModel};

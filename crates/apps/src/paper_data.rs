@@ -1,0 +1,182 @@
+//! The paper's published observed times-to-solution (Appendix Tables 6–10).
+//!
+//! Embedded verbatim so reports can place the reproduction's simulated
+//! ground truth next to the original measurements. Empty cells in the paper
+//! (runs that never completed on a machine) are `None`.
+
+use metasim_machines::MachineId;
+
+use crate::registry::TestCase;
+
+/// Row order of the appendix tables (same as Table 5).
+pub const ROW_ORDER: [MachineId; 10] = MachineId::TARGETS;
+
+type Row = [Option<f64>; 3];
+
+const fn r(a: f64, b: f64, c: f64) -> Row {
+    [Some(a), Some(b), Some(c)]
+}
+
+/// Table 6: AVUS Standard, 32/64/128 CPUs.
+pub const AVUS_STANDARD: [Row; 10] = [
+    r(12737.0, 5881.0, 2733.0),
+    r(15051.0, 8354.0, 3779.0),
+    r(18195.0, 8601.0, 3870.0),
+    r(6993.0, 3334.0, 1617.0),
+    r(10286.0, 4932.0, 2368.0),
+    r(8625.0, 4466.0, 1935.0),
+    r(9115.0, 4686.0, 2422.0),
+    [Some(5872.0), Some(2842.0), None],
+    r(6703.0, 3115.0, 1460.0),
+    r(5527.0, 2747.0, 1401.0),
+];
+
+/// Table 7: AVUS Large, 128/256/384 CPUs.
+pub const AVUS_LARGE: [Row; 10] = [
+    r(18103.0, 8577.0, 5736.0),
+    r(40177.0, 12123.0, 7706.0),
+    r(26362.0, 12379.0, 8042.0),
+    r(10412.0, 5199.0, 3394.0),
+    [Some(14751.0), Some(7591.0), None],
+    [Some(12718.0), None, None],
+    [Some(13654.0), Some(6890.0), None],
+    [None, None, None],
+    r(9844.0, 4576.0, 2949.0),
+    r(8599.0, 4273.0, 2884.0),
+];
+
+/// Table 8: HYCOM Standard, 59/96/124 CPUs.
+pub const HYCOM_STANDARD: [Row; 10] = [
+    r(6619.0, 4329.0, 4449.0),
+    r(10453.0, 3912.0, 2992.0),
+    r(7129.0, 4420.0, 3348.0),
+    r(3594.0, 2469.0, 1949.0),
+    r(3532.0, 2939.0, 2661.0),
+    r(2586.0, 1675.0, 1510.0),
+    r(3705.0, 2504.0, 1991.0),
+    r(2263.0, 1462.0, 1176.0),
+    r(2010.0, 1281.0, 990.0),
+    r(1936.0, 1268.0, 1031.0),
+];
+
+/// Table 9: OVERFLOW-2 Standard, 32/48/64 CPUs.
+pub const OVERFLOW2_STANDARD: [Row; 10] = [
+    r(10875.0, 8008.0, 5497.0),
+    [Some(14939.0), None, Some(7371.0)],
+    [Some(14939.0), None, Some(7371.0)],
+    [Some(6329.0), None, Some(4109.0)],
+    [Some(9156.0), None, Some(4701.0)],
+    [None, None, None],
+    [None, None, None],
+    r(3143.0, 2389.0, 1730.0),
+    r(5454.0, 4031.0, 2908.0),
+    [None, None, None],
+];
+
+/// Table 10: RF-CTH2, 16/32/64 CPUs.
+pub const RFCTH_STANDARD: [Row; 10] = [
+    r(6182.0, 3268.0, 1793.0),
+    r(6557.0, 3475.0, 1869.0),
+    r(6557.0, 3475.0, 1869.0),
+    r(3134.0, 2170.0, 1005.0),
+    r(2777.0, 1813.0, 1275.0),
+    r(2154.0, 1660.0, 5156.0),
+    r(4203.0, 2308.0, 1368.0),
+    [None, Some(1122.0), Some(614.0)],
+    r(1982.0, 1075.0, 607.0),
+    r(1882.0, 1072.0, 671.0),
+];
+
+/// The paper's table for one test case.
+#[must_use]
+pub fn table(case: TestCase) -> &'static [Row; 10] {
+    match case {
+        TestCase::AvusStandard => &AVUS_STANDARD,
+        TestCase::AvusLarge => &AVUS_LARGE,
+        TestCase::HycomStandard => &HYCOM_STANDARD,
+        TestCase::Overflow2Standard => &OVERFLOW2_STANDARD,
+        TestCase::RfcthStandard => &RFCTH_STANDARD,
+    }
+}
+
+/// Observed runtime for one (case, machine, cpu-index) cell, if the paper
+/// reports one. `cpu_index` indexes the case's three processor counts.
+#[must_use]
+pub fn observed(case: TestCase, machine: MachineId, cpu_index: usize) -> Option<f64> {
+    let row = ROW_ORDER.iter().position(|&m| m == machine)?;
+    table(case)[row][cpu_index]
+}
+
+/// Observed runtime looked up by processor count rather than index.
+#[must_use]
+pub fn observed_at(case: TestCase, machine: MachineId, cpus: u64) -> Option<f64> {
+    let idx = case.cpu_counts().iter().position(|&p| p == cpus)?;
+    observed(case, machine, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_matches_transcription() {
+        assert_eq!(
+            observed_at(TestCase::AvusStandard, MachineId::ErdcO3800, 32),
+            Some(12737.0)
+        );
+        assert_eq!(
+            observed_at(TestCase::HycomStandard, MachineId::ArlOpteron, 124),
+            Some(1031.0)
+        );
+        assert_eq!(
+            observed_at(TestCase::RfcthStandard, MachineId::Navo655, 64),
+            Some(607.0)
+        );
+    }
+
+    #[test]
+    fn missing_cells_are_none() {
+        assert_eq!(
+            observed_at(TestCase::AvusStandard, MachineId::ArlAltix, 128),
+            None
+        );
+        assert_eq!(
+            observed_at(TestCase::AvusLarge, MachineId::ArlAltix, 128),
+            None
+        );
+        assert_eq!(
+            observed_at(TestCase::Overflow2Standard, MachineId::ArlOpteron, 32),
+            None
+        );
+        assert_eq!(
+            observed_at(TestCase::RfcthStandard, MachineId::ArlAltix, 16),
+            None
+        );
+    }
+
+    #[test]
+    fn wrong_cpu_count_is_none() {
+        assert_eq!(
+            observed_at(TestCase::AvusStandard, MachineId::ErdcO3800, 999),
+            None
+        );
+        assert_eq!(observed(TestCase::AvusStandard, MachineId::NavoP690Base, 0), None);
+    }
+
+    #[test]
+    fn strong_scaling_holds_in_published_data() {
+        // Published complete rows should mostly decrease with CPU count —
+        // with the paper's own famous exception (ARL 690 at RFCTH-64).
+        let row = &RFCTH_STANDARD[5]; // ARL_690_1.7
+        assert!(row[2].unwrap() > row[1].unwrap(), "the paper's anomaly");
+        let row = &AVUS_STANDARD[0];
+        assert!(row[0].unwrap() > row[1].unwrap() && row[1].unwrap() > row[2].unwrap());
+    }
+
+    #[test]
+    fn all_tables_have_ten_rows() {
+        for case in TestCase::ALL {
+            assert_eq!(table(case).len(), 10);
+        }
+    }
+}

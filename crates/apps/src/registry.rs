@@ -1,0 +1,132 @@
+//! The test-case registry: the five (application, case) pairs of the study
+//! and their processor counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::AppWorkload;
+use crate::{avus, hycom, overflow2, rfcth};
+
+/// The five TI-05 application test cases, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TestCase {
+    /// AVUS standard: 100 steps, 7M cells (Figure 3 / Table 6).
+    AvusStandard,
+    /// AVUS large: 150 steps, 24M cells (Figure 4 / Table 7).
+    AvusLarge,
+    /// HYCOM standard: global 1/4° ocean (Figure 5 / Table 8).
+    HycomStandard,
+    /// OVERFLOW-2 standard: five spheres, 600 steps (Figure 6 / Table 9).
+    Overflow2Standard,
+    /// RF-CTH standard: rod/plate impact with AMR (Figure 7 / Table 10).
+    RfcthStandard,
+}
+
+impl TestCase {
+    /// All five cases in paper order.
+    pub const ALL: [TestCase; 5] = [
+        TestCase::AvusStandard,
+        TestCase::AvusLarge,
+        TestCase::HycomStandard,
+        TestCase::Overflow2Standard,
+        TestCase::RfcthStandard,
+    ];
+
+    /// Paper-style display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TestCase::AvusStandard => "AVUS Standard",
+            TestCase::AvusLarge => "AVUS Large",
+            TestCase::HycomStandard => "HYCOM Standard",
+            TestCase::Overflow2Standard => "OVERFLOW2 Standard",
+            TestCase::RfcthStandard => "RFCTH Standard",
+        }
+    }
+
+    /// The three processor counts this case runs at (appendix tables).
+    #[must_use]
+    pub fn cpu_counts(self) -> [u64; 3] {
+        match self {
+            TestCase::AvusStandard => avus::STANDARD_CPUS,
+            TestCase::AvusLarge => avus::LARGE_CPUS,
+            TestCase::HycomStandard => hycom::STANDARD_CPUS,
+            TestCase::Overflow2Standard => overflow2::STANDARD_CPUS,
+            TestCase::RfcthStandard => rfcth::STANDARD_CPUS,
+        }
+    }
+
+    /// Instantiate the workload at `p` processes.
+    #[must_use]
+    pub fn workload(self, p: u64) -> AppWorkload {
+        match self {
+            TestCase::AvusStandard => avus::standard(p),
+            TestCase::AvusLarge => avus::large(p),
+            TestCase::HycomStandard => hycom::standard(p),
+            TestCase::Overflow2Standard => overflow2::standard(p),
+            TestCase::RfcthStandard => rfcth::standard(p),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Every (test case, processor count) observation of the study: 5 × 3 = 15
+/// per machine.
+#[must_use]
+pub fn all_test_cases() -> Vec<(TestCase, u64)> {
+    TestCase::ALL
+        .iter()
+        .flat_map(|&tc| tc.cpu_counts().into_iter().map(move |p| (tc, p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_observations_per_machine() {
+        let all = all_test_cases();
+        assert_eq!(all.len(), 15);
+        // 150 application executions across 10 targets, as the paper counts.
+        assert_eq!(all.len() * 10, 150);
+    }
+
+    #[test]
+    fn cpu_counts_match_appendix() {
+        assert_eq!(TestCase::AvusStandard.cpu_counts(), [32, 64, 128]);
+        assert_eq!(TestCase::AvusLarge.cpu_counts(), [128, 256, 384]);
+        assert_eq!(TestCase::HycomStandard.cpu_counts(), [59, 96, 124]);
+        assert_eq!(TestCase::Overflow2Standard.cpu_counts(), [32, 48, 64]);
+        assert_eq!(TestCase::RfcthStandard.cpu_counts(), [16, 32, 64]);
+    }
+
+    #[test]
+    fn workloads_instantiate_for_all_cases() {
+        for (tc, p) in all_test_cases() {
+            let w = tc.workload(p);
+            assert_eq!(w.processes, p, "{tc}");
+            assert!(!w.blocks.is_empty(), "{tc}");
+            assert!(w.total_refs() > 0, "{tc}");
+        }
+    }
+
+    #[test]
+    fn labels_are_paperlike() {
+        assert_eq!(TestCase::AvusStandard.label(), "AVUS Standard");
+        assert_eq!(TestCase::RfcthStandard.to_string(), "RFCTH Standard");
+    }
+
+    #[test]
+    fn processor_range_spans_16_to_384() {
+        let all = all_test_cases();
+        let min = all.iter().map(|&(_, p)| p).min().unwrap();
+        let max = all.iter().map(|&(_, p)| p).max().unwrap();
+        assert_eq!(min, 16);
+        assert_eq!(max, 384);
+    }
+}

@@ -1,0 +1,153 @@
+//! RF-CTH: Sandia's shock-physics code (non-export-controlled CTH variant).
+//!
+//! The standard case models a ten-material rod striking an eight-material
+//! plate obliquely, with five levels of adaptive mesh refinement. CTH's
+//! signature: Eulerian hydro sweeps; material-interface reconstruction full
+//! of data-dependent branches; equation-of-state table lookups that hop
+//! randomly through fixed-size shared tables; AMR tree walks that chase
+//! pointers (chained *and* random); and timestep-control all-reduces every
+//! cycle. AMR also makes it the suite's most load-imbalanced code, which the
+//! ground-truth model reflects.
+
+use metasim_netsim::replay::{CommEvent, CommOp};
+use metasim_tracer::block::DependencyClass;
+
+use crate::workload::{halo_bytes, AppWorkload, BlockTemplate, WorkingSetModel};
+
+/// Processor counts of the standard case (Appendix Table 10).
+pub const STANDARD_CPUS: [u64; 3] = [16, 32, 64];
+
+/// Effective active cells under AMR.
+pub const STANDARD_CELLS: u64 = 2_000_000;
+/// Cycles in the test case.
+pub const STANDARD_STEPS: u64 = 200;
+
+/// Inclusive of per-cycle inner iterations (~500); calibrated against the
+/// appendix runtimes.
+const REFS_PER_CELL_STEP: f64 = 9_000.0;
+
+/// Communication events scale with the cycles' inner work.
+const INNER_SWEEPS: u64 = 350;
+
+fn templates() -> Vec<BlockTemplate> {
+    vec![
+        BlockTemplate {
+            name: "hydro_sweep",
+            ref_share: 0.25,
+            mix: (0.76, 0.10, 0.14),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 48.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 1.5,
+        },
+        BlockTemplate {
+            name: "material_interface",
+            ref_share: 0.20,
+            mix: (0.60, 0.10, 0.30),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 32.0 },
+            dependency: DependencyClass::Branchy,
+            flops_per_ref: 1.8,
+        },
+        BlockTemplate {
+            name: "eos_lookup",
+            ref_share: 0.17,
+            mix: (0.30, 0.10, 0.60),
+            ws: WorkingSetModel::Fixed(24 << 20),
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 0.8,
+        },
+        BlockTemplate {
+            name: "amr_regrid",
+            ref_share: 0.18,
+            mix: (0.25, 0.15, 0.60),
+            // The AMR tree walk touches block metadata across the whole
+            // local octree.
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 160.0 },
+            dependency: DependencyClass::Chained,
+            flops_per_ref: 0.4,
+        },
+        BlockTemplate {
+            name: "stress_update",
+            ref_share: 0.20,
+            mix: (0.82, 0.07, 0.11),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 40.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 2.0,
+        },
+    ]
+}
+
+fn comm(cells: u64, steps: u64, p: u64) -> Vec<CommEvent> {
+    let halo = halo_bytes(cells, p, 8.0);
+    vec![
+        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 6 * steps * INNER_SWEEPS),
+        // Timestep control every cycle, plus AMR consensus.
+        CommEvent::new(CommOp::AllReduce { bytes: 8 }, 4 * steps * INNER_SWEEPS),
+        // Regridding redistributes blocks.
+        CommEvent::new(CommOp::AllToAll { bytes: halo / 8 }, steps * INNER_SWEEPS / 100),
+    ]
+}
+
+/// The RF-CTH standard test case at `p` processes.
+#[must_use]
+pub fn standard(p: u64) -> AppWorkload {
+    AppWorkload::from_templates(
+        "RFCTH",
+        "standard",
+        STANDARD_CELLS,
+        STANDARD_STEPS,
+        REFS_PER_CELL_STEP,
+        &templates(),
+        p,
+        comm(STANDARD_CELLS, STANDARD_STEPS, p),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eos_tables_are_fixed_size() {
+        let w16 = standard(16);
+        let w64 = standard(64);
+        let eos16 = w16.blocks.iter().find(|b| b.name.contains("eos")).unwrap();
+        let eos64 = w64.blocks.iter().find(|b| b.name.contains("eos")).unwrap();
+        assert_eq!(eos16.working_set, eos64.working_set);
+        assert_eq!(eos16.working_set, 24 << 20);
+    }
+
+    #[test]
+    fn amr_walk_is_chained_and_random() {
+        let w = standard(32);
+        let amr = w.blocks.iter().find(|b| b.name.contains("amr")).unwrap();
+        assert_eq!(amr.dependency, DependencyClass::Chained);
+        let (s1, _, r) = amr.class_refs();
+        assert!(r > 2 * s1);
+    }
+
+    #[test]
+    fn interface_block_is_branchy() {
+        let w = standard(32);
+        let b = w
+            .blocks
+            .iter()
+            .find(|b| b.name.contains("interface"))
+            .unwrap();
+        assert_eq!(b.dependency, DependencyClass::Branchy);
+    }
+
+    #[test]
+    fn alltoall_appears_in_regrid_comm() {
+        let w = standard(16);
+        assert!(w
+            .comm
+            .events
+            .iter()
+            .any(|e| matches!(e.op, CommOp::AllToAll { .. })));
+    }
+
+    #[test]
+    fn paper_cpu_counts() {
+        assert_eq!(STANDARD_CPUS, [16, 32, 64]);
+    }
+}

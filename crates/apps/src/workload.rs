@@ -1,0 +1,422 @@
+//! Workload description: what an application *does*, per process, at a
+//! given processor count.
+//!
+//! A [`WorkBlock`] is the generator-side counterpart of a traced basic
+//! block: it knows its operation counts, stride mix, working set and
+//! dependency class, and can emit a real address stream for the tracer and
+//! the ground-truth executor. An [`AppWorkload`] is a full run: blocks plus
+//! the MPI event census.
+
+use serde::{Deserialize, Serialize};
+
+use metasim_netsim::replay::CommEvent;
+use metasim_stats::rng::SeededRng;
+use metasim_tracer::block::DependencyClass;
+use metasim_tracer::mpi::MpiTrace;
+
+/// Double-precision element size used throughout.
+pub const ELEMENT_BYTES: u64 = 8;
+
+/// Smallest working set a block is allowed (one L1-ish tile); below this
+/// the generator clamps, since real solvers always touch at least a tile.
+pub const MIN_WORKING_SET: u64 = 32 << 10;
+
+/// How a block's working set scales with the domain decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkingSetModel {
+    /// Bulk field data: `cells × bytes_per_cell / p`.
+    PerProcess {
+        /// Bytes of state per cell.
+        bytes_per_cell: f64,
+    },
+    /// Planar sweeps (ADI/line solves): `(cells/p)^(2/3) × bytes_per_point`.
+    Plane {
+        /// Bytes per point of the active plane.
+        bytes_per_point: f64,
+    },
+    /// Fixed-size shared tables (EOS lookups): independent of `p`.
+    Fixed(u64),
+}
+
+impl WorkingSetModel {
+    /// Working set in bytes for a run with `cells` total cells on `p`
+    /// processes.
+    #[must_use]
+    pub fn bytes(&self, cells: u64, p: u64) -> u64 {
+        let ws = match *self {
+            WorkingSetModel::PerProcess { bytes_per_cell } => {
+                (cells as f64 * bytes_per_cell / p as f64) as u64
+            }
+            WorkingSetModel::Plane { bytes_per_point } => {
+                ((cells as f64 / p as f64).powf(2.0 / 3.0) * bytes_per_point) as u64
+            }
+            WorkingSetModel::Fixed(bytes) => bytes,
+        };
+        ws.max(MIN_WORKING_SET)
+    }
+}
+
+/// A template describing one basic block of an application, independent of
+/// processor count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockTemplate {
+    /// Block name.
+    pub name: &'static str,
+    /// Fraction of the application's per-step references issued here.
+    pub ref_share: f64,
+    /// `(stride1, short, random)` reference fractions; must sum to 1.
+    pub mix: (f64, f64, f64),
+    /// Working-set scaling model.
+    pub ws: WorkingSetModel,
+    /// Dependency class of the block's inner loop.
+    pub dependency: DependencyClass,
+    /// Floating-point operations per memory reference.
+    pub flops_per_ref: f64,
+}
+
+impl BlockTemplate {
+    /// Check the template's internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let (a, b, c) = self.mix;
+        if !(a >= 0.0 && b >= 0.0 && c >= 0.0) {
+            return Err(format!("{}: negative mix component", self.name));
+        }
+        if ((a + b + c) - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: mix must sum to 1", self.name));
+        }
+        if !(self.ref_share > 0.0 && self.ref_share <= 1.0) {
+            return Err(format!("{}: ref share out of range", self.name));
+        }
+        if !(self.flops_per_ref.is_finite() && self.flops_per_ref >= 0.0) {
+            return Err(format!("{}: negative flop intensity", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// One instantiated basic block: per-process, per-invocation counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkBlock {
+    /// Block name.
+    pub name: String,
+    /// Memory references per invocation per process.
+    pub refs: u64,
+    /// `(stride1, short, random)` fractions.
+    pub mix: (f64, f64, f64),
+    /// Working set in bytes.
+    pub working_set: u64,
+    /// Dependency class.
+    pub dependency: DependencyClass,
+    /// Floating-point operations per invocation per process.
+    pub flops: u64,
+    /// Invocations (time steps) in the run.
+    pub invocations: u64,
+}
+
+impl WorkBlock {
+    /// The short stride (in elements) this block uses for its short-stride
+    /// references: a stable function of the block name in 2..=8, standing in
+    /// for the field-interleaving the real loop has.
+    #[must_use]
+    pub fn short_stride(&self) -> u32 {
+        let h = metasim_stats::rng::fnv1a(self.name.as_bytes());
+        2 + (h % 7) as u32
+    }
+
+    /// Reference counts per class per invocation: `(stride1, short,
+    /// random)`. Components sum to `refs` exactly (remainder goes to
+    /// stride-1, the dominant class).
+    #[must_use]
+    pub fn class_refs(&self) -> (u64, u64, u64) {
+        let short = (self.refs as f64 * self.mix.1) as u64;
+        let random = (self.refs as f64 * self.mix.2) as u64;
+        let stride1 = self.refs - short - random;
+        (stride1, short, random)
+    }
+
+    /// RNG for this block's address generation, seeded by block identity so
+    /// traces are reproducible.
+    #[must_use]
+    pub fn rng(&self, purpose: &str) -> SeededRng {
+        SeededRng::from_labels(&["workblock", &self.name, purpose])
+    }
+}
+
+/// A complete application run description at one processor count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppWorkload {
+    /// Application name (e.g. `"AVUS"`).
+    pub app: String,
+    /// Test-case name (e.g. `"standard"`).
+    pub case: String,
+    /// Processes.
+    pub processes: u64,
+    /// The block census.
+    pub blocks: Vec<WorkBlock>,
+    /// The communication census.
+    pub comm: MpiTrace,
+}
+
+impl AppWorkload {
+    /// Instantiate templates for a given problem and processor count.
+    ///
+    /// `refs_per_cell_step` is the application's total per-step reference
+    /// intensity; each template takes its `ref_share` of it.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_templates(
+        app: &str,
+        case: &str,
+        cells: u64,
+        steps: u64,
+        refs_per_cell_step: f64,
+        templates: &[BlockTemplate],
+        processes: u64,
+        comm_events: Vec<CommEvent>,
+    ) -> Self {
+        assert!(processes > 0, "need at least one process");
+        let share_sum: f64 = templates.iter().map(|t| t.ref_share).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-6,
+            "{app}/{case}: block ref shares sum to {share_sum}, expected 1"
+        );
+        let refs_per_step_per_proc = cells as f64 * refs_per_cell_step / processes as f64;
+        let blocks = templates
+            .iter()
+            .map(|t| {
+                t.validate().expect("invalid block template");
+                let refs = (refs_per_step_per_proc * t.ref_share).max(1.0) as u64;
+                WorkBlock {
+                    name: format!("{}::{}", app.to_lowercase(), t.name),
+                    refs,
+                    mix: t.mix,
+                    working_set: t.ws.bytes(cells, processes),
+                    dependency: t.dependency,
+                    flops: (refs as f64 * t.flops_per_ref) as u64,
+                    invocations: steps,
+                }
+            })
+            .collect();
+        Self {
+            app: app.to_string(),
+            case: case.to_string(),
+            processes,
+            blocks,
+            comm: MpiTrace {
+                processes,
+                events: comm_events,
+            },
+        }
+    }
+
+    /// Total references per process across the run.
+    #[must_use]
+    pub fn total_refs(&self) -> u64 {
+        self.blocks.iter().map(|b| b.refs * b.invocations).sum()
+    }
+
+    /// Total flops per process across the run.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.blocks.iter().map(|b| b.flops * b.invocations).sum()
+    }
+
+    /// Stable label for seeding per-run randomness.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}-{}-{}", self.app, self.case, self.processes)
+    }
+
+    /// Validate a workload (used on user-supplied JSON workloads).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.app.is_empty() || self.case.is_empty() {
+            return Err("application and case names must be non-empty".into());
+        }
+        if self.processes == 0 {
+            return Err("process count must be nonzero".into());
+        }
+        if self.blocks.is_empty() {
+            return Err("workload has no blocks".into());
+        }
+        if self.comm.processes != self.processes {
+            return Err(format!(
+                "MPI trace processes {} != workload processes {}",
+                self.comm.processes, self.processes
+            ));
+        }
+        for b in &self.blocks {
+            if b.refs == 0 && b.flops == 0 {
+                return Err(format!("block {}: no work", b.name));
+            }
+            if b.invocations == 0 {
+                return Err(format!("block {}: zero invocations", b.name));
+            }
+            let (m0, m1, m2) = b.mix;
+            if !(m0 >= 0.0 && m1 >= 0.0 && m2 >= 0.0 && (m0 + m1 + m2 - 1.0).abs() < 1e-6) {
+                return Err(format!("block {}: mix must be a distribution", b.name));
+            }
+            if b.refs > 0 && b.working_set < ELEMENT_BYTES {
+                return Err(format!("block {}: working set too small", b.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Halo-exchange message size for a 3-D decomposition: one face of the
+/// per-process subdomain, `vars` doubles per face cell.
+#[must_use]
+pub fn halo_bytes(cells: u64, p: u64, vars: f64) -> u64 {
+    let per_proc = cells as f64 / p as f64;
+    (per_proc.powf(2.0 / 3.0) * vars * ELEMENT_BYTES as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_netsim::replay::CommOp;
+
+    fn template() -> BlockTemplate {
+        BlockTemplate {
+            name: "sweep",
+            ref_share: 1.0,
+            mix: (0.8, 0.1, 0.1),
+            ws: WorkingSetModel::PerProcess { bytes_per_cell: 48.0 },
+            dependency: DependencyClass::Independent,
+            flops_per_ref: 1.5,
+        }
+    }
+
+    #[test]
+    fn working_set_models_scale_properly() {
+        let per = WorkingSetModel::PerProcess { bytes_per_cell: 64.0 };
+        assert_eq!(per.bytes(1_000_000, 1), 64_000_000);
+        assert_eq!(per.bytes(1_000_000, 64), 1_000_000);
+
+        let plane = WorkingSetModel::Plane { bytes_per_point: 24.0 };
+        let at8 = plane.bytes(8_000_000, 8);
+        let at64 = plane.bytes(8_000_000, 64);
+        assert!(at8 > at64, "plane shrinks with p: {at8} vs {at64}");
+        // (1e6)^(2/3) * 24 = 1e4 * 24 = 240_000.
+        assert!((at8 as f64 - 240_000.0).abs() / 240_000.0 < 0.01);
+
+        let fixed = WorkingSetModel::Fixed(8 << 20);
+        assert_eq!(fixed.bytes(1, 1), 8 << 20);
+        assert_eq!(fixed.bytes(1 << 30, 512), 8 << 20);
+    }
+
+    #[test]
+    fn working_set_clamps_to_minimum() {
+        let per = WorkingSetModel::PerProcess { bytes_per_cell: 1.0 };
+        assert_eq!(per.bytes(100, 64), MIN_WORKING_SET);
+    }
+
+    #[test]
+    fn template_validation() {
+        template().validate().unwrap();
+        let mut t = template();
+        t.mix = (0.5, 0.1, 0.1);
+        assert!(t.validate().is_err());
+        let mut t = template();
+        t.ref_share = 0.0;
+        assert!(t.validate().is_err());
+        let mut t = template();
+        t.mix = (1.2, -0.1, -0.1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn instantiation_divides_work_across_processes() {
+        let comm = vec![CommEvent::new(CommOp::Barrier, 10)];
+        let w32 = AppWorkload::from_templates(
+            "TEST", "std", 7_000_000, 100, 60.0, &[template()], 32, comm.clone(),
+        );
+        let w64 = AppWorkload::from_templates(
+            "TEST", "std", 7_000_000, 100, 60.0, &[template()], 64, comm,
+        );
+        let refs32 = w32.total_refs();
+        let refs64 = w64.total_refs();
+        assert!((refs32 as f64 / refs64 as f64 - 2.0).abs() < 0.01);
+        assert!(w32.blocks[0].working_set > w64.blocks[0].working_set);
+        assert_eq!(w32.processes, 32);
+        assert_eq!(w32.comm.processes, 32);
+    }
+
+    #[test]
+    fn class_refs_sum_exactly() {
+        let w = AppWorkload::from_templates(
+            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+        );
+        let b = &w.blocks[0];
+        let (s1, sh, r) = b.class_refs();
+        assert_eq!(s1 + sh + r, b.refs);
+        assert!(s1 > sh && s1 > r, "stride-1 dominates this mix");
+    }
+
+    #[test]
+    fn flops_follow_intensity() {
+        let w = AppWorkload::from_templates(
+            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+        );
+        let b = &w.blocks[0];
+        assert!((b.flops as f64 / b.refs as f64 - 1.5).abs() < 0.01);
+        assert_eq!(w.total_flops(), b.flops * 10);
+    }
+
+    #[test]
+    fn short_stride_is_stable_and_in_range() {
+        let w = AppWorkload::from_templates(
+            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+        );
+        let b = &w.blocks[0];
+        let s = b.short_stride();
+        assert!((2..=8).contains(&s));
+        assert_eq!(s, b.short_stride(), "deterministic");
+    }
+
+    #[test]
+    fn halo_bytes_shrink_with_p() {
+        let h8 = halo_bytes(8_000_000, 8, 5.0);
+        let h64 = halo_bytes(8_000_000, 64, 5.0);
+        assert!(h8 > h64);
+        // (1e6)^(2/3)=1e4 faces * 5 vars * 8B = 400_000.
+        assert!((h8 as f64 - 400_000.0).abs() / 400_000.0 < 0.01);
+    }
+
+    #[test]
+    fn workload_validation() {
+        let w = AppWorkload::from_templates(
+            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+        );
+        w.validate().unwrap();
+
+        let mut bad = w.clone();
+        bad.blocks.clear();
+        assert!(bad.validate().is_err());
+
+        let mut bad = w.clone();
+        bad.comm.processes = 4;
+        assert!(bad.validate().is_err());
+
+        let mut bad = w.clone();
+        bad.blocks[0].mix = (0.5, 0.1, 0.1);
+        assert!(bad.validate().is_err());
+
+        let mut bad = w.clone();
+        bad.processes = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = w;
+        bad.blocks[0].refs = 0;
+        bad.blocks[0].flops = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ref shares sum")]
+    fn bad_share_sum_panics() {
+        let mut t = template();
+        t.ref_share = 0.5;
+        let _ = AppWorkload::from_templates("T", "s", 1000, 1, 1.0, &[t], 2, vec![]);
+    }
+}

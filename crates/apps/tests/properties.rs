@@ -1,0 +1,73 @@
+//! Property-based tests for the application workload generators and the
+//! ground-truth model.
+
+use metasim_apps::registry::TestCase;
+use metasim_apps::tracing::{sample_addresses, trace_block};
+use metasim_apps::workload::{halo_bytes, WorkingSetModel, ELEMENT_BYTES, MIN_WORKING_SET};
+use proptest::prelude::*;
+
+fn any_case() -> impl Strategy<Value = TestCase> {
+    (0usize..5).prop_map(|i| TestCase::ALL[i])
+}
+
+proptest! {
+    // Total work is conserved across processor counts (strong scaling):
+    // per-process refs × p is constant to within integer truncation.
+    #[test]
+    fn work_is_conserved_across_p(case in any_case()) {
+        let [p0, _, p2] = case.cpu_counts();
+        let w0 = case.workload(p0);
+        let w2 = case.workload(p2);
+        let total0 = w0.total_refs() as f64 * p0 as f64;
+        let total2 = w2.total_refs() as f64 * p2 as f64;
+        prop_assert!(
+            (total0 - total2).abs() / total0 < 1e-3,
+            "{case:?}: {total0} vs {total2}"
+        );
+    }
+
+    // Every instantiated workload validates.
+    #[test]
+    fn workloads_validate(case in any_case(), idx in 0usize..3) {
+        let p = case.cpu_counts()[idx];
+        case.workload(p).validate().unwrap();
+    }
+
+    // Working-set models respect the floor and scale direction.
+    #[test]
+    fn working_set_models_scale(cells in 1_000_000u64..50_000_000, p in 2u64..512, b in 8.0f64..200.0) {
+        let per = WorkingSetModel::PerProcess { bytes_per_cell: b };
+        let plane = WorkingSetModel::Plane { bytes_per_point: b };
+        for model in [per, plane] {
+            let small_p = model.bytes(cells, p);
+            let big_p = model.bytes(cells, p * 2);
+            prop_assert!(small_p >= big_p, "{model:?}");
+            prop_assert!(big_p >= MIN_WORKING_SET);
+        }
+        let fixed = WorkingSetModel::Fixed(64 << 20);
+        prop_assert_eq!(fixed.bytes(cells, p), fixed.bytes(cells, p * 2));
+    }
+
+    // Halo message sizes shrink with p and grow with the domain.
+    #[test]
+    fn halo_scaling(cells in 1_000_000u64..50_000_000, p in 2u64..256) {
+        prop_assert!(halo_bytes(cells, p, 5.0) >= halo_bytes(cells, 2 * p, 5.0));
+        prop_assert!(halo_bytes(cells * 8, p, 5.0) > halo_bytes(cells, p, 5.0));
+    }
+
+    // Traced bins always conserve the block's reference count, and sampled
+    // addresses never escape the working set.
+    #[test]
+    fn tracing_conserves_and_contains(case in any_case(), idx in 0usize..3) {
+        let p = case.cpu_counts()[idx];
+        let workload = case.workload(p);
+        for block in &workload.blocks {
+            let traced = trace_block(block);
+            prop_assert_eq!(traced.bins.total(), block.refs, "{}", block.name);
+            prop_assert_eq!(traced.working_set, block.working_set);
+            for a in sample_addresses(block, 512) {
+                prop_assert!(a + ELEMENT_BYTES <= block.working_set.max(ELEMENT_BYTES));
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! 1. **The dependency term** (Metric #9's whole reason to exist): compare
+//!    #9's error with (a) no dependency labels (all blocks independent — the
+//!    metric degrades to #8), (b) the static analyzer's labels (the paper's
+//!    method, with its intensity-masking blind spot), and (c) oracle labels
+//!    (the blocks' true classes).
+//! 2. **Base-system choice**: the methodology calibrates on one measured
+//!    base runtime; how sensitive is Metric #9's error to which machine
+//!    plays the base?
+//!
+//! Benchmarks the label-ablation evaluation loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_apps::registry::{all_test_cases, TestCase};
+use metasim_apps::tracing::trace_workload;
+use metasim_bench::{shared_fleet, shared_ground_truth, shared_probes};
+use metasim_core::metric::MetricId;
+use metasim_core::prediction::predict_one;
+use metasim_machines::MachineId;
+use metasim_stats::error_metrics::ErrorAccumulator;
+use metasim_tracer::analysis::analyze_dependencies;
+use metasim_tracer::block::DependencyClass;
+
+/// Mean absolute error of Metric #9 across the full grid under a label
+/// policy.
+fn metric9_error_with_labels(policy: &str) -> f64 {
+    let fleet = shared_fleet();
+    let suite = shared_probes();
+    let gt = shared_ground_truth();
+    let base_probes = suite.measure(fleet.base());
+    let mut acc = ErrorAccumulator::new();
+    for (case, cpus) in all_test_cases() {
+        let workload = case.workload(cpus);
+        let trace = trace_workload(&workload);
+        let labels: Vec<DependencyClass> = match policy {
+            "none" => vec![DependencyClass::Independent; trace.blocks.len()],
+            "static" => analyze_dependencies(&trace.blocks),
+            "oracle" => trace.blocks.iter().map(|b| b.dependency).collect(),
+            _ => unreachable!("unknown policy"),
+        };
+        let t_base = gt.run(case, cpus, fleet.base()).seconds;
+        for id in MachineId::TARGETS {
+            let probes = suite.measure(fleet.get(id));
+            let pred = predict_one(
+                MetricId::P9HplMapsNetDep,
+                &trace,
+                &labels,
+                &probes,
+                &base_probes,
+                t_base,
+            );
+            acc.record(pred, gt.run(case, cpus, fleet.get(id)).seconds);
+        }
+    }
+    acc.mean_absolute()
+}
+
+/// Mean absolute error of Metric #9 when `base` plays the base system.
+fn metric9_error_with_base(base: MachineId) -> f64 {
+    let fleet = shared_fleet();
+    let suite = shared_probes();
+    let gt = shared_ground_truth();
+    let base_probes = suite.measure(fleet.get(base));
+    let mut acc = ErrorAccumulator::new();
+    for (case, cpus) in all_test_cases() {
+        let workload = case.workload(cpus);
+        let trace = trace_workload(&workload);
+        let labels = analyze_dependencies(&trace.blocks);
+        let t_base = gt.run(case, cpus, fleet.get(base)).seconds;
+        for id in MachineId::TARGETS {
+            if id == base {
+                continue; // self-prediction is exact by construction
+            }
+            let probes = suite.measure(fleet.get(id));
+            let pred = predict_one(
+                MetricId::P9HplMapsNetDep,
+                &trace,
+                &labels,
+                &probes,
+                &base_probes,
+                t_base,
+            );
+            acc.record(pred, gt.run(case, cpus, fleet.get(id)).seconds);
+        }
+    }
+    acc.mean_absolute()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("\nAblation 1: Metric #9's dependency term (mean abs error %)");
+    for policy in ["none", "static", "oracle"] {
+        println!("  labels = {policy:<7} -> {:.1}%", metric9_error_with_labels(policy));
+    }
+
+    println!("\nAblation 2: base-system choice (Metric #9, self excluded)");
+    for base in [
+        MachineId::NavoP690Base,
+        MachineId::MhpccP3,
+        MachineId::ArlOpteron,
+        MachineId::ArlAltix,
+    ] {
+        println!(
+            "  base = {:<14} -> {:.1}%",
+            base.label(),
+            metric9_error_with_base(base)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("metric9_label_sweep", |b| {
+        b.iter(|| black_box(metric9_error_with_labels("static")));
+    });
+    group.finish();
+
+    // A sanity assertion behind the ablation's point: labels help.
+    let none = metric9_error_with_labels("none");
+    let oracle = metric9_error_with_labels("oracle");
+    assert!(
+        oracle <= none + 0.5,
+        "dependency labels should not hurt: oracle {oracle} vs none {none}"
+    );
+
+    println!(
+        "\nTest case order (for reference): {:?}\n",
+        TestCase::ALL.map(|c| c.label())
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

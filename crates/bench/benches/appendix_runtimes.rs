@@ -1,0 +1,56 @@
+//! Regenerates **Appendix Tables 6–10**: simulated times-to-solution for
+//! every (application, machine, CPU count) cell next to the paper's
+//! published measurements; benchmarks one full ground-truth execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_apps::groundtruth::execute;
+use metasim_apps::paper_data;
+use metasim_apps::registry::TestCase;
+use metasim_bench::{shared_fleet, shared_ground_truth};
+use metasim_machines::MachineId;
+use metasim_report::table::{f0, Table};
+
+fn bench_appendix(c: &mut Criterion) {
+    let fleet = shared_fleet();
+    let gt = shared_ground_truth();
+
+    for (idx, case) in TestCase::ALL.iter().enumerate() {
+        let cpus = case.cpu_counts();
+        let mut header = vec!["Machine".to_string()];
+        for p in cpus {
+            header.push(format!("{p} sim"));
+            header.push(format!("{p} paper"));
+        }
+        let mut t = Table::new(header).with_title(format!(
+            "Table {} (regenerated): {} times-to-solution (s)",
+            idx + 6,
+            case.label()
+        ));
+        for id in MachineId::TARGETS {
+            let mut cells = vec![id.label().to_string()];
+            for p in cpus {
+                cells.push(f0(gt.run(*case, p, fleet.get(id)).seconds));
+                cells.push(
+                    paper_data::observed_at(*case, id, p).map_or_else(|| "-".into(), f0),
+                );
+            }
+            t.push_row(cells);
+        }
+        println!("\n{}", t.render());
+    }
+
+    c.bench_function("ground_truth_single_cell", |b| {
+        let machine = fleet.get(MachineId::Navo655);
+        let workload = TestCase::HycomStandard.workload(96);
+        b.iter(|| black_box(execute(machine, &workload)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_appendix
+}
+criterion_main!(benches);

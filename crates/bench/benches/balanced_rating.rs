@@ -1,0 +1,50 @@
+//! Regenerates the **§4 balanced-rating comparison**: IDC equal weights,
+//! the regression-fitted weights, and the oracle MAE-fitted mixture, versus
+//! the convolution metrics; benchmarks the regression fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_bench::{shared_fleet, shared_probes, shared_study};
+use metasim_core::balanced::{fit_weights, fit_weights_mae, idc_equal_weights};
+use metasim_report::table::{f1, Table};
+
+fn bench_balanced(c: &mut Criterion) {
+    let study = shared_study();
+    let fleet = shared_fleet();
+    let suite = shared_probes();
+
+    let idc = idc_equal_weights(study, suite, fleet);
+    let fitted = fit_weights(study, suite, fleet);
+    let oracle = fit_weights_mae(study, suite, fleet);
+
+    let mut t = Table::new(vec!["Rating", "HPL", "STREAM", "all_reduce", "err %", "sd %"])
+        .with_title("Balanced ratings (paper: equal 35%/25, fitted 5/50/45 -> 33%/30)");
+    for (name, r) in [("IDC equal", &idc), ("regression-fitted", &fitted), ("oracle MAE", &oracle)] {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.2}", r.weights[0]),
+            format!("{:.2}", r.weights[1]),
+            format!("{:.2}", r.weights[2]),
+            f1(r.mean_absolute_error),
+            f1(r.stddev),
+        ]);
+    }
+    let t4 = study.table4();
+    println!("\n{}", t.render());
+    println!(
+        "convolution metrics for comparison: #6 {:.1}%, #9 {:.1}%\n",
+        t4[5].mean_absolute, t4[8].mean_absolute
+    );
+
+    c.bench_function("balanced_regression_fit", |b| {
+        b.iter(|| black_box(fit_weights(study, suite, fleet)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_balanced
+}
+criterion_main!(benches);

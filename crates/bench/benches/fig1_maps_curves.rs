@@ -1,0 +1,66 @@
+//! Regenerates **Figure 1**: unit-stride MAPS bandwidth versus message size
+//! for the three systems the paper plots (p655, Altix, Opteron); benchmarks
+//! one full MAPS measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_bench::{shared_fleet, shared_probes};
+use metasim_machines::MachineId;
+use metasim_probes::maps::measure_maps;
+use metasim_report::chart::{ascii_line_chart, Series};
+
+fn bench_fig1(c: &mut Criterion) {
+    let fleet = shared_fleet();
+    let suite = shared_probes();
+    let plotted = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+
+    let series: Vec<Series> = plotted
+        .iter()
+        .map(|&id| {
+            let probes = suite.measure(fleet.get(id));
+            Series {
+                name: id.label().to_string(),
+                points: probes
+                    .maps
+                    .unit
+                    .points
+                    .iter()
+                    .map(|&(ws, bw)| (ws as f64, bw))
+                    .collect(),
+            }
+        })
+        .collect();
+    println!(
+        "\n{}",
+        ascii_line_chart(
+            "Figure 1 (regenerated): unit-stride bandwidth vs working set",
+            &series,
+            72,
+            18,
+        )
+    );
+    // The paper's crossovers, stated:
+    for (label, ws) in [("L1-resident (16 KiB)", 16u64 << 10), ("L2 region (192 KiB)", 192 << 10), ("DRAM (128 MiB)", 128 << 20)] {
+        let mut best = ("", 0.0f64);
+        for &id in &plotted {
+            let bw = suite.measure(fleet.get(id)).maps.unit.bandwidth_at(ws);
+            if bw > best.1 {
+                best = (id.label(), bw);
+            }
+        }
+        println!("  leader at {label}: {} ({:.2} GB/s)", best.0, best.1 / 1e9);
+    }
+
+    c.bench_function("fig1_full_maps_measurement", |b| {
+        let machine = fleet.get(MachineId::ArlOpteron);
+        b.iter(|| black_box(measure_maps(machine)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates **Figures 3–7**: per-application error assessment at each of
+//! the three processor counts for all nine metrics; benchmarks the per-app
+//! aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_apps::registry::TestCase;
+use metasim_bench::shared_study;
+use metasim_core::metric::MetricId;
+use metasim_report::chart::{ascii_bar_chart, BarGroup};
+
+fn bench_figs(c: &mut Criterion) {
+    let study = shared_study();
+
+    for (fig, case) in (3..).zip(TestCase::ALL) {
+        let groups: Vec<BarGroup> = study
+            .errors_by_app(case)
+            .into_iter()
+            .map(|(cpus, errors)| BarGroup {
+                label: format!("{cpus} CPUs"),
+                bars: MetricId::ALL
+                    .iter()
+                    .zip(errors)
+                    .map(|(m, e)| (format!("#{}", m.number()), e))
+                    .collect(),
+            })
+            .collect();
+        println!(
+            "\n{}",
+            ascii_bar_chart(
+                &format!("Figure {fig} (regenerated): {} error by metric (%)", case.label()),
+                &groups,
+                44,
+            )
+        );
+    }
+
+    c.bench_function("figures_3_to_7_aggregation", |b| {
+        b.iter(|| {
+            for case in TestCase::ALL {
+                black_box(study.errors_by_app(case));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_figs);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates **Table 4 / Figure 2**: average absolute error and standard
+//! deviation per metric over all 150 observations, printed next to the
+//! paper's published values; benchmarks the aggregation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_bench::shared_study;
+use metasim_report::table::{f0, Table};
+
+const PAPER: [(f64, f64); 9] = [
+    (63.0, 68.0),
+    (43.0, 73.0),
+    (33.0, 27.0),
+    (63.0, 68.0),
+    (50.0, 72.0),
+    (22.0, 18.0),
+    (24.0, 21.0),
+    (22.0, 18.0),
+    (18.0, 18.0),
+];
+
+fn bench_table4(c: &mut Criterion) {
+    let study = shared_study();
+
+    // Print the regenerated table once, paper values alongside.
+    let mut t = Table::new(vec!["# & Type", "Metric", "err %", "sd %", "paper err", "paper sd"])
+        .with_title("Table 4 (regenerated vs. paper)");
+    for (row, paper) in study.table4().iter().zip(PAPER) {
+        t.push_row(vec![
+            row.metric.short_label(),
+            row.metric.name().to_string(),
+            f0(row.mean_absolute),
+            f0(row.stddev),
+            f0(paper.0),
+            f0(paper.1),
+        ]);
+    }
+    println!("\n{}", t.render());
+
+    c.bench_function("table4_aggregation", |b| {
+        b.iter(|| black_box(study.table4()));
+    });
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

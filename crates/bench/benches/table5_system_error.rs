@@ -1,0 +1,33 @@
+//! Regenerates **Table 5**: system-specific average absolute percent error
+//! for every (system, metric) pair, plus the overall row; benchmarks the
+//! per-system aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use metasim_bench::shared_study;
+use metasim_report::table::{f0, Table};
+
+fn bench_table5(c: &mut Criterion) {
+    let study = shared_study();
+
+    let mut header = vec!["System".to_string()];
+    header.extend((1..=9).map(|n| n.to_string()));
+    let mut t = Table::new(header).with_title("Table 5 (regenerated)");
+    for row in study.table5() {
+        let mut cells = vec![row.machine.label().to_string()];
+        cells.extend(row.per_metric.iter().map(|v| f0(*v)));
+        t.push_row(cells);
+    }
+    let mut overall = vec!["OVERALL".to_string()];
+    overall.extend(study.table4().iter().map(|r| f0(r.mean_absolute)));
+    t.push_row(overall);
+    println!("\n{}", t.render());
+
+    c.bench_function("table5_aggregation", |b| {
+        b.iter(|| black_box(study.table5()));
+    });
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

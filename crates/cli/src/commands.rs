@@ -1,0 +1,661 @@
+//! Subcommand implementations.
+
+use metasim_apps::groundtruth::GroundTruth;
+use metasim_apps::paper_data;
+use metasim_apps::registry::TestCase;
+use metasim_apps::tracing::trace_workload;
+use metasim_core::balanced::{fit_weights, fit_weights_mae, idc_equal_weights, CATEGORY_NAMES};
+use metasim_core::metric::MetricId;
+use metasim_core::prediction::predict_all;
+use metasim_core::ranking::rank_correlations;
+use metasim_core::study::Study;
+use metasim_machines::{fleet, MachineId};
+use metasim_probes::suite::ProbeSuite;
+use metasim_report::chart::{ascii_bar_chart, ascii_line_chart, BarGroup, Series};
+use metasim_report::svg::line_chart_svg;
+use metasim_report::table::{f0, f1, Table};
+use metasim_tracer::analysis::analyze_dependencies;
+
+/// The paper's Table 4 values for side-by-side printing.
+const PAPER_TABLE4: [(f64, f64); 9] = [
+    (63.0, 68.0),
+    (43.0, 73.0),
+    (33.0, 27.0),
+    (63.0, 68.0),
+    (50.0, 72.0),
+    (22.0, 18.0),
+    (24.0, 21.0),
+    (22.0, 18.0),
+    (18.0, 18.0),
+];
+
+/// Route a subcommand.
+pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
+    match cmd {
+        "systems" => systems(),
+        "metrics" => metrics(),
+        "probes" => probes(),
+        "fig1" => fig1(rest.first().map(String::as_str)),
+        "table4" => table4(rest.first().map(String::as_str)),
+        "table5" => table5(),
+        "fig" => {
+            let n: usize = rest
+                .first()
+                .ok_or("fig needs a figure number 3-7")?
+                .parse()
+                .map_err(|_| "figure number must be 3-7".to_string())?;
+            figure(n)
+        }
+        "appendix" => appendix(),
+        "balanced" => balanced(),
+        "ranking" => ranking(),
+        "superlatives" => superlatives(),
+        "verify" => verify(),
+        "predict" => predict(rest),
+        "export" => export(rest),
+        "export-workload" => export_workload(rest),
+        "predict-custom" => predict_custom(rest),
+        "all" => {
+            systems()?;
+            metrics()?;
+            probes()?;
+            fig1(None)?;
+            table4(None)?;
+            table5()?;
+            for n in 3..=7 {
+                figure(n)?;
+            }
+            appendix()?;
+            balanced()?;
+            superlatives()?;
+            verify()?;
+            ranking()
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const HELP: &str = "\
+metasim — reproduce 'How Well Can Simple Metrics Represent the Performance of
+HPC Applications?' (SC 2005)
+
+commands:
+  systems            Table 1/2: the study fleet
+  metrics            Table 3: the nine synthetic metrics
+  probes             probe summary for every machine
+  fig1 [FILE.svg]    Figure 1: unit-stride MAPS curves (3 systems)
+  table4             Table 4 / Figure 2: overall error per metric
+  table5             Table 5: system-specific error
+  fig N              Figures 3..7: per-application error assessment
+  appendix           Tables 6-10: simulated vs. published runtimes
+  balanced           IDC balanced rating and fitted weights (§4)
+  ranking            Kendall-τ ranking quality per metric (extension)
+  superlatives       §6: best/worst metric per (case, CPU count) group
+  verify             checklist: which of the paper's claims hold here
+  predict CASE CPUS MACHINE
+                     one prediction (CASE like avus-standard; MACHINE like
+                     ARL_Opteron)
+  export FILE.csv    all 150 observations x 9 predictions as CSV
+  export-workload CASE CPUS FILE.json
+                     dump a workload as an editable JSON template
+  predict-custom FILE.json MACHINE
+                     trace + predict a custom (JSON) workload
+  all                run everything";
+
+fn systems() -> Result<(), String> {
+    let f = fleet();
+    let mut t = Table::new(vec!["System", "Architecture", "Site", "Interconnect", "CPUs", "role"])
+        .with_title("Tables 1 & 2. Architectures and systems used in the study.");
+    for m in f.all() {
+        t.push_row(vec![
+            m.id.label().to_string(),
+            m.id.architecture().to_string(),
+            m.id.site().to_string(),
+            m.id.interconnect().to_string(),
+            m.id.total_processors().to_string(),
+            if m.id.is_target() { "target" } else { "base" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn metrics() -> Result<(), String> {
+    let mut t = Table::new(vec!["#", "Type", "Name or Description"])
+        .with_title("Table 3. Synthetic metrics used in study.");
+    for m in MetricId::ALL {
+        t.push_row(vec![
+            m.number().to_string(),
+            format!("{:?}", m.kind()),
+            m.description().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn probes() -> Result<(), String> {
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let mut t = Table::new(vec![
+        "System",
+        "Rmax GF/s",
+        "STREAM GB/s",
+        "GUPS",
+        "net lat us",
+        "net BW MB/s",
+    ])
+    .with_title("Probe measurements (per processor).");
+    for m in f.all() {
+        let p = suite.measure(m);
+        t.push_row(vec![
+            m.id.label().to_string(),
+            format!("{:.2}", p.hpl.rmax_gflops_per_proc),
+            format!("{:.2}", p.stream.gb_per_second()),
+            format!("{:.4}", p.gups.gups()),
+            format!("{:.1}", p.netbench.latency * 1e6),
+            format!("{:.0}", p.netbench.bandwidth / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn fig1(svg_path: Option<&str>) -> Result<(), String> {
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let systems = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+    let series: Vec<Series> = systems
+        .iter()
+        .map(|&id| {
+            let p = suite.measure(f.get(id));
+            Series {
+                name: id.label().to_string(),
+                points: p
+                    .maps
+                    .unit
+                    .points
+                    .iter()
+                    .map(|&(ws, bw)| (ws as f64, bw))
+                    .collect(),
+            }
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_line_chart(
+            "Figure 1. Unit-stride memory bandwidth versus message size (B/s vs bytes).",
+            &series,
+            72,
+            20,
+        )
+    );
+    if let Some(path) = svg_path {
+        let svg = line_chart_svg(
+            "Figure 1: unit-stride MAPS",
+            "working set (bytes, log)",
+            "bandwidth (B/s)",
+            &series,
+            800,
+            480,
+        );
+        std::fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
+    let study = Study::run_default();
+    let mut t = Table::new(vec![
+        "# & Type",
+        "Metric Description",
+        "AvgAbsErr %",
+        "StdDev %",
+        "paper err",
+        "paper sd",
+    ])
+    .with_title("Table 4. Error assessment: metric results vs. application run time.");
+    for (i, row) in study.table4().iter().enumerate() {
+        t.push_row(vec![
+            row.metric.short_label(),
+            row.metric.name().to_string(),
+            f0(row.mean_absolute),
+            f0(row.stddev),
+            f0(PAPER_TABLE4[i].0),
+            f0(PAPER_TABLE4[i].1),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Figure 2 is the same data as a bar chart.
+    let group = BarGroup {
+        label: "all 150 observations".into(),
+        bars: study
+            .table4()
+            .iter()
+            .map(|r| (format!("#{} {}", r.metric.number(), r.metric.name()), r.mean_absolute))
+            .collect(),
+    };
+    println!(
+        "{}",
+        ascii_bar_chart("Figure 2. Average absolute error by metric (%).", &[group], 50)
+    );
+    if let Some(path) = fig2_svg {
+        let bars: Vec<(String, f64)> = study
+            .table4()
+            .iter()
+            .map(|r| (format!("#{} {}", r.metric.number(), r.metric.name()), r.mean_absolute))
+            .collect();
+        let svg = metasim_report::svg::bar_chart_svg(
+            "Figure 2: average absolute error by metric",
+            "error (%)",
+            &bars,
+            800,
+            480,
+        );
+        std::fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn table5() -> Result<(), String> {
+    let study = Study::run_default();
+    let mut header = vec!["System".to_string()];
+    header.extend((1..=9).map(|n| n.to_string()));
+    let mut t = Table::new(header)
+        .with_title("Table 5. System-specific average absolute percent error (metric 1..9).");
+    for row in study.table5() {
+        let mut cells = vec![row.machine.label().to_string()];
+        cells.extend(row.per_metric.iter().map(|v| f0(*v)));
+        t.push_row(cells);
+    }
+    let mut overall = vec!["OVERALL".to_string()];
+    overall.extend(study.table4().iter().map(|r| f0(r.mean_absolute)));
+    t.push_row(overall);
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn figure(n: usize) -> Result<(), String> {
+    let case = match n {
+        3 => TestCase::AvusStandard,
+        4 => TestCase::AvusLarge,
+        5 => TestCase::HycomStandard,
+        6 => TestCase::Overflow2Standard,
+        7 => TestCase::RfcthStandard,
+        _ => return Err("figure number must be 3..=7".into()),
+    };
+    let study = Study::run_default();
+    let groups: Vec<BarGroup> = study
+        .errors_by_app(case)
+        .into_iter()
+        .map(|(cpus, errors)| BarGroup {
+            label: format!("{cpus} CPUs"),
+            bars: MetricId::ALL
+                .iter()
+                .zip(errors)
+                .map(|(m, e)| (format!("#{}", m.number()), e))
+                .collect(),
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_bar_chart(
+            &format!("Figure {n}. Error assessment for {} (avg abs %).", case.label()),
+            &groups,
+            50,
+        )
+    );
+    Ok(())
+}
+
+fn appendix() -> Result<(), String> {
+    let f = fleet();
+    let gt = GroundTruth::new();
+    for (idx, case) in TestCase::ALL.iter().enumerate() {
+        let cpus = case.cpu_counts();
+        let mut header = vec!["Machine".to_string()];
+        for p in cpus {
+            header.push(format!("{p} sim"));
+            header.push(format!("{p} paper"));
+        }
+        let mut t = Table::new(header).with_title(format!(
+            "Table {}. {} times-to-solution (seconds): simulated vs. published.",
+            idx + 6,
+            case.label()
+        ));
+        for id in MachineId::TARGETS {
+            let mut cells = vec![id.label().to_string()];
+            for p in cpus {
+                let sim = gt.run(*case, p, f.get(id)).seconds;
+                cells.push(f0(sim));
+                cells.push(
+                    paper_data::observed_at(*case, id, p)
+                        .map_or_else(|| "-".to_string(), f0),
+                );
+            }
+            t.push_row(cells);
+        }
+        println!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn balanced() -> Result<(), String> {
+    let study = Study::run_default();
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let idc = idc_equal_weights(study, &suite, &f);
+    let fitted = fit_weights(study, &suite, &f);
+    let oracle = fit_weights_mae(study, &suite, &f);
+    let mut t = Table::new(vec!["Rating", "HPL w", "STREAM w", "all_reduce w", "AvgAbsErr %", "StdDev %"])
+        .with_title("§4: balanced-rating composites (categories: HPL, STREAM, all_reduce).");
+    for (name, r) in [
+        ("IDC equal weights", &idc),
+        ("regression-fitted", &fitted),
+        ("oracle (MAE grid)", &oracle),
+    ] {
+        t.push_row(vec![
+            name.to_string(),
+            format!("{:.2}", r.weights[0]),
+            format!("{:.2}", r.weights[1]),
+            format!("{:.2}", r.weights[2]),
+            f1(r.mean_absolute_error),
+            f1(r.stddev),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: equal weights 35% err (sd 25); fitted 5/50/45 -> 33% (sd 30).\n\
+         categories are {CATEGORY_NAMES:?}; see EXPERIMENTS.md for the fit-objective discussion.\n"
+    );
+    Ok(())
+}
+
+fn ranking() -> Result<(), String> {
+    let study = Study::run_default();
+    let mut t = Table::new(vec!["Metric", "mean Kendall tau", "worst group tau"])
+        .with_title("Extension: machine-ranking quality per metric (1.0 = perfect order).");
+    for rc in rank_correlations(study) {
+        t.push_row(vec![
+            rc.metric.to_string(),
+            format!("{:.3}", rc.mean_tau),
+            format!("{:.3}", rc.min_tau),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn verify() -> Result<(), String> {
+    let study = Study::run_default();
+    let claims = metasim_core::verification::verify(study);
+    println!("Verification of the paper's claims against this reproduction:\n");
+    let mut failures = 0;
+    for c in &claims {
+        let mark = if c.pass { "PASS" } else { "FAIL" };
+        if !c.pass {
+            failures += 1;
+        }
+        println!("  [{mark}] {}\n         {}\n         {}\n", c.name, c.statement, c.detail);
+    }
+    if failures == 0 {
+        println!("all {} claims hold.", claims.len());
+        Ok(())
+    } else {
+        Err(format!("{failures} of {} claims failed", claims.len()))
+    }
+}
+
+fn superlatives() -> Result<(), String> {
+    use metasim_core::superlatives::{census, group_errors};
+    let study = Study::run_default();
+    let mut t = Table::new(vec!["Case", "CPUs", "best", "best err %", "worst", "worst err %"])
+        .with_title("§6: best and worst predictor per (case, CPU count) group.");
+    for g in group_errors(study) {
+        t.push_row(vec![
+            g.case.label().to_string(),
+            g.cpus.to_string(),
+            g.best().to_string(),
+            f1(g.error_of(g.best())),
+            g.worst().to_string(),
+            f1(g.error_of(g.worst())),
+        ]);
+    }
+    println!("{}", t.render());
+    let c = census(study);
+    println!(
+        "census over {} groups: HPL worst in {}, STREAM beats HPL in {}, GUPS beats\n\
+         STREAM in {}, #6 best-or-tied in {}, #9 best-or-tied in {}.\n\
+         (paper: 14, 14, 11, 6, 10 of 15)\n",
+        c.groups,
+        c.hpl_worst,
+        c.stream_beats_hpl,
+        c.gups_beats_stream,
+        c.metric6_best_or_tied,
+        c.metric9_best_or_tied
+    );
+    Ok(())
+}
+
+fn export(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("export needs an output path")?;
+    let study = Study::run_default();
+    let mut w = metasim_report::csv::CsvWriter::new();
+    let mut header = vec![
+        "case".to_string(),
+        "cpus".to_string(),
+        "machine".to_string(),
+        "actual_s".to_string(),
+        "base_actual_s".to_string(),
+    ];
+    header.extend(MetricId::ALL.iter().map(|m| format!("pred_{}", m.short_label())));
+    w.row(&header);
+    for o in &study.observations {
+        let mut cells = vec![
+            o.case.label().to_string(),
+            o.cpus.to_string(),
+            o.machine.label().to_string(),
+            format!("{}", o.actual),
+            format!("{}", o.base_actual),
+        ];
+        cells.extend(o.predictions.iter().map(|p| format!("{p}")));
+        w.row(&cells);
+    }
+    std::fs::write(path, w.finish()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote {} observation rows to {path}", study.observations.len());
+    Ok(())
+}
+
+fn export_workload(rest: &[String]) -> Result<(), String> {
+    let [case_s, cpus_s, path] = rest else {
+        return Err("usage: export-workload CASE CPUS FILE.json".into());
+    };
+    let case = parse_case(case_s)?;
+    let cpus: u64 = cpus_s.parse().map_err(|_| "CPUS must be an integer")?;
+    let workload = case.workload(cpus);
+    let json = serde_json::to_string_pretty(&workload).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {} ({} blocks, {} comm events) — edit and feed to predict-custom",
+        path,
+        workload.blocks.len(),
+        workload.comm.events.len()
+    );
+    Ok(())
+}
+
+fn predict_custom(rest: &[String]) -> Result<(), String> {
+    let [path, machine_s] = rest else {
+        return Err("usage: predict-custom FILE.json MACHINE".into());
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let workload: metasim_apps::workload::AppWorkload =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    workload.validate().map_err(|e| format!("invalid workload: {e}"))?;
+    let machine = MachineId::ALL
+        .into_iter()
+        .find(|m| m.label().eq_ignore_ascii_case(machine_s))
+        .ok_or_else(|| format!("unknown machine `{machine_s}`"))?;
+
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let trace = trace_workload(&workload);
+    let labels = analyze_dependencies(&trace.blocks);
+    // A custom workload has no appendix ground truth; the base runtime is
+    // simulated directly.
+    let base_run = metasim_apps::groundtruth::execute(f.base(), &workload);
+    let predictions = predict_all(
+        &trace,
+        &labels,
+        &suite.measure(f.get(machine)),
+        &suite.measure(f.base()),
+        base_run.seconds,
+    );
+    println!(
+        "custom workload {}/{} @ {} processes; base system: {:.0} s",
+        workload.app, workload.case, workload.processes, base_run.seconds
+    );
+    let mut t = Table::new(vec!["Metric", "Predicted s"]);
+    for (m, p) in MetricId::ALL.iter().zip(predictions) {
+        t.push_row(vec![m.to_string(), f0(p)]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn parse_case(s: &str) -> Result<TestCase, String> {
+    match s.to_lowercase().as_str() {
+        "avus-standard" => Ok(TestCase::AvusStandard),
+        "avus-large" => Ok(TestCase::AvusLarge),
+        "hycom-standard" => Ok(TestCase::HycomStandard),
+        "overflow2-standard" => Ok(TestCase::Overflow2Standard),
+        "rfcth-standard" => Ok(TestCase::RfcthStandard),
+        other => Err(format!("unknown case `{other}`")),
+    }
+}
+
+fn predict(rest: &[String]) -> Result<(), String> {
+    let [case_s, cpus_s, machine_s] = rest else {
+        return Err("usage: predict CASE CPUS MACHINE (e.g. predict avus-standard 64 ARL_Opteron)".into());
+    };
+    let case = parse_case(case_s)?;
+    let cpus: u64 = cpus_s.parse().map_err(|_| "CPUS must be an integer")?;
+    if !case.cpu_counts().contains(&cpus) {
+        return Err(format!(
+            "{} runs at {:?} CPUs",
+            case.label(),
+            case.cpu_counts()
+        ));
+    }
+    let machine = MachineId::TARGETS
+        .into_iter()
+        .find(|m| m.label().eq_ignore_ascii_case(machine_s))
+        .ok_or_else(|| format!("unknown machine `{machine_s}`"))?;
+
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let gt = GroundTruth::new();
+    let workload = case.workload(cpus);
+    let trace = trace_workload(&workload);
+    let labels = analyze_dependencies(&trace.blocks);
+    let base_actual = gt.run(case, cpus, f.base()).seconds;
+    let target_probes = suite.measure(f.get(machine));
+    let base_probes = suite.measure(f.base());
+    let predictions = predict_all(&trace, &labels, &target_probes, &base_probes, base_actual);
+    let actual = gt.run(case, cpus, f.get(machine)).seconds;
+
+    println!(
+        "{} @ {cpus} CPUs on {}: base ({}) ran {:.0} s; target actually ran {:.0} s\n",
+        case.label(),
+        machine.label(),
+        MachineId::NavoP690Base.label(),
+        base_actual,
+        actual
+    );
+    let mut t = Table::new(vec!["Metric", "Predicted s", "Error %"]);
+    for (m, p) in MetricId::ALL.iter().zip(predictions) {
+        t.push_row(vec![
+            m.to_string(),
+            f0(p),
+            format!("{:+.1}", (p - actual) / actual * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_parsing_accepts_all_five() {
+        assert_eq!(parse_case("avus-standard").unwrap(), TestCase::AvusStandard);
+        assert_eq!(parse_case("AVUS-LARGE").unwrap(), TestCase::AvusLarge);
+        assert_eq!(parse_case("hycom-standard").unwrap(), TestCase::HycomStandard);
+        assert_eq!(
+            parse_case("overflow2-standard").unwrap(),
+            TestCase::Overflow2Standard
+        );
+        assert_eq!(parse_case("rfcth-standard").unwrap(), TestCase::RfcthStandard);
+        assert!(parse_case("linpack").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn help_and_cheap_tables_succeed() {
+        dispatch("help", &[]).unwrap();
+        dispatch("systems", &[]).unwrap();
+        dispatch("metrics", &[]).unwrap();
+    }
+
+    #[test]
+    fn predict_validates_arguments() {
+        assert!(dispatch("predict", &[]).is_err());
+        let bad_cpus = ["avus-standard".into(), "17".into(), "ARL_Opteron".into()];
+        assert!(dispatch("predict", &bad_cpus).is_err());
+        let bad_machine = ["avus-standard".into(), "32".into(), "Cray_T3E".into()];
+        assert!(dispatch("predict", &bad_machine).is_err());
+        assert!(dispatch("fig", &["9".into()]).is_err());
+        assert!(dispatch("fig", &[]).is_err());
+    }
+
+    #[test]
+    fn workload_json_round_trips_through_files() {
+        let dir = std::env::temp_dir().join("metasim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        let path_s = path.to_string_lossy().to_string();
+
+        export_workload(&[
+            "rfcth-standard".into(),
+            "16".into(),
+            path_s.clone(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let workload: metasim_apps::workload::AppWorkload =
+            serde_json::from_str(&json).unwrap();
+        assert_eq!(workload.processes, 16);
+        assert_eq!(workload.app, "RFCTH");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn export_workload_rejects_bad_args() {
+        assert!(export_workload(&["rfcth-standard".into()]).is_err());
+        assert!(predict_custom(&["/nonexistent/file.json".into(), "ARL_Xeon".into()]).is_err());
+        assert!(export(&[]).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The MetaSim Convolver.
+//!
+//! "Operation counts, once determined by tracing, are divided by
+//! corresponding operation rates … to yield an execution time for the
+//! current basic block per operation type. Execution time is subsequently
+//! 'predicted' by summing the estimated execution time for all basic blocks
+//! and carefully taking into account the overlap of the different operation
+//! types" (§3).
+//!
+//! The convolver computes a *cost* `C(metric, machine)` in seconds for each
+//! metric's transfer function. Predictions are then base-calibrated
+//! (`prediction` module), so only cost *ratios* matter — which is what makes
+//! Metric #4 reduce exactly to the Equation 1 HPL prediction.
+//!
+//! Overlap model: within a block, floating-point and memory work fully
+//! overlap (`max`). That is deliberately more optimistic than the ground
+//! truth's partial overlap — the convolver is a model, and the gap is one
+//! of its honest error sources.
+
+use metasim_probes::maps::DependencyFlavor;
+use metasim_probes::suite::MachineProbes;
+use metasim_tracer::block::{DependencyClass, TracedBlock};
+use metasim_tracer::counters::HardwareCounters;
+use metasim_tracer::mpi::MpiTrace;
+use metasim_tracer::trace::ApplicationTrace;
+
+use metasim_netsim::replay::CommOp;
+
+use crate::metric::MetricId;
+
+/// Bytes per memory reference (double precision).
+const REF_BYTES: f64 = 8.0;
+
+/// The convolver for one target machine, parameterized by its probe
+/// measurements.
+#[derive(Debug, Clone)]
+pub struct Convolver<'a> {
+    probes: &'a MachineProbes,
+}
+
+impl<'a> Convolver<'a> {
+    /// Build a convolver over one machine's probe results.
+    #[must_use]
+    pub fn new(probes: &'a MachineProbes) -> Self {
+        Self { probes }
+    }
+
+    /// The convolved cost (seconds) of `metric`'s transfer function for the
+    /// traced application. `dep_labels` are the static-analysis dependency
+    /// verdicts (only consulted by Metric #9); must be parallel to
+    /// `trace.blocks`.
+    ///
+    /// Simple metrics (#1–#3) return the reciprocal benchmark rate — a
+    /// "cost" whose base-calibrated ratio is exactly Equation 1.
+    #[must_use]
+    pub fn cost(
+        &self,
+        metric: MetricId,
+        trace: &ApplicationTrace,
+        dep_labels: &[DependencyClass],
+    ) -> f64 {
+        match metric {
+            MetricId::S1Hpl => 1.0 / self.rmax_flops(),
+            MetricId::S2Stream => 1.0 / self.probes.stream.bandwidth,
+            MetricId::S3Gups => 1.0 / self.probes.gups.updates_per_second,
+            MetricId::P4Hpl => self.cost_flops_only(trace),
+            MetricId::P5HplStream => self.cost_counters_stream(trace),
+            MetricId::P6HplStreamGups => self.cost_stream_gups(trace),
+            MetricId::P7HplMaps => self.cost_maps(trace, None),
+            MetricId::P8HplMapsNet => {
+                self.cost_maps(trace, None) + self.network_cost(&trace.mpi)
+            }
+            MetricId::P9HplMapsNetDep => {
+                self.cost_maps(trace, Some(dep_labels)) + self.network_cost(&trace.mpi)
+            }
+        }
+    }
+
+    /// Per-processor Rmax in FLOP/s from the HPL probe.
+    fn rmax_flops(&self) -> f64 {
+        self.probes.hpl.rmax_flops_per_proc()
+    }
+
+    /// #4: floating-point work only, at the HPL rate.
+    fn cost_flops_only(&self, trace: &ApplicationTrace) -> f64 {
+        trace.total_flops() as f64 / self.rmax_flops()
+    }
+
+    /// #5: counter totals — flops at Rmax, all memory at STREAM.
+    ///
+    /// Counters carry no basic-block structure, so this transfer function
+    /// cannot credit flop/memory overlap: the two times add. (The traced
+    /// metrics #6–#9 have per-block structure and use the overlap-aware
+    /// `max`.) This is why #5 can be *worse* than STREAM alone — the HPL
+    /// term pollutes an otherwise-memory-bound ratio, as the paper's
+    /// Table 4 shows (50% vs 43%).
+    fn cost_counters_stream(&self, trace: &ApplicationTrace) -> f64 {
+        let counters = HardwareCounters::from_trace(trace);
+        let flop_t = counters.flops as f64 / self.rmax_flops();
+        let mem_t = counters.mem_refs as f64 * REF_BYTES / self.probes.stream.bandwidth;
+        flop_t + mem_t
+    }
+
+    /// #6: traced stride bins — strided (unit + short) at STREAM, random at
+    /// the GUPS effective rate.
+    fn cost_stream_gups(&self, trace: &ApplicationTrace) -> f64 {
+        let bins = trace.aggregate_bins();
+        let flop_t = trace.total_flops() as f64 / self.rmax_flops();
+        let strided_bytes = (bins.stride1 + bins.short) as f64 * REF_BYTES;
+        let random_bytes = bins.random as f64 * REF_BYTES;
+        let mem_t = strided_bytes / self.probes.stream.bandwidth
+            + random_bytes / self.probes.gups.effective_bandwidth();
+        flop_t.max(mem_t)
+    }
+
+    /// #7 (plain MAPS) and the memory part of #9 (ENHANCED MAPS via
+    /// dependency labels): per-block convolution against the bandwidth
+    /// curves at the block's working set.
+    fn cost_maps(
+        &self,
+        trace: &ApplicationTrace,
+        dep_labels: Option<&[DependencyClass]>,
+    ) -> f64 {
+        if let Some(labels) = dep_labels {
+            assert_eq!(
+                labels.len(),
+                trace.blocks.len(),
+                "dependency labels must be parallel to blocks"
+            );
+        }
+        let mut total = 0.0;
+        for (i, block) in trace.blocks.iter().enumerate() {
+            let flavor = match dep_labels {
+                None => DependencyFlavor::Independent,
+                Some(labels) => match labels[i] {
+                    DependencyClass::Independent => DependencyFlavor::Independent,
+                    DependencyClass::Chained => DependencyFlavor::Chained,
+                    DependencyClass::Branchy => DependencyFlavor::Branchy,
+                },
+            };
+            total += self.block_cost(block, flavor);
+        }
+        total
+    }
+
+    /// One block's convolved cost: counts ÷ curve rates, flop/memory fully
+    /// overlapped, weighted by invocations.
+    fn block_cost(&self, block: &TracedBlock, flavor: DependencyFlavor) -> f64 {
+        let unit_bw = self
+            .probes
+            .maps
+            .curve(false, flavor)
+            .bandwidth_at(block.working_set.max(1));
+        let random_bw = self
+            .probes
+            .maps
+            .curve(true, flavor)
+            .bandwidth_at(block.working_set.max(1));
+        let strided_bytes = (block.bins.stride1 + block.bins.short) as f64 * REF_BYTES;
+        let random_bytes = block.bins.random as f64 * REF_BYTES;
+        let mem_t = strided_bytes / unit_bw + random_bytes / random_bw;
+        let flop_t = block.flops as f64 / self.rmax_flops();
+        flop_t.max(mem_t) * block.invocations as f64
+    }
+
+    /// #8/#9 network term: the MPIDTRACE census convolved with NETBENCH's
+    /// *measured* latency/bandwidth (coarser than the machine's true
+    /// network behaviour — an honest modelling gap).
+    #[must_use]
+    pub fn network_cost(&self, mpi: &MpiTrace) -> f64 {
+        let nb = &self.probes.netbench;
+        let p = mpi.processes;
+        let log_p = if p <= 1 { 0.0 } else { (p as f64).log2().ceil() };
+        mpi.events
+            .iter()
+            .map(|e| {
+                let per = match e.op {
+                    CommOp::PointToPoint { bytes } => nb.p2p_estimate(bytes),
+                    CommOp::Barrier => log_p * nb.latency,
+                    CommOp::AllReduce { bytes } => nb.allreduce_estimate(p, bytes),
+                    CommOp::Broadcast { bytes } | CommOp::Reduce { bytes } => {
+                        log_p * nb.p2p_estimate(bytes)
+                    }
+                    CommOp::AllToAll { bytes } => {
+                        (p.saturating_sub(1)) as f64 * nb.p2p_estimate(bytes)
+                    }
+                };
+                e.count as f64 * per
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_apps::registry::TestCase;
+    use metasim_apps::tracing::trace_workload;
+    use metasim_machines::{fleet, MachineId};
+    use metasim_probes::suite::ProbeSuite;
+    use metasim_tracer::analysis::analyze_dependencies;
+
+    fn setup(id: MachineId) -> (MachineProbes, ApplicationTrace, Vec<DependencyClass>) {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let probes = (*suite.measure(f.get(id))).clone();
+        let trace = trace_workload(&TestCase::AvusStandard.workload(64));
+        let labels = analyze_dependencies(&trace.blocks);
+        (probes, trace, labels)
+    }
+
+    #[test]
+    fn metric4_ratio_equals_hpl_ratio() {
+        // The flop count cancels in the ratio, reproducing Equation 1.
+        let (pa, trace, labels) = setup(MachineId::ArlOpteron);
+        let (pb, _, _) = setup(MachineId::AscSc45);
+        let ca = Convolver::new(&pa);
+        let cb = Convolver::new(&pb);
+        let conv_ratio = ca.cost(MetricId::P4Hpl, &trace, &labels)
+            / cb.cost(MetricId::P4Hpl, &trace, &labels);
+        let hpl_ratio = ca.cost(MetricId::S1Hpl, &trace, &labels)
+            / cb.cost(MetricId::S1Hpl, &trace, &labels);
+        assert!(
+            (conv_ratio - hpl_ratio).abs() / hpl_ratio < 1e-12,
+            "{conv_ratio} vs {hpl_ratio}"
+        );
+    }
+
+    #[test]
+    fn costs_are_positive_and_finite_for_all_metrics() {
+        let (probes, trace, labels) = setup(MachineId::MhpccP3);
+        let c = Convolver::new(&probes);
+        for m in MetricId::ALL {
+            let cost = c.cost(m, &trace, &labels);
+            assert!(cost > 0.0 && cost.is_finite(), "{m}: {cost}");
+        }
+    }
+
+    #[test]
+    fn memory_terms_dominate_flop_terms_for_these_apps() {
+        // The TI-05 suite is memory-bound: #5's cost must exceed #4's.
+        let (probes, trace, labels) = setup(MachineId::ArlXeon);
+        let c = Convolver::new(&probes);
+        let c4 = c.cost(MetricId::P4Hpl, &trace, &labels);
+        let c5 = c.cost(MetricId::P5HplStream, &trace, &labels);
+        assert!(c5 > 2.0 * c4, "#5 {c5} should dwarf #4 {c4}");
+    }
+
+    #[test]
+    fn random_discrimination_raises_cost_above_stream_only() {
+        // GUPS rates are far below STREAM: #6's cost must exceed #5's.
+        let (probes, trace, labels) = setup(MachineId::Navo655);
+        let c = Convolver::new(&probes);
+        let c5 = c.cost(MetricId::P5HplStream, &trace, &labels);
+        let c6 = c.cost(MetricId::P6HplStreamGups, &trace, &labels);
+        assert!(c6 > c5, "#6 {c6} vs #5 {c5}");
+    }
+
+    #[test]
+    fn maps_sees_cache_residency_that_stream_does_not() {
+        // #7 rates cache-resident blocks faster than #6's main-memory
+        // rates; with this workload's mix, #7's cost is below #6's.
+        let (probes, trace, labels) = setup(MachineId::ArlAltix);
+        let c = Convolver::new(&probes);
+        let c6 = c.cost(MetricId::P6HplStreamGups, &trace, &labels);
+        let c7 = c.cost(MetricId::P7HplMaps, &trace, &labels);
+        assert!(c7 < c6, "#7 {c7} vs #6 {c6}");
+    }
+
+    #[test]
+    fn network_term_adds_to_metric8() {
+        let (probes, trace, labels) = setup(MachineId::MhpccP3);
+        let c = Convolver::new(&probes);
+        let c7 = c.cost(MetricId::P7HplMaps, &trace, &labels);
+        let c8 = c.cost(MetricId::P8HplMapsNet, &trace, &labels);
+        assert!(c8 > c7);
+        let net = c.network_cost(&trace.mpi);
+        assert!((c8 - c7 - net).abs() / net < 1e-9);
+    }
+
+    #[test]
+    fn dependency_term_slows_chained_blocks() {
+        let (probes, trace, labels) = setup(MachineId::Navo655);
+        let c = Convolver::new(&probes);
+        let c8 = c.cost(MetricId::P8HplMapsNet, &trace, &labels);
+        let c9 = c.cost(MetricId::P9HplMapsNetDep, &trace, &labels);
+        assert!(
+            c9 > c8,
+            "enhanced curves must slow the dependency-flagged blocks: {c9} vs {c8}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel to blocks")]
+    fn mismatched_labels_panic() {
+        let (probes, trace, _) = setup(MachineId::ArlXeon);
+        let c = Convolver::new(&probes);
+        let _ = c.cost(MetricId::P9HplMapsNetDep, &trace, &[]);
+    }
+}

@@ -1,0 +1,47 @@
+//! The MetaSim convolver and the SC'05 nine-metric study.
+//!
+//! This crate is the paper's primary contribution, reimplemented:
+//!
+//! * [`metric`] — the nine synthetic metrics of Table 3 (three simple, six
+//!   predictive).
+//! * [`simple`] — Equation 1: scale the base system's measured runtime by a
+//!   single benchmark ratio (Metrics #1–#3).
+//! * [`convolver`] — the MetaSim Convolver: per-basic-block operation counts
+//!   divided by per-machine operation rates, summed with overlap, plus the
+//!   NETBENCH network term (#8) and the ENHANCED-MAPS dependency term (#9).
+//! * [`prediction`] — base-calibrated predictions for all nine metrics
+//!   (`T′(X) = C(X)/C(X₀) · T(X₀)`), which makes Metric #4 reduce exactly to
+//!   Metric #1, as the paper observes.
+//! * [`study`] — the full 150-observation × 9-metric driver behind Table 4,
+//!   Table 5, and Figures 2–7, parallelized with Rayon.
+//! * [`balanced`] — the IDC balanced-rating comparison of §4 (fixed equal
+//!   weights, then regression-optimized weights).
+//! * [`ranking`] — the rank-correlation extension: how well each metric
+//!   *ranks* machines (Kendall τ), quantifying the introduction's framing.
+//!
+//! ```no_run
+//! use metasim_core::study::Study;
+//!
+//! let study = Study::run_default();
+//! let table4 = study.table4();
+//! // Metric #9 (HPL+MAPS+NET+DEP) is the most accurate predictor.
+//! assert!(table4[8].mean_absolute <= table4[0].mean_absolute);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod balanced;
+pub mod convolver;
+pub mod metric;
+pub mod prediction;
+pub mod ranking;
+pub mod simple;
+pub mod study;
+pub mod superlatives;
+pub mod verification;
+
+pub use convolver::Convolver;
+pub use metric::{MetricId, MetricKind};
+pub use prediction::predict_all;
+pub use study::{Observation, Study};

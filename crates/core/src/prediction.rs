@@ -1,0 +1,167 @@
+//! Base-calibrated predictions for all nine metrics.
+//!
+//! Every prediction scales the base system's *measured* runtime by a cost
+//! ratio:
+//!
+//! ```text
+//! T′(metric, X) = C(metric, X) / C(metric, X₀) · T(X₀)
+//! ```
+//!
+//! For simple metrics the cost is a reciprocal rate, so this is literally
+//! Equation 1; for predictive metrics it is the convolver's transfer
+//! function evaluated on both machines. The paper's observation that Metric
+//! #4's results equal Metric #1's ("the convolver's execution is identical
+//! to that of a pencil-and-paper calculation") falls out algebraically and
+//! is pinned by a test here.
+
+use metasim_probes::suite::MachineProbes;
+use metasim_tracer::block::DependencyClass;
+use metasim_tracer::trace::ApplicationTrace;
+
+use crate::convolver::Convolver;
+use crate::metric::MetricId;
+
+/// All nine metric predictions for one target machine.
+///
+/// * `trace` — the application trace collected on the base system.
+/// * `dep_labels` — static-analysis dependency verdicts for `trace.blocks`.
+/// * `target`/`base` — probe measurements for the two machines.
+/// * `time_base` — the measured runtime on the base system.
+#[must_use]
+pub fn predict_all(
+    trace: &ApplicationTrace,
+    dep_labels: &[DependencyClass],
+    target: &MachineProbes,
+    base: &MachineProbes,
+    time_base: f64,
+) -> [f64; 9] {
+    assert!(time_base > 0.0, "base runtime must be positive");
+    let ct = Convolver::new(target);
+    let cb = Convolver::new(base);
+    let mut out = [0.0; 9];
+    for (i, metric) in MetricId::ALL.into_iter().enumerate() {
+        let cost_target = ct.cost(metric, trace, dep_labels);
+        let cost_base = cb.cost(metric, trace, dep_labels);
+        debug_assert!(cost_base > 0.0, "{metric}: zero base cost");
+        out[i] = cost_target / cost_base * time_base;
+    }
+    out
+}
+
+/// Prediction for a single metric (convenience for examples and the CLI).
+#[must_use]
+pub fn predict_one(
+    metric: MetricId,
+    trace: &ApplicationTrace,
+    dep_labels: &[DependencyClass],
+    target: &MachineProbes,
+    base: &MachineProbes,
+    time_base: f64,
+) -> f64 {
+    let ct = Convolver::new(target);
+    let cb = Convolver::new(base);
+    ct.cost(metric, trace, dep_labels) / cb.cost(metric, trace, dep_labels) * time_base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_apps::registry::TestCase;
+    use metasim_apps::tracing::trace_workload;
+    use metasim_machines::{fleet, MachineId};
+    use metasim_probes::suite::ProbeSuite;
+    use metasim_tracer::analysis::analyze_dependencies;
+
+    #[test]
+    fn metric4_equals_metric1_exactly() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let trace = trace_workload(&TestCase::HycomStandard.workload(96));
+        let labels = analyze_dependencies(&trace.blocks);
+        for id in MachineId::TARGETS {
+            let target = suite.measure(f.get(id));
+            let p = predict_all(&trace, &labels, &target, &base, 5000.0);
+            assert!(
+                (p[0] - p[3]).abs() / p[0] < 1e-9,
+                "{id}: #1 {} vs #4 {}",
+                p[0],
+                p[3]
+            );
+        }
+    }
+
+    #[test]
+    fn base_machine_predicts_itself_exactly() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let trace = trace_workload(&TestCase::AvusStandard.workload(32));
+        let labels = analyze_dependencies(&trace.blocks);
+        let p = predict_all(&trace, &labels, &base, &base, 777.0);
+        for (i, v) in p.iter().enumerate() {
+            assert!(
+                (v - 777.0).abs() < 1e-9,
+                "metric {} self-prediction {v}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_scale_linearly_with_base_time() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let target = suite.measure(f.get(MachineId::ArlOpteron));
+        let trace = trace_workload(&TestCase::RfcthStandard.workload(32));
+        let labels = analyze_dependencies(&trace.blocks);
+        let p1 = predict_all(&trace, &labels, &target, &base, 1000.0);
+        let p2 = predict_all(&trace, &labels, &target, &base, 2000.0);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predict_one_matches_predict_all() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let target = suite.measure(f.get(MachineId::AscSc45));
+        let trace = trace_workload(&TestCase::Overflow2Standard.workload(48));
+        let labels = analyze_dependencies(&trace.blocks);
+        let all = predict_all(&trace, &labels, &target, &base, 4321.0);
+        for (i, metric) in MetricId::ALL.into_iter().enumerate() {
+            let one = predict_one(metric, &trace, &labels, &target, &base, 4321.0);
+            assert!((one - all[i]).abs() < 1e-9, "{metric}");
+        }
+    }
+
+    #[test]
+    fn faster_machine_predicts_smaller_times() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let fast = suite.measure(f.get(MachineId::Navo655));
+        let slow = suite.measure(f.get(MachineId::MhpccP3));
+        let trace = trace_workload(&TestCase::AvusStandard.workload(64));
+        let labels = analyze_dependencies(&trace.blocks);
+        let pf = predict_all(&trace, &labels, &fast, &base, 1000.0);
+        let ps = predict_all(&trace, &labels, &slow, &base, 1000.0);
+        for (i, (a, b)) in pf.iter().zip(&ps).enumerate() {
+            assert!(a < b, "metric {}: fast {a} vs slow {b}", i + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "base runtime")]
+    fn zero_base_time_panics() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let trace = trace_workload(&TestCase::AvusStandard.workload(32));
+        let labels = analyze_dependencies(&trace.blocks);
+        let _ = predict_all(&trace, &labels, &base, &base, 0.0);
+    }
+}

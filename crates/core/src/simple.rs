@@ -1,0 +1,59 @@
+//! Equation 1: the simple-metric prediction methodology.
+//!
+//! > `T′(X,Y) = R(X)/R(X₀) · T(X₀,Y)`
+//!
+//! where `R` is "the result of a specific simple benchmark". As printed the
+//! ratio treats `R` as a *cost*; every benchmark in the study reports a
+//! *rate* (GFLOP/s, GB/s, updates/s), for which a faster machine must
+//! predict a shorter time — so the implemented form inverts the ratio:
+//! `T′(X,Y) = R(X₀)/R(X) · T(X₀,Y)`. (DESIGN.md documents the convention.)
+
+/// Predict a target runtime from a rate-type benchmark pair (Equation 1).
+///
+/// # Panics
+/// Debug-panics if any input is non-positive.
+#[must_use]
+pub fn predict_from_rate(rate_target: f64, rate_base: f64, time_base: f64) -> f64 {
+    debug_assert!(rate_target > 0.0 && rate_base > 0.0 && time_base > 0.0);
+    rate_base / rate_target * time_base
+}
+
+/// Predict from a cost-type score (bigger = slower), the literal printed
+/// form of Equation 1.
+#[must_use]
+pub fn predict_from_cost(cost_target: f64, cost_base: f64, time_base: f64) -> f64 {
+    debug_assert!(cost_target > 0.0 && cost_base > 0.0 && time_base > 0.0);
+    cost_target / cost_base * time_base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twice_the_rate_halves_the_time() {
+        let t = predict_from_rate(2.0, 1.0, 100.0);
+        assert!((t - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_rates_reproduce_base_time() {
+        assert_eq!(predict_from_rate(3.3, 3.3, 1234.0), 1234.0);
+    }
+
+    #[test]
+    fn cost_form_is_the_reciprocal_convention() {
+        // cost = 1/rate makes both forms agree.
+        let rate_t = 4.0;
+        let rate_b = 2.0;
+        let from_rate = predict_from_rate(rate_t, rate_b, 10.0);
+        let from_cost = predict_from_cost(1.0 / rate_t, 1.0 / rate_b, 10.0);
+        assert!((from_rate - from_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_machine_predicts_longer() {
+        assert!(predict_from_rate(0.5, 1.0, 100.0) > 100.0);
+        assert!(predict_from_cost(2.0, 1.0, 100.0) > 100.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The full study driver: 5 test cases × 3 processor counts × 10 target
+//! systems × 9 metrics = 1,350 predictions against 150 observations,
+//! exactly the grid behind the paper's Table 4, Table 5, and Figures 2–7.
+
+use std::sync::OnceLock;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use metasim_apps::groundtruth::GroundTruth;
+use metasim_apps::registry::{all_test_cases, TestCase};
+use metasim_apps::tracing::trace_workload;
+use metasim_machines::{fleet, Fleet, MachineId};
+use metasim_probes::suite::ProbeSuite;
+use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
+use metasim_tracer::analysis::analyze_dependencies;
+
+use crate::metric::MetricId;
+use crate::prediction::predict_all;
+
+/// One (test case, processor count, machine) cell with its nine predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Which application test case.
+    pub case: TestCase,
+    /// Processor count.
+    pub cpus: u64,
+    /// Target machine.
+    pub machine: MachineId,
+    /// Ground-truth ("measured") runtime on the target, seconds.
+    pub actual: f64,
+    /// Ground-truth runtime on the base system, seconds.
+    pub base_actual: f64,
+    /// Predicted runtimes, indexed by metric (0 = #1 … 8 = #9).
+    pub predictions: [f64; 9],
+}
+
+impl Observation {
+    /// Signed percent error (Equation 2) for one metric.
+    #[must_use]
+    pub fn signed_error(&self, metric: MetricId) -> f64 {
+        percent_error(self.predictions[metric.number() - 1], self.actual)
+    }
+
+    /// Absolute percent error for one metric.
+    #[must_use]
+    pub fn absolute_error(&self, metric: MetricId) -> f64 {
+        self.signed_error(metric).abs()
+    }
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricErrorRow {
+    /// The metric.
+    pub metric: MetricId,
+    /// Average absolute percent error across all observations.
+    pub mean_absolute: f64,
+    /// Population standard deviation of the absolute errors.
+    pub stddev: f64,
+    /// Mean signed error (bias; not printed in the paper but informative).
+    pub mean_signed: f64,
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemErrorRow {
+    /// The system.
+    pub machine: MachineId,
+    /// Average absolute percent error per metric (0 = #1 … 8 = #9).
+    pub per_metric: [f64; 9],
+}
+
+/// The complete study result set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    /// All 150 observations.
+    pub observations: Vec<Observation>,
+}
+
+impl Study {
+    /// Run the full study on a fleet. Parallel over the 15 (case, CPU)
+    /// groups; probes and ground truth memoize behind their caches.
+    #[must_use]
+    pub fn run(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> Self {
+        // Warm every machine's probes first (each is internally parallel).
+        for m in fleet.all() {
+            let _ = suite.measure(m);
+        }
+        let base_cfg = fleet.base();
+        let base_probes = suite.measure(base_cfg);
+
+        let observations: Vec<Observation> = all_test_cases()
+            .into_par_iter()
+            .flat_map(|(case, cpus)| {
+                let workload = case.workload(cpus);
+                let trace = trace_workload(&workload);
+                let labels = analyze_dependencies(&trace.blocks);
+                let base_actual = gt.run(case, cpus, base_cfg).seconds;
+
+                MachineId::TARGETS
+                    .into_par_iter()
+                    .map(|machine| {
+                        let target_cfg = fleet.get(machine);
+                        let actual = gt.run(case, cpus, target_cfg).seconds;
+                        let target_probes = suite.measure(target_cfg);
+                        let predictions = predict_all(
+                            &trace,
+                            &labels,
+                            &target_probes,
+                            &base_probes,
+                            base_actual,
+                        );
+                        Observation {
+                            case,
+                            cpus,
+                            machine,
+                            actual,
+                            base_actual,
+                            predictions,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut study = Self { observations };
+        // Deterministic order regardless of parallel scheduling.
+        study
+            .observations
+            .sort_by_key(|o| (o.case, o.cpus, o.machine));
+        study
+    }
+
+    /// Run (once per process) on the default HPCMP fleet; later calls
+    /// return the cached result.
+    pub fn run_default() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| {
+            let f = fleet();
+            let suite = ProbeSuite::new();
+            let gt = GroundTruth::new();
+            Study::run(&f, &suite, &gt)
+        })
+    }
+
+    /// Table 4: per-metric average absolute error and standard deviation.
+    #[must_use]
+    pub fn table4(&self) -> Vec<MetricErrorRow> {
+        MetricId::ALL
+            .into_iter()
+            .map(|metric| {
+                let mut acc = ErrorAccumulator::new();
+                for o in &self.observations {
+                    acc.record_signed_error(o.signed_error(metric));
+                }
+                MetricErrorRow {
+                    metric,
+                    mean_absolute: acc.mean_absolute(),
+                    stddev: acc.stddev_absolute(),
+                    mean_signed: acc.mean_signed(),
+                }
+            })
+            .collect()
+    }
+
+    /// Table 5: per-system rows plus the overall row is `table4`.
+    #[must_use]
+    pub fn table5(&self) -> Vec<SystemErrorRow> {
+        MachineId::TARGETS
+            .into_iter()
+            .map(|machine| {
+                let mut per_metric = [0.0; 9];
+                for (i, metric) in MetricId::ALL.into_iter().enumerate() {
+                    let mut acc = ErrorAccumulator::new();
+                    for o in self.observations.iter().filter(|o| o.machine == machine) {
+                        acc.record_signed_error(o.signed_error(metric));
+                    }
+                    per_metric[i] = acc.mean_absolute();
+                }
+                SystemErrorRow { machine, per_metric }
+            })
+            .collect()
+    }
+
+    /// Figure 3–7 data: for one test case, average absolute error per
+    /// (processor count, metric) across the ten systems.
+    #[must_use]
+    pub fn errors_by_app(&self, case: TestCase) -> Vec<(u64, [f64; 9])> {
+        case.cpu_counts()
+            .into_iter()
+            .map(|cpus| {
+                let mut row = [0.0; 9];
+                for (i, metric) in MetricId::ALL.into_iter().enumerate() {
+                    let mut acc = ErrorAccumulator::new();
+                    for o in self
+                        .observations
+                        .iter()
+                        .filter(|o| o.case == case && o.cpus == cpus)
+                    {
+                        acc.record_signed_error(o.signed_error(metric));
+                    }
+                    row[i] = acc.mean_absolute();
+                }
+                (cpus, row)
+            })
+            .collect()
+    }
+
+    /// Observations for one machine (Table 5 drill-down).
+    pub fn for_machine(&self, machine: MachineId) -> impl Iterator<Item = &Observation> + '_ {
+        self.observations.iter().filter(move |o| o.machine == machine)
+    }
+
+    /// Total prediction count (should be 1,350).
+    #[must_use]
+    pub fn prediction_count(&self) -> usize {
+        self.observations.len() * 9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The study is expensive; run_default memoizes it for every test in
+    // this binary.
+    fn study() -> &'static Study {
+        Study::run_default()
+    }
+
+    #[test]
+    fn grid_dimensions_match_the_paper() {
+        let s = study();
+        assert_eq!(s.observations.len(), 150, "5 cases x 3 counts x 10 systems");
+        assert_eq!(s.prediction_count(), 1350, "9 metrics x 150");
+    }
+
+    #[test]
+    fn every_observation_is_finite_and_positive() {
+        for o in &study().observations {
+            assert!(o.actual > 0.0 && o.actual.is_finite());
+            assert!(o.base_actual > 0.0);
+            for (i, p) in o.predictions.iter().enumerate() {
+                assert!(
+                    *p > 0.0 && p.is_finite(),
+                    "{:?}@{} on {}: metric {} -> {p}",
+                    o.case,
+                    o.cpus,
+                    o.machine,
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metric4_column_equals_metric1_column() {
+        for o in &study().observations {
+            assert!(
+                (o.predictions[0] - o.predictions[3]).abs() / o.predictions[0] < 1e-9,
+                "#1 and #4 must be identical predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn table4_shape_matches_the_paper() {
+        let t4 = study().table4();
+        let err = |m: MetricId| t4[m.number() - 1].mean_absolute;
+
+        // (i) HPL is the worst simple metric; GUPS the best.
+        assert!(err(MetricId::S1Hpl) > err(MetricId::S2Stream), "HPL > STREAM");
+        assert!(err(MetricId::S2Stream) > err(MetricId::S3Gups), "STREAM > GUPS");
+
+        // (ii) The convolution metrics #6-#9 all beat every simple metric.
+        for conv in [
+            MetricId::P6HplStreamGups,
+            MetricId::P7HplMaps,
+            MetricId::P8HplMapsNet,
+            MetricId::P9HplMapsNetDep,
+        ] {
+            for simple in [MetricId::S1Hpl, MetricId::S2Stream, MetricId::S3Gups] {
+                assert!(err(conv) < err(simple), "{conv} vs {simple}");
+            }
+        }
+
+        // (iii) #9 is the best predictor overall.
+        for other in MetricId::ALL {
+            if other != MetricId::P9HplMapsNetDep {
+                assert!(
+                    err(MetricId::P9HplMapsNetDep) <= err(other),
+                    "#9 must win: {} vs {other} {}",
+                    err(MetricId::P9HplMapsNetDep),
+                    err(other)
+                );
+            }
+        }
+
+        // (iv) the paper's anomaly: cache-aware-but-dependency-blind #7 is
+        // not better than the cruder #6 (allow a small tolerance).
+        assert!(
+            err(MetricId::P7HplMaps) >= err(MetricId::P6HplStreamGups) - 2.0,
+            "#7 {} should not beat #6 {} materially",
+            err(MetricId::P7HplMaps),
+            err(MetricId::P6HplStreamGups)
+        );
+
+        // (v) the network term helps: #8 <= #7.
+        assert!(
+            err(MetricId::P8HplMapsNet) <= err(MetricId::P7HplMaps) + 0.5,
+            "#8 {} vs #7 {}",
+            err(MetricId::P8HplMapsNet),
+            err(MetricId::P7HplMaps)
+        );
+
+        // (vi) "approximately 80% accuracy" band for the convolution
+        // metrics; simple metrics far outside it.
+        assert!(err(MetricId::P9HplMapsNetDep) < 30.0);
+        assert!(err(MetricId::S1Hpl) > 35.0);
+    }
+
+    #[test]
+    fn table5_overall_row_matches_table4() {
+        let s = study();
+        let t4 = s.table4();
+        let t5 = s.table5();
+        assert_eq!(t5.len(), 10);
+        // The overall row of Table 5 is the Table 4 column: check one
+        // metric by recomputing the weighted mean over systems (equal
+        // observation counts per system make it the plain mean).
+        for (i, _) in MetricId::ALL.iter().enumerate() {
+            let mean_over_systems: f64 =
+                t5.iter().map(|r| r.per_metric[i]).sum::<f64>() / t5.len() as f64;
+            assert!(
+                (mean_over_systems - t4[i].mean_absolute).abs() < 1e-6,
+                "metric {}: {} vs {}",
+                i + 1,
+                mean_over_systems,
+                t4[i].mean_absolute
+            );
+        }
+    }
+
+    #[test]
+    fn per_app_errors_cover_all_cases() {
+        let s = study();
+        for case in TestCase::ALL {
+            let rows = s.errors_by_app(case);
+            assert_eq!(rows.len(), 3);
+            for (cpus, errors) in rows {
+                assert!(case.cpu_counts().contains(&cpus));
+                assert!(errors.iter().all(|e| e.is_finite() && *e >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        // Two independent runs (fresh caches) must agree bit-for-bit.
+        let f = fleet();
+        let a = Study::run(&f, &ProbeSuite::new(), &GroundTruth::new());
+        assert_eq!(&a, Study::run_default());
+    }
+
+    #[test]
+    fn for_machine_filters() {
+        let s = study();
+        let count = s.for_machine(MachineId::ArlAltix).count();
+        assert_eq!(count, 15);
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`MachineConfig`] type: everything the simulators need to "be" one
+//! of the study machines, plus the [`Fleet`] collection.
+
+use serde::{Deserialize, Serialize};
+
+use metasim_memsim::spec::MemorySpec;
+use metasim_netsim::spec::NetworkSpec;
+
+use crate::ids::MachineId;
+
+/// Floating-point processor description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak floating-point operations per cycle (FMA counts as 2).
+    pub flops_per_cycle: f64,
+    /// Fraction of peak that HPL sustains on this machine (dense LU with a
+    /// mature BLAS; 0.45–0.9 across the fleet).
+    pub hpl_efficiency: f64,
+    /// Fraction of peak a *real* application's compute-bound inner loops
+    /// sustain (always below HPL efficiency: mixed operations, shorter
+    /// vectors, imperfect scheduling).
+    pub app_flop_efficiency: f64,
+}
+
+impl ProcessorSpec {
+    /// Peak GFLOP/s per processor.
+    #[must_use]
+    pub fn peak_gflops(&self) -> f64 {
+        self.clock_ghz * self.flops_per_cycle
+    }
+
+    /// Peak FLOP/s per processor.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_gflops() * 1e9
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(self.clock_ghz) {
+            return Err("clock must be positive".into());
+        }
+        if !positive(self.flops_per_cycle) {
+            return Err("flops/cycle must be positive".into());
+        }
+        if !(0.0 < self.hpl_efficiency && self.hpl_efficiency <= 1.0) {
+            return Err("HPL efficiency must be in (0, 1]".into());
+        }
+        if !(0.0 < self.app_flop_efficiency && self.app_flop_efficiency <= self.hpl_efficiency) {
+            return Err("application flop efficiency must be in (0, hpl_efficiency]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete machine model: identity, processor, memory system, network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Which study machine this is.
+    pub id: MachineId,
+    /// Processor description.
+    pub processor: ProcessorSpec,
+    /// Per-processor memory system.
+    pub memory: MemorySpec,
+    /// Interconnect.
+    pub network: NetworkSpec,
+}
+
+impl MachineConfig {
+    /// Validate every component.
+    pub fn validate(&self) -> Result<(), String> {
+        self.processor
+            .validate()
+            .map_err(|e| format!("{}: processor: {e}", self.id))?;
+        self.memory
+            .validate()
+            .map_err(|e| format!("{}: memory: {e}", self.id))?;
+        self.network
+            .validate()
+            .map_err(|e| format!("{}: network: {e}", self.id))?;
+        Ok(())
+    }
+}
+
+/// The full study fleet, indexed by [`MachineId`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    machines: Vec<MachineConfig>,
+}
+
+impl Fleet {
+    /// Build from a list of configs (one per `MachineId::ALL` entry).
+    ///
+    /// # Panics
+    /// Panics if a machine is missing, duplicated, or invalid — the fleet is
+    /// static study data, so construction errors are programming errors.
+    #[must_use]
+    pub fn new(machines: Vec<MachineConfig>) -> Self {
+        for id in MachineId::ALL {
+            let count = machines.iter().filter(|m| m.id == id).count();
+            assert_eq!(count, 1, "fleet must contain exactly one {id}");
+        }
+        for m in &machines {
+            m.validate().expect("invalid machine config");
+        }
+        Self { machines }
+    }
+
+    /// Config for one machine.
+    #[must_use]
+    pub fn get(&self, id: MachineId) -> &MachineConfig {
+        self.machines
+            .iter()
+            .find(|m| m.id == id)
+            .expect("fleet holds every MachineId")
+    }
+
+    /// The base system (NAVO p690).
+    #[must_use]
+    pub fn base(&self) -> &MachineConfig {
+        self.get(MachineId::NavoP690Base)
+    }
+
+    /// The ten prediction targets, in Table 5 order.
+    pub fn targets(&self) -> impl Iterator<Item = &MachineConfig> + '_ {
+        MachineId::TARGETS.iter().map(move |&id| self.get(id))
+    }
+
+    /// All machines including the base.
+    pub fn all(&self) -> impl Iterator<Item = &MachineConfig> + '_ {
+        MachineId::ALL.iter().map(move |&id| self.get(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hpcmp::fleet;
+
+    #[test]
+    fn processor_peak_math() {
+        let p = ProcessorSpec {
+            clock_ghz: 1.3,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.65,
+            app_flop_efficiency: 0.12,
+        };
+        assert!((p.peak_gflops() - 5.2).abs() < 1e-12);
+        assert!((p.peak_flops() - 5.2e9).abs() < 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn processor_validation_bounds() {
+        let mut p = ProcessorSpec {
+            clock_ghz: 1.0,
+            flops_per_cycle: 2.0,
+            hpl_efficiency: 0.6,
+            app_flop_efficiency: 0.1,
+        };
+        p.hpl_efficiency = 1.5;
+        assert!(p.validate().is_err());
+        p.hpl_efficiency = 0.6;
+        p.app_flop_efficiency = 0.7; // above HPL efficiency
+        assert!(p.validate().is_err());
+        p.app_flop_efficiency = 0.1;
+        p.clock_ghz = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fleet_lookup_round_trips() {
+        let f = fleet();
+        for id in MachineId::ALL {
+            assert_eq!(f.get(id).id, id);
+        }
+        assert_eq!(f.base().id, MachineId::NavoP690Base);
+        assert_eq!(f.targets().count(), 10);
+        assert_eq!(f.all().count(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one")]
+    fn fleet_rejects_missing_machine() {
+        let f = fleet();
+        let partial: Vec<MachineConfig> = f.all().take(5).cloned().collect();
+        let _ = Fleet::new(partial);
+    }
+
+    #[test]
+    fn fleet_serde_round_trip() {
+        let f = fleet();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Fleet = serde_json::from_str(&json).unwrap();
+        // JSON text round-trips stably even where the shortest decimal
+        // representation rounds the last ULP of an f64.
+        let json2 = serde_json::to_string(&back).unwrap();
+        assert_eq!(json, json2);
+        for id in MachineId::ALL {
+            assert_eq!(f.get(id).id, back.get(id).id);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The eleven HPCMP machine configurations.
+//!
+//! Parameters are *historically plausible* per-processor figures derived from
+//! each processor's public microarchitecture: cache geometries are the real
+//! ones (rounded to simulator-friendly power-of-two set counts),
+//! bandwidth/latency figures sit in the ranges reported for these systems in
+//! contemporaneous STREAM, HPL, and interconnect microbenchmark publications.
+//! The study's conclusions depend on the fleet's *diversity* — flop-strong
+//! vs. memory-strong vs. latency-strong machines — which these parameters
+//! preserve:
+//!
+//! * The Opteron's integrated memory controller gives it the fleet's best
+//!   main-memory bandwidth and lowest memory latency (the paper's Figure 1
+//!   shows it winning from main memory).
+//! * The Altix's Madison Itanium2 leads the mid (L2/L3) cache region of the
+//!   MAPS curve; the p655 leads in L1 (Figure 1 again).
+//! * The Alpha SC45 and Xeon have high clock but weak memory systems; the
+//!   Power3s are slow everywhere but balanced; Colony is a high-latency
+//!   interconnect, NUMALink a very low-latency one.
+
+use metasim_memsim::spec::{LevelSpec, MainMemorySpec, MemorySpec, TlbSpec};
+use metasim_netsim::spec::NetworkSpec;
+
+use crate::config::{Fleet, MachineConfig, ProcessorSpec};
+use crate::ids::MachineId;
+
+const KIB: u64 = 1 << 10;
+const MIB: u64 = 1 << 20;
+const GB: f64 = 1e9;
+const US: f64 = 1e-6;
+const NS: f64 = 1e-9;
+
+#[allow(clippy::too_many_arguments)]
+fn level(cap: u64, line: u64, assoc: u32, bw_gbs: f64, lat_ns: f64) -> LevelSpec {
+    LevelSpec {
+        capacity_bytes: cap,
+        line_bytes: line,
+        associativity: assoc,
+        load_bandwidth: bw_gbs * GB,
+        latency: lat_ns * NS,
+    }
+}
+
+fn net(lat_us: f64, bw_mbs: f64, ovh_us: f64, rendezvous: u64, bisection: f64) -> NetworkSpec {
+    NetworkSpec {
+        latency: lat_us * US,
+        bandwidth: bw_mbs * 1e6,
+        per_message_overhead: ovh_us * US,
+        rendezvous_threshold: rendezvous,
+        bisection_factor: bisection,
+    }
+}
+
+fn erdc_o3800() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::ErdcO3800,
+        // MIPS R14000 @ 400 MHz: 2 flops/cycle (MADD), modest HPL.
+        processor: ProcessorSpec {
+            clock_ghz: 0.4,
+            flops_per_cycle: 2.0,
+            hpl_efficiency: 0.56,
+            app_flop_efficiency: 0.115,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(32 * KIB, 32, 2, 3.2, 2.5),
+                level(8 * MIB, 128, 2, 1.6, 25.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: 0.55 * GB,
+                latency: 300.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 64,
+                page_bytes: 16 * KIB,
+                miss_penalty: 80.0 * NS,
+            },
+            // R1x000 parts sustain very few outstanding misses.
+            mlp: 2.0,
+            short_stride_prefetch: 0.40,
+            dependency_chain_latency: 24.0 * NS,
+            branch_penalty: 10.0 * NS,
+        },
+        network: net(3.5, 220.0, 1.0, 16 * KIB, 0.80),
+    }
+}
+
+fn power3(id: MachineId, stream_gbs: f64) -> MachineConfig {
+    MachineConfig {
+        id,
+        // Power3-II @ 375 MHz: 4 flops/cycle (2 FMA pipes).
+        processor: ProcessorSpec {
+            clock_ghz: 0.375,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.61,
+            app_flop_efficiency: 0.105,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(64 * KIB, 128, 8, 6.0, 2.7),
+                level(8 * MIB, 128, 4, 2.0, 35.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: stream_gbs * GB,
+                latency: 330.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 256,
+                page_bytes: 4 * KIB,
+                miss_penalty: 70.0 * NS,
+            },
+            mlp: 2.5,
+            short_stride_prefetch: 0.50,
+            dependency_chain_latency: 20.0 * NS,
+            branch_penalty: 9.0 * NS,
+        },
+        network: net(20.0, 350.0, 3.0, 16 * KIB, 0.70),
+    }
+}
+
+fn asc_sc45() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::AscSc45,
+        // Alpha EV68 @ 1 GHz: 2 flops/cycle.
+        processor: ProcessorSpec {
+            clock_ghz: 1.0,
+            flops_per_cycle: 2.0,
+            hpl_efficiency: 0.55,
+            app_flop_efficiency: 0.135,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(64 * KIB, 64, 2, 16.0, 2.0),
+                // Off-chip 8 MiB direct-mapped B-cache.
+                level(8 * MIB, 64, 1, 4.4, 12.0),
+            ],
+            memory: MainMemorySpec {
+                // Good streaming via aggressive load pipes, but few MSHRs:
+                // decent STREAM, mediocre GUPS.
+                stream_bandwidth: 1.3 * GB,
+                latency: 230.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 128,
+                page_bytes: 8 * KIB,
+                miss_penalty: 60.0 * NS,
+            },
+            mlp: 3.0,
+            short_stride_prefetch: 0.60,
+            dependency_chain_latency: 10.0 * NS,
+            branch_penalty: 5.0 * NS,
+        },
+        network: net(4.5, 280.0, 1.5, 32 * KIB, 0.85),
+    }
+}
+
+fn p690_13(id: MachineId, stream_gbs: f64, net_spec: NetworkSpec) -> MachineConfig {
+    MachineConfig {
+        id,
+        // POWER4 @ 1.3 GHz: 4 flops/cycle (2 FMA units).
+        processor: ProcessorSpec {
+            clock_ghz: 1.3,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.65,
+            app_flop_efficiency: 0.12,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(32 * KIB, 128, 2, 20.8, 1.6),
+                // Per-core share of the 1.5 MiB L2 (rounded to 1 MiB).
+                level(MIB, 128, 8, 10.0, 8.0),
+                // Per-core share of the off-chip 128 MiB L3.
+                level(16 * MIB, 512, 8, 4.5, 40.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: stream_gbs * GB,
+                latency: 250.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 1024,
+                page_bytes: 4 * KIB,
+                miss_penalty: 55.0 * NS,
+            },
+            mlp: 6.0,
+            short_stride_prefetch: 0.65,
+            dependency_chain_latency: 7.0 * NS,
+            branch_penalty: 4.0 * NS,
+        },
+        network: net_spec,
+    }
+}
+
+fn arl_690_17() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::Arl690_17,
+        // POWER4+ @ 1.7 GHz.
+        processor: ProcessorSpec {
+            clock_ghz: 1.7,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.66,
+            app_flop_efficiency: 0.12,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(32 * KIB, 128, 2, 27.2, 1.2),
+                level(MIB, 128, 8, 13.0, 6.0),
+                level(16 * MIB, 512, 8, 5.5, 35.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: 2.0 * GB,
+                latency: 230.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 1024,
+                page_bytes: 4 * KIB,
+                miss_penalty: 50.0 * NS,
+            },
+            mlp: 6.0,
+            short_stride_prefetch: 0.65,
+            dependency_chain_latency: 5.5 * NS,
+            branch_penalty: 4.0 * NS,
+        },
+        network: net(7.0, 1400.0, 1.5, 64 * KIB, 0.80),
+    }
+}
+
+fn arl_xeon() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::ArlXeon,
+        // Pentium 4 Xeon @ 3.06 GHz: 2 flops/cycle SSE2, poor HPL
+        // efficiency for the era's compilers.
+        processor: ProcessorSpec {
+            clock_ghz: 3.06,
+            flops_per_cycle: 2.0,
+            hpl_efficiency: 0.45,
+            app_flop_efficiency: 0.075,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(8 * KIB, 64, 4, 24.0, 1.0),
+                level(512 * KIB, 64, 8, 12.0, 6.0),
+            ],
+            memory: MainMemorySpec {
+                // Shared front-side bus: weak per-processor STREAM.
+                stream_bandwidth: 1.1 * GB,
+                latency: 300.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 64,
+                page_bytes: 4 * KIB,
+                miss_penalty: 60.0 * NS,
+            },
+            mlp: 2.5,
+            short_stride_prefetch: 0.55,
+            // 20+ stage pipeline: expensive chains and branches.
+            dependency_chain_latency: 18.0 * NS,
+            branch_penalty: 9.0 * NS,
+        },
+        network: net(9.0, 230.0, 2.0, 32 * KIB, 0.50),
+    }
+}
+
+fn arl_altix() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::ArlAltix,
+        // Itanium2 Madison @ 1.5 GHz: 4 flops/cycle, famously high HPL
+        // efficiency.
+        processor: ProcessorSpec {
+            clock_ghz: 1.5,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.87,
+            app_flop_efficiency: 0.145,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                // FP loads bypass L1 on Itanium2; model an aggressive
+                // effective first level.
+                level(16 * KIB, 64, 4, 26.0, 0.7),
+                level(256 * KIB, 128, 8, 24.0, 4.0),
+                level(6 * MIB, 128, 12, 8.0, 10.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: 2.6 * GB,
+                latency: 140.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 128,
+                page_bytes: 16 * KIB,
+                miss_penalty: 40.0 * NS,
+            },
+            mlp: 8.0,
+            short_stride_prefetch: 0.80,
+            // In-order IA64: dependency chains stall the bundle pipeline.
+            dependency_chain_latency: 8.0 * NS,
+            branch_penalty: 5.0 * NS,
+        },
+        network: net(1.8, 900.0, 0.8, 64 * KIB, 0.90),
+    }
+}
+
+fn navo_655() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::Navo655,
+        // POWER4+ @ 1.7 GHz in 8-way p655 nodes: more memory per processor
+        // than the 32-way p690, and the fleet's best L1 behaviour.
+        processor: ProcessorSpec {
+            clock_ghz: 1.7,
+            flops_per_cycle: 4.0,
+            hpl_efficiency: 0.67,
+            app_flop_efficiency: 0.125,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(32 * KIB, 128, 2, 27.2, 1.1),
+                level(MIB, 128, 8, 14.0, 6.0),
+                level(16 * MIB, 512, 8, 6.0, 33.0),
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: 2.3 * GB,
+                latency: 220.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 1024,
+                page_bytes: 4 * KIB,
+                miss_penalty: 50.0 * NS,
+            },
+            mlp: 6.0,
+            short_stride_prefetch: 0.70,
+            dependency_chain_latency: 5.5 * NS,
+            branch_penalty: 4.0 * NS,
+        },
+        network: net(6.0, 1500.0, 1.2, 64 * KIB, 0.85),
+    }
+}
+
+fn arl_opteron() -> MachineConfig {
+    MachineConfig {
+        id: MachineId::ArlOpteron,
+        // Opteron @ 2.2 GHz: 2 flops/cycle, integrated memory controller.
+        processor: ProcessorSpec {
+            clock_ghz: 2.2,
+            flops_per_cycle: 2.0,
+            hpl_efficiency: 0.70,
+            app_flop_efficiency: 0.14,
+        },
+        memory: MemorySpec {
+            levels: vec![
+                level(64 * KIB, 64, 2, 17.6, 1.4),
+                level(MIB, 64, 16, 8.8, 5.0),
+            ],
+            memory: MainMemorySpec {
+                // On-die controller: the fleet's best DRAM bandwidth and
+                // lowest DRAM latency (drives its GUPS lead).
+                stream_bandwidth: 2.9 * GB,
+                latency: 110.0 * NS,
+            },
+            tlb: TlbSpec {
+                entries: 512,
+                page_bytes: 4 * KIB,
+                miss_penalty: 45.0 * NS,
+            },
+            mlp: 8.0,
+            short_stride_prefetch: 0.65,
+            dependency_chain_latency: 6.5 * NS,
+            branch_penalty: 5.0 * NS,
+        },
+        network: net(8.0, 240.0, 2.0, 32 * KIB, 0.50),
+    }
+}
+
+/// Build the full study fleet (ten targets plus the NAVO p690 base).
+#[must_use]
+pub fn fleet() -> Fleet {
+    Fleet::new(vec![
+        erdc_o3800(),
+        power3(MachineId::MhpccP3, 0.45),
+        power3(MachineId::NavoP3, 0.47),
+        asc_sc45(),
+        p690_13(
+            MachineId::Mhpcc690_13,
+            1.7,
+            net(17.0, 380.0, 2.5, 16 * KIB, 0.70),
+        ),
+        arl_690_17(),
+        arl_xeon(),
+        arl_altix(),
+        navo_655(),
+        arl_opteron(),
+        // The base system: NAVO's Colony-connected p690 1.3 GHz, with a
+        // slightly different memory configuration than MHPCC's (denser
+        // nodes sharing memory controllers → lower per-processor STREAM).
+        p690_13(
+            MachineId::NavoP690Base,
+            1.5,
+            net(18.0, 360.0, 2.5, 16 * KIB, 0.70),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_machine_validates() {
+        let f = fleet();
+        for m in f.all() {
+            m.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn hpl_ordering_matches_the_era() {
+        let f = fleet();
+        let rmax = |id: MachineId| {
+            let p = f.get(id).processor;
+            p.peak_gflops() * p.hpl_efficiency
+        };
+        // Altix is the per-processor HPL leader; Power3 the trailer.
+        for id in MachineId::TARGETS {
+            if id != MachineId::ArlAltix {
+                assert!(rmax(MachineId::ArlAltix) > rmax(id), "{id}");
+            }
+            if !matches!(id, MachineId::MhpccP3 | MachineId::NavoP3 | MachineId::ErdcO3800) {
+                assert!(rmax(id) > rmax(MachineId::MhpccP3), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn opteron_leads_main_memory_bandwidth() {
+        let f = fleet();
+        let opteron = f.get(MachineId::ArlOpteron).memory.memory.stream_bandwidth;
+        for m in f.targets() {
+            if m.id != MachineId::ArlOpteron {
+                assert!(
+                    opteron > m.memory.memory.stream_bandwidth,
+                    "{} out-streams Opteron",
+                    m.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opteron_has_lowest_memory_latency() {
+        let f = fleet();
+        let opteron = f.get(MachineId::ArlOpteron).memory.memory.latency;
+        for m in f.targets() {
+            if m.id != MachineId::ArlOpteron {
+                assert!(opteron < m.memory.memory.latency, "{}", m.id);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_mid_cache_leader_is_altix() {
+        // At 256 KiB working sets the Altix L2 should out-stream the p655's
+        // L2 and the Opteron's L2 (paper Figure 1).
+        let f = fleet();
+        let altix_l2 = f.get(MachineId::ArlAltix).memory.levels[1].load_bandwidth;
+        let p655_l2 = f.get(MachineId::Navo655).memory.levels[1].load_bandwidth;
+        let opteron_l2 = f.get(MachineId::ArlOpteron).memory.levels[1].load_bandwidth;
+        assert!(altix_l2 > p655_l2);
+        assert!(altix_l2 > opteron_l2);
+    }
+
+    #[test]
+    fn interconnect_families_have_expected_character() {
+        let f = fleet();
+        // NUMALink lowest latency; Colony highest.
+        let numalink = f.get(MachineId::ArlAltix).network.latency;
+        let colony = f.get(MachineId::MhpccP3).network.latency;
+        let myrinet = f.get(MachineId::ArlOpteron).network.latency;
+        assert!(numalink < myrinet && myrinet < colony);
+        // Federation has the bandwidth crown.
+        let federation = f.get(MachineId::Navo655).network.bandwidth;
+        for m in f.targets() {
+            if m.id != MachineId::Navo655 && m.id != MachineId::Arl690_17 {
+                assert!(federation > m.network.bandwidth, "{}", m.id);
+            }
+        }
+    }
+
+    #[test]
+    fn base_differs_from_mhpcc_690_in_memory_only_slightly() {
+        let f = fleet();
+        let base = f.base();
+        let mhpcc = f.get(MachineId::Mhpcc690_13);
+        assert_eq!(base.processor, mhpcc.processor);
+        assert!(base.memory.memory.stream_bandwidth < mhpcc.memory.memory.stream_bandwidth);
+    }
+
+    #[test]
+    fn power3_sites_share_architecture() {
+        let f = fleet();
+        let a = f.get(MachineId::MhpccP3);
+        let b = f.get(MachineId::NavoP3);
+        assert_eq!(a.processor, b.processor);
+        assert_eq!(a.memory.levels, b.memory.levels);
+        assert_ne!(
+            a.memory.memory.stream_bandwidth,
+            b.memory.memory.stream_bandwidth
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Identities and Table 1/2 metadata for the study fleet.
+
+use serde::{Deserialize, Serialize};
+
+/// The eleven machines of the study: ten prediction targets plus the NAVO
+/// p690 base system that traces were collected on (Equation 1's `X₀`).
+///
+/// Display names follow the paper's Table 5 row labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MachineId {
+    /// SGI Origin 3800, 400 MHz R14000, NUMALink (ERDC).
+    ErdcO3800,
+    /// IBM Power3-II 375 MHz, Colony (MHPCC).
+    MhpccP3,
+    /// IBM Power3-II 375 MHz, Colony (NAVO).
+    NavoP3,
+    /// HP AlphaServer SC45, 1 GHz EV68, Quadrics (ASC).
+    AscSc45,
+    /// IBM p690, 1.3 GHz POWER4, Colony (MHPCC).
+    Mhpcc690_13,
+    /// IBM p690, 1.7 GHz POWER4+, Federation (ARL).
+    Arl690_17,
+    /// Linux Xeon cluster, 3.06 GHz, Myrinet (ARL).
+    ArlXeon,
+    /// SGI Altix 3700, 1.5 GHz Itanium2, NUMALink (ARL).
+    ArlAltix,
+    /// IBM p655, 1.7 GHz POWER4+, Federation (NAVO).
+    Navo655,
+    /// Opteron cluster, 2.2 GHz, Myrinet (ARL).
+    ArlOpteron,
+    /// IBM p690 1.3 GHz at NAVO — the base system predictions are scaled
+    /// from. Not a prediction target.
+    NavoP690Base,
+}
+
+impl MachineId {
+    /// The ten prediction targets, in the paper's Table 5 row order.
+    pub const TARGETS: [MachineId; 10] = [
+        MachineId::ErdcO3800,
+        MachineId::MhpccP3,
+        MachineId::NavoP3,
+        MachineId::AscSc45,
+        MachineId::Mhpcc690_13,
+        MachineId::Arl690_17,
+        MachineId::ArlXeon,
+        MachineId::ArlAltix,
+        MachineId::Navo655,
+        MachineId::ArlOpteron,
+    ];
+
+    /// All eleven machines (targets + base).
+    pub const ALL: [MachineId; 11] = [
+        MachineId::ErdcO3800,
+        MachineId::MhpccP3,
+        MachineId::NavoP3,
+        MachineId::AscSc45,
+        MachineId::Mhpcc690_13,
+        MachineId::Arl690_17,
+        MachineId::ArlXeon,
+        MachineId::ArlAltix,
+        MachineId::Navo655,
+        MachineId::ArlOpteron,
+        MachineId::NavoP690Base,
+    ];
+
+    /// Paper row label (Table 5 / appendix tables).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineId::ErdcO3800 => "ERDC_O3800",
+            MachineId::MhpccP3 => "MHPCC_P3",
+            MachineId::NavoP3 => "NAVO_P3",
+            MachineId::AscSc45 => "ASC_SC45",
+            MachineId::Mhpcc690_13 => "MHPCC_690_1.3",
+            MachineId::Arl690_17 => "ARL_690_1.7",
+            MachineId::ArlXeon => "ARL_Xeon",
+            MachineId::ArlAltix => "ARL_Altix",
+            MachineId::Navo655 => "NAVO_655",
+            MachineId::ArlOpteron => "ARL_Opteron",
+            MachineId::NavoP690Base => "NAVO_690_BASE",
+        }
+    }
+
+    /// Architecture string in the style of the paper's Table 2.
+    #[must_use]
+    pub fn architecture(self) -> &'static str {
+        match self {
+            MachineId::ErdcO3800 => "SGI_O3800_400MHz_NUMA",
+            MachineId::MhpccP3 | MachineId::NavoP3 => "IBM_P3_375MHz_COL",
+            MachineId::AscSc45 => "HP_SC45_1GHz_QUAD",
+            MachineId::Mhpcc690_13 | MachineId::NavoP690Base => "IBM_690_1.3GHz_COL",
+            MachineId::Arl690_17 => "IBM_690_1.7GHz_FED",
+            MachineId::ArlXeon => "LNX_Xeon_3.06GHz_MNET",
+            MachineId::ArlAltix => "SGI_Altix_1.5GHz_NUMA",
+            MachineId::Navo655 => "IBM_655_1.7GHz_FED",
+            MachineId::ArlOpteron => "IBM_Opteron_2.2GHz_MNET",
+        }
+    }
+
+    /// Hosting center.
+    #[must_use]
+    pub fn site(self) -> &'static str {
+        match self {
+            MachineId::ErdcO3800 => "ERDC",
+            MachineId::MhpccP3 | MachineId::Mhpcc690_13 => "MHPCC",
+            MachineId::NavoP3 | MachineId::Navo655 | MachineId::NavoP690Base => "NAVO",
+            MachineId::AscSc45 => "ASC",
+            MachineId::ArlXeon
+            | MachineId::ArlAltix
+            | MachineId::ArlOpteron
+            | MachineId::Arl690_17 => "ARL",
+        }
+    }
+
+    /// Interconnect family name (Table 1 column).
+    #[must_use]
+    pub fn interconnect(self) -> &'static str {
+        match self {
+            MachineId::ErdcO3800 | MachineId::ArlAltix => "NUMALink",
+            MachineId::MhpccP3
+            | MachineId::NavoP3
+            | MachineId::Mhpcc690_13
+            | MachineId::NavoP690Base => "Colony",
+            MachineId::AscSc45 => "Quadrics",
+            MachineId::Arl690_17 | MachineId::Navo655 => "Federation",
+            MachineId::ArlXeon | MachineId::ArlOpteron => "Myrinet",
+        }
+    }
+
+    /// Compute-processor count (paper Table 2; the base system uses the
+    /// NAVO p690 Colony figure).
+    #[must_use]
+    pub fn total_processors(self) -> u32 {
+        match self {
+            MachineId::ErdcO3800 => 504,
+            MachineId::MhpccP3 => 736,
+            MachineId::NavoP3 => 928,
+            MachineId::AscSc45 => 472,
+            MachineId::Mhpcc690_13 => 320,
+            MachineId::Arl690_17 => 128,
+            MachineId::ArlXeon => 256,
+            MachineId::ArlAltix => 256,
+            MachineId::Navo655 => 2832,
+            MachineId::ArlOpteron => 2304,
+            MachineId::NavoP690Base => 1328,
+        }
+    }
+
+    /// True for the ten prediction targets.
+    #[must_use]
+    pub fn is_target(self) -> bool {
+        self != MachineId::NavoP690Base
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ten_targets_plus_base() {
+        assert_eq!(MachineId::TARGETS.len(), 10);
+        assert_eq!(MachineId::ALL.len(), 11);
+        assert!(MachineId::TARGETS.iter().all(|m| m.is_target()));
+        assert!(!MachineId::NavoP690Base.is_target());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: HashSet<_> = MachineId::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), MachineId::ALL.len());
+    }
+
+    #[test]
+    fn table5_row_order_matches_paper() {
+        let labels: Vec<_> = MachineId::TARGETS.iter().map(|m| m.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "ERDC_O3800",
+                "MHPCC_P3",
+                "NAVO_P3",
+                "ASC_SC45",
+                "MHPCC_690_1.3",
+                "ARL_690_1.7",
+                "ARL_Xeon",
+                "ARL_Altix",
+                "NAVO_655",
+                "ARL_Opteron",
+            ]
+        );
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        // Same architecture implies same interconnect family.
+        for a in MachineId::ALL {
+            for b in MachineId::ALL {
+                if a.architecture() == b.architecture() {
+                    assert_eq!(a.interconnect(), b.interconnect());
+                }
+            }
+        }
+        // Processor counts from Table 2.
+        assert_eq!(MachineId::Navo655.total_processors(), 2832);
+        assert_eq!(MachineId::ErdcO3800.total_processors(), 504);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(MachineId::ArlAltix.to_string(), "ARL_Altix");
+    }
+
+    #[test]
+    fn sites_cover_the_centers() {
+        let sites: HashSet<_> = MachineId::ALL.iter().map(|m| m.site()).collect();
+        for s in ["ERDC", "MHPCC", "NAVO", "ASC", "ARL"] {
+            assert!(sites.contains(s), "missing site {s}");
+        }
+    }
+}

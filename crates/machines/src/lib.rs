@@ -1,0 +1,38 @@
+//! Machine configuration database: the DoD HPCMP fleet of the SC'05 study.
+//!
+//! The paper evaluates ten target systems (Table 2) spanning nine distinct
+//! architectures (Table 1), predicting their application performance from a
+//! base system (the NAVO p690). We cannot run on that 2001–2005 fleet, so
+//! this crate describes each system as a [`MachineConfig`]: processor issue
+//! model, memory hierarchy ([`metasim_memsim::MemorySpec`]), and interconnect
+//! ([`metasim_netsim::NetworkSpec`]), with historically plausible parameters
+//! drawn from the processors' public microarchitecture data (clock rates,
+//! cache geometries, representative STREAM/HPL efficiencies, interconnect
+//! latencies for NUMALink, Colony, Quadrics, Federation and Myrinet).
+//!
+//! Nothing downstream reads these parameters directly as "results": probes
+//! *measure* each machine through the simulators, and applications *execute*
+//! on them — the parameter set just plays the role reality played for the
+//! paper's authors.
+//!
+//! ```
+//! use metasim_machines::{MachineId, fleet};
+//!
+//! let fleet = fleet();
+//! assert_eq!(fleet.targets().count(), 10);
+//! let base = fleet.get(MachineId::NavoP690Base);
+//! assert!(base.memory.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod config;
+pub mod hpcmp;
+pub mod ids;
+
+pub use builder::MachineBuilder;
+pub use config::{Fleet, MachineConfig, ProcessorSpec};
+pub use hpcmp::fleet;
+pub use ids::MachineId;

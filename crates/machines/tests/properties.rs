@@ -1,0 +1,61 @@
+//! Property-based tests for machine configuration and the builder.
+
+use metasim_machines::{fleet, MachineBuilder, MachineId};
+use proptest::prelude::*;
+
+fn any_target() -> impl Strategy<Value = MachineId> {
+    (0usize..10).prop_map(|i| MachineId::TARGETS[i])
+}
+
+proptest! {
+    // Mild, physically sensible perturbations always validate.
+    #[test]
+    fn mild_perturbations_validate(
+        id in any_target(),
+        clock in 0.8f64..1.2,
+        membw in 0.85f64..1.1,
+        netlat in 0.5f64..2.0,
+    ) {
+        let stock = fleet().get(id).clone();
+        let built = MachineBuilder::from(stock)
+            .scale_clock(clock)
+            .scale_memory_bandwidth(membw)
+            .scale_network_latency(netlat)
+            .build();
+        prop_assert!(built.is_ok(), "{id}: {:?}", built.err());
+    }
+
+    // The hierarchy invariant catches absurd memory boosts on every machine.
+    #[test]
+    fn absurd_memory_boost_is_rejected(id in any_target()) {
+        let stock = fleet().get(id).clone();
+        let result = MachineBuilder::from(stock).scale_memory_bandwidth(1000.0).build();
+        prop_assert!(result.is_err());
+    }
+
+    // Validation invariants hold for the shipped fleet under scrutiny:
+    // monotone capacities, bandwidths, latencies.
+    #[test]
+    fn fleet_hierarchies_are_monotone(id in any_target()) {
+        let m = fleet().get(id).clone();
+        for w in m.memory.levels.windows(2) {
+            prop_assert!(w[0].capacity_bytes < w[1].capacity_bytes);
+            prop_assert!(w[0].load_bandwidth >= w[1].load_bandwidth);
+            prop_assert!(w[0].latency <= w[1].latency);
+        }
+        let last = m.memory.levels.last().unwrap();
+        prop_assert!(m.memory.memory.stream_bandwidth <= last.load_bandwidth);
+        prop_assert!(m.memory.memory.latency >= last.latency);
+    }
+}
+
+#[test]
+fn fleet_is_reconstructible_from_json() {
+    let f = fleet();
+    let json = serde_json::to_string(&f).expect("serialize");
+    let back: metasim_machines::Fleet = serde_json::from_str(&json).expect("deserialize");
+    for id in MachineId::ALL {
+        assert_eq!(back.get(id).id, id);
+        back.get(id).validate().expect("restored config validates");
+    }
+}

@@ -1,0 +1,298 @@
+//! Bandwidth measurement: drive an address stream through a fresh hierarchy
+//! and time it.
+//!
+//! This is the primitive every memory probe is built on: STREAM is a single
+//! sequential measurement at a main-memory-sized working set; GUPS a random
+//! measurement; MAPS a sweep of measurements across working-set sizes;
+//! ENHANCED MAPS the same sweep under chained/branchy dependency modes.
+//!
+//! Measurements follow benchmarking discipline: a warm-up pass populates the
+//! caches and TLB, the profile is cleared, and only then is the measured
+//! pass accumulated.
+
+use serde::{Deserialize, Serialize};
+
+use metasim_stats::rng::SeededRng;
+
+use crate::hierarchy::{AccessProfile, HierarchySim};
+use crate::spec::MemorySpec;
+use crate::streams::{AddressStream, RandomStream, StridedStream};
+use crate::timing::{AccessKind, DependencyMode, TimingModel};
+
+/// Bytes requested per access throughout the study (double precision).
+pub const ELEMENT_BYTES: u64 = 8;
+
+/// Cap on simulated accesses per measurement pass; keeps MAPS sweeps cheap
+/// while staying statistically stable (profiles are fractions of ≥ 2^13
+/// accesses).
+pub const MAX_MEASURED_ACCESSES: u64 = 1 << 15;
+
+/// Floor on simulated accesses per measurement pass.
+pub const MIN_MEASURED_ACCESSES: u64 = 1 << 13;
+
+/// A memory measurement request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Working-set size in bytes.
+    pub working_set: u64,
+    /// Spatial pattern.
+    pub kind: AccessKind,
+    /// Dependency mode of the issuing loop.
+    pub deps: DependencyMode,
+    /// Seed label mixed into the random stream (defaults keep probe results
+    /// machine-deterministic).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A workload with the default seed.
+    #[must_use]
+    pub fn new(working_set: u64, kind: AccessKind, deps: DependencyMode) -> Self {
+        Self {
+            working_set,
+            kind,
+            deps,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// Stride in bytes implied by the access kind.
+    #[must_use]
+    pub fn stride_bytes(&self) -> u64 {
+        match self.kind {
+            AccessKind::Sequential => ELEMENT_BYTES,
+            AccessKind::Strided(s) => u64::from(s) * ELEMENT_BYTES,
+            AccessKind::Random => ELEMENT_BYTES,
+        }
+    }
+
+    /// Number of accesses needed to cover the working set once.
+    #[must_use]
+    pub fn accesses_per_pass(&self) -> u64 {
+        (self.working_set / self.stride_bytes()).max(1)
+    }
+}
+
+/// Result of one bandwidth measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthSample {
+    /// The workload measured.
+    pub workload: Workload,
+    /// Simulated seconds for the measured pass.
+    pub seconds: f64,
+    /// Bytes requested during the measured pass.
+    pub bytes: u64,
+    /// Where accesses were served.
+    pub profile: AccessProfile,
+}
+
+impl BandwidthSample {
+    /// Delivered bandwidth in bytes/second.
+    #[must_use]
+    pub fn bytes_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.seconds
+        }
+    }
+
+    /// Delivered bandwidth in GB/s (10^9 bytes).
+    #[must_use]
+    pub fn gb_per_second(&self) -> f64 {
+        self.bytes_per_second() / 1e9
+    }
+}
+
+fn drive<S: AddressStream>(sim: &mut HierarchySim, stream: &mut S, n: u64) {
+    let bytes = stream.element_bytes();
+    for _ in 0..n {
+        let addr = stream.next_addr();
+        sim.access(addr, bytes);
+    }
+}
+
+/// Measure delivered bandwidth for `workload` on the memory system described
+/// by `spec`. Deterministic: equal inputs yield identical samples.
+#[must_use]
+pub fn measure_bandwidth(spec: &MemorySpec, workload: &Workload) -> BandwidthSample {
+    let mut sim = HierarchySim::new(spec);
+    let model = TimingModel::new(spec.clone(), ELEMENT_BYTES);
+
+    let per_pass = workload.accesses_per_pass();
+    let measured = per_pass.clamp(MIN_MEASURED_ACCESSES, MAX_MEASURED_ACCESSES);
+    // Warm-up must visit the whole working set at least once (capped so huge
+    // sweeps stay cheap: beyond the cap the caches are in steady-state
+    // thrash anyway).
+    let warmup = per_pass.min(MAX_MEASURED_ACCESSES);
+
+    match workload.kind {
+        AccessKind::Sequential | AccessKind::Strided(_) => {
+            let mut stream = StridedStream::new(
+                0,
+                workload.working_set.max(ELEMENT_BYTES),
+                workload.stride_bytes(),
+                ELEMENT_BYTES,
+            );
+            drive(&mut sim, &mut stream, warmup);
+            sim.clear_profile();
+            drive(&mut sim, &mut stream, measured);
+        }
+        AccessKind::Random => {
+            let rng = SeededRng::new(workload.seed ^ workload.working_set);
+            let mut stream = RandomStream::new(
+                0,
+                workload.working_set.max(ELEMENT_BYTES),
+                ELEMENT_BYTES,
+                rng,
+            );
+            drive(&mut sim, &mut stream, warmup);
+            sim.clear_profile();
+            drive(&mut sim, &mut stream, measured);
+        }
+    }
+
+    let profile = sim.profile().clone();
+    let seconds = model.time(&profile, workload.kind, workload.deps);
+    BandwidthSample {
+        workload: *workload,
+        seconds,
+        bytes: profile.requested_bytes,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MemorySpec;
+
+    fn spec() -> MemorySpec {
+        MemorySpec::example_two_level()
+    }
+
+    #[test]
+    fn l1_resident_approaches_l1_bandwidth() {
+        let s = spec();
+        let sample = measure_bandwidth(
+            &s,
+            &Workload::new(8 << 10, AccessKind::Sequential, DependencyMode::Independent),
+        );
+        let l1 = s.levels[0].load_bandwidth;
+        assert!(
+            sample.bytes_per_second() > 0.95 * l1,
+            "got {} vs L1 {}",
+            sample.bytes_per_second(),
+            l1
+        );
+    }
+
+    #[test]
+    fn memory_resident_approaches_stream_bandwidth() {
+        let s = spec();
+        let sample = measure_bandwidth(
+            &s,
+            &Workload::new(64 << 20, AccessKind::Sequential, DependencyMode::Independent),
+        );
+        let mem = s.memory.stream_bandwidth;
+        let bw = sample.bytes_per_second();
+        assert!(bw < mem, "cannot exceed DRAM: {bw} vs {mem}");
+        assert!(bw > 0.6 * mem, "should approach DRAM: {bw} vs {mem}");
+    }
+
+    #[test]
+    fn bandwidth_decreases_monotonically_in_working_set() {
+        let s = spec();
+        let sizes = [8u64 << 10, 256 << 10, 16 << 20];
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&ws| {
+                measure_bandwidth(
+                    &s,
+                    &Workload::new(ws, AccessKind::Sequential, DependencyMode::Independent),
+                )
+                .bytes_per_second()
+            })
+            .collect();
+        assert!(bws[0] > bws[1] && bws[1] > bws[2], "{bws:?}");
+    }
+
+    #[test]
+    fn random_far_below_sequential_from_memory() {
+        let s = spec();
+        let seq = measure_bandwidth(
+            &s,
+            &Workload::new(64 << 20, AccessKind::Sequential, DependencyMode::Independent),
+        );
+        let rnd = measure_bandwidth(
+            &s,
+            &Workload::new(64 << 20, AccessKind::Random, DependencyMode::Independent),
+        );
+        assert!(
+            rnd.bytes_per_second() < 0.25 * seq.bytes_per_second(),
+            "random {} vs sequential {}",
+            rnd.bytes_per_second(),
+            seq.bytes_per_second()
+        );
+    }
+
+    #[test]
+    fn chained_dependency_reduces_bandwidth() {
+        let s = spec();
+        let ind = measure_bandwidth(
+            &s,
+            &Workload::new(8 << 10, AccessKind::Sequential, DependencyMode::Independent),
+        );
+        let dep = measure_bandwidth(
+            &s,
+            &Workload::new(8 << 10, AccessKind::Sequential, DependencyMode::Chained),
+        );
+        assert!(
+            dep.bytes_per_second() < 0.5 * ind.bytes_per_second(),
+            "chained {} vs independent {}",
+            dep.bytes_per_second(),
+            ind.bytes_per_second()
+        );
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let s = spec();
+        let w = Workload::new(1 << 20, AccessKind::Random, DependencyMode::Independent);
+        let a = measure_bandwidth(&s, &w);
+        let b = measure_bandwidth(&s, &w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let w = Workload::new(1 << 20, AccessKind::Strided(4), DependencyMode::Independent);
+        assert_eq!(w.stride_bytes(), 32);
+        assert_eq!(w.accesses_per_pass(), (1 << 20) / 32);
+        let w = Workload::new(4, AccessKind::Sequential, DependencyMode::Independent);
+        assert_eq!(w.accesses_per_pass(), 1, "degenerate working set");
+    }
+
+    #[test]
+    fn sample_bandwidth_handles_zero_time() {
+        let s = BandwidthSample {
+            workload: Workload::new(8, AccessKind::Sequential, DependencyMode::Independent),
+            seconds: 0.0,
+            bytes: 0,
+            profile: AccessProfile::default(),
+        };
+        assert_eq!(s.bytes_per_second(), 0.0);
+        assert_eq!(s.gb_per_second(), 0.0);
+    }
+
+    #[test]
+    fn gb_conversion() {
+        let s = BandwidthSample {
+            workload: Workload::new(8, AccessKind::Sequential, DependencyMode::Independent),
+            seconds: 1.0,
+            bytes: 2_000_000_000,
+            profile: AccessProfile::default(),
+        };
+        assert!((s.gb_per_second() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! The multi-level hierarchy simulator: caches + TLB driven by address
+//! streams, producing per-level access profiles for the timing model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::Cache;
+use crate::spec::MemorySpec;
+use crate::tlb::Tlb;
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LevelHit {
+    /// Served by cache level `0`-based index (0 = L1).
+    Cache(usize),
+    /// Missed all cache levels; served by main memory.
+    Memory,
+}
+
+/// Counters of where accesses were served, plus TLB misses.
+///
+/// This is the interface between simulation (this module) and timing
+/// ([`crate::timing`]): the timing model never sees addresses, only this
+/// profile.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Accesses served per cache level, index 0 = L1.
+    pub level_hits: Vec<u64>,
+    /// Accesses served by main memory.
+    pub memory_hits: u64,
+    /// TLB misses encountered.
+    pub tlb_misses: u64,
+    /// Total bytes requested by the instruction stream (not line traffic).
+    pub requested_bytes: u64,
+}
+
+impl AccessProfile {
+    /// Total accesses recorded.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.level_hits.iter().sum::<u64>() + self.memory_hits
+    }
+
+    /// Merge another profile into this one (levels must match).
+    pub fn merge(&mut self, other: &AccessProfile) {
+        if self.level_hits.len() < other.level_hits.len() {
+            self.level_hits.resize(other.level_hits.len(), 0);
+        }
+        for (a, b) in self.level_hits.iter_mut().zip(&other.level_hits) {
+            *a += b;
+        }
+        self.memory_hits += other.memory_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.requested_bytes += other.requested_bytes;
+    }
+
+    /// Fraction of accesses served at cache level `i` (0 if none recorded).
+    #[must_use]
+    pub fn level_fraction(&self, i: usize) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.level_hits.get(i).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Fraction of accesses served by main memory.
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.memory_hits as f64 / total as f64
+    }
+}
+
+/// An inclusive multi-level cache hierarchy plus TLB.
+#[derive(Debug, Clone)]
+pub struct HierarchySim {
+    caches: Vec<Cache>,
+    tlb: Tlb,
+    profile: AccessProfile,
+}
+
+impl HierarchySim {
+    /// Build a simulator for a validated [`MemorySpec`].
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    #[must_use]
+    pub fn new(spec: &MemorySpec) -> Self {
+        spec.validate().expect("invalid memory spec");
+        let caches = spec.levels.iter().map(Cache::new).collect::<Vec<_>>();
+        let profile = AccessProfile {
+            level_hits: vec![0; caches.len()],
+            ..AccessProfile::default()
+        };
+        Self {
+            caches,
+            tlb: Tlb::new(&spec.tlb),
+            profile,
+        }
+    }
+
+    /// Simulate one access of `bytes` requested at byte address `addr`.
+    ///
+    /// The line is filled into every inner level on a miss (inclusive
+    /// hierarchy). Returns where the access was served.
+    pub fn access(&mut self, addr: u64, bytes: u64) -> LevelHit {
+        if !self.tlb.access(addr) {
+            self.profile.tlb_misses += 1;
+        }
+        self.profile.requested_bytes += bytes;
+
+        let mut served = LevelHit::Memory;
+        let mut found = false;
+        for (i, c) in self.caches.iter_mut().enumerate() {
+            let hit = c.access(addr);
+            if hit && !found {
+                served = LevelHit::Cache(i);
+                found = true;
+                // Inner levels already updated; outer levels must still be
+                // touched to keep their LRU state warm for inclusivity.
+            }
+        }
+        match served {
+            LevelHit::Cache(i) => self.profile.level_hits[i] += 1,
+            LevelHit::Memory => self.profile.memory_hits += 1,
+        }
+        served
+    }
+
+    /// Reset all cache/TLB state and the collected profile.
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.reset();
+        }
+        self.tlb.reset();
+        self.profile = AccessProfile {
+            level_hits: vec![0; self.caches.len()],
+            ..AccessProfile::default()
+        };
+    }
+
+    /// Clear the collected profile but keep cache/TLB contents (used to
+    /// discard warm-up traffic before a measurement pass).
+    pub fn clear_profile(&mut self) {
+        self.profile = AccessProfile {
+            level_hits: vec![0; self.caches.len()],
+            ..AccessProfile::default()
+        };
+    }
+
+    /// The profile accumulated since the last reset/clear.
+    #[must_use]
+    pub fn profile(&self) -> &AccessProfile {
+        &self.profile
+    }
+
+    /// Number of cache levels simulated.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.caches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MemorySpec;
+
+    #[test]
+    fn l1_resident_sweep_hits_l1_after_warmup() {
+        let spec = MemorySpec::example_two_level();
+        let mut sim = HierarchySim::new(&spec);
+        let lines = (spec.levels[0].capacity_bytes / spec.levels[0].line_bytes) / 2;
+        for _ in 0..2 {
+            for i in 0..lines {
+                sim.access(i * 64, 8);
+            }
+        }
+        sim.clear_profile();
+        for i in 0..lines {
+            assert_eq!(sim.access(i * 64, 8), LevelHit::Cache(0));
+        }
+        let p = sim.profile();
+        assert_eq!(p.level_hits[0], lines);
+        assert_eq!(p.memory_hits, 0);
+        assert_eq!(p.requested_bytes, lines * 8);
+    }
+
+    #[test]
+    fn l2_resident_sweep_served_by_l2() {
+        let spec = MemorySpec::example_two_level();
+        let mut sim = HierarchySim::new(&spec);
+        // Working set: half of L2 but 8x L1 — cyclic sweep defeats L1's LRU.
+        let ws = spec.levels[1].capacity_bytes / 2;
+        let lines = ws / 64;
+        for _ in 0..2 {
+            for i in 0..lines {
+                sim.access(i * 64, 8);
+            }
+        }
+        sim.clear_profile();
+        for i in 0..lines {
+            sim.access(i * 64, 8);
+        }
+        let p = sim.profile();
+        assert_eq!(p.memory_hits, 0, "should not reach memory");
+        assert!(
+            p.level_hits[1] > p.level_hits[0],
+            "L2 should dominate: {:?}",
+            p.level_hits
+        );
+    }
+
+    #[test]
+    fn oversized_sweep_reaches_memory() {
+        let spec = MemorySpec::example_two_level();
+        let mut sim = HierarchySim::new(&spec);
+        let ws = spec.levels[1].capacity_bytes * 4;
+        let lines = ws / 64;
+        for _ in 0..2 {
+            for i in 0..lines {
+                sim.access(i * 64, 8);
+            }
+        }
+        sim.clear_profile();
+        for i in 0..lines {
+            sim.access(i * 64, 8);
+        }
+        let p = sim.profile();
+        assert!(
+            p.memory_hits as f64 > 0.9 * lines as f64,
+            "cyclic over-capacity sweep should stream from memory: {p:?}"
+        );
+    }
+
+    #[test]
+    fn profile_merge_and_fractions() {
+        let mut a = AccessProfile {
+            level_hits: vec![3, 1],
+            memory_hits: 1,
+            tlb_misses: 2,
+            requested_bytes: 40,
+        };
+        let b = AccessProfile {
+            level_hits: vec![1, 0],
+            memory_hits: 4,
+            tlb_misses: 0,
+            requested_bytes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.total_accesses(), 10);
+        assert!((a.level_fraction(0) - 0.4).abs() < 1e-12);
+        assert!((a.memory_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(a.tlb_misses, 2);
+        assert_eq!(a.requested_bytes, 80);
+    }
+
+    #[test]
+    fn empty_profile_fractions_are_zero() {
+        let p = AccessProfile::default();
+        assert_eq!(p.level_fraction(0), 0.0);
+        assert_eq!(p.memory_fraction(), 0.0);
+        assert_eq!(p.total_accesses(), 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let spec = MemorySpec::example_two_level();
+        let mut sim = HierarchySim::new(&spec);
+        sim.access(0, 8);
+        sim.access(0, 8);
+        sim.reset();
+        assert_eq!(sim.profile().total_accesses(), 0);
+        assert_eq!(sim.access(0, 8), LevelHit::Memory, "cold after reset");
+    }
+
+    #[test]
+    fn merge_grows_level_vector() {
+        let mut a = AccessProfile::default();
+        let b = AccessProfile {
+            level_hits: vec![5, 6, 7],
+            ..AccessProfile::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.level_hits, vec![5, 6, 7]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Hardware specification types for the memory-hierarchy simulator.
+//!
+//! A [`MemorySpec`] describes one processor's view of its memory system: up
+//! to three cache levels plus main memory, together with the microarchitecture
+//! parameters the timing model needs (memory-level parallelism, prefetcher
+//! short-stride efficiency, dependency-chain and branch penalties). The
+//! `machines` crate instantiates these for the eleven HPCMP systems.
+
+use serde::{Deserialize, Serialize};
+
+/// True when `x` is a finite, strictly positive number (NaN-rejecting).
+fn positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+/// True when `x` is a finite, non-negative number (NaN-rejecting).
+fn non_negative(x: f64) -> bool {
+    x.is_finite() && x >= 0.0
+}
+
+/// Description of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelSpec {
+    /// Total capacity in bytes (per processor share for shared caches).
+    pub capacity_bytes: u64,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Set associativity (ways).
+    pub associativity: u32,
+    /// Sustainable load bandwidth for unit-stride streams hitting this
+    /// level, in bytes/second.
+    pub load_bandwidth: f64,
+    /// Load-to-use latency for a dependent access served by this level, in
+    /// seconds.
+    pub latency: f64,
+}
+
+impl LevelSpec {
+    /// Validate internal consistency; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 {
+            return Err("cache capacity must be nonzero".into());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} must be a power of two", self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err("associativity must be nonzero".into());
+        }
+        let line_capacity = self.line_bytes * u64::from(self.associativity);
+        if !self.capacity_bytes.is_multiple_of(line_capacity) {
+            return Err(format!(
+                "capacity {} not divisible by line*assoc {}",
+                self.capacity_bytes, line_capacity
+            ));
+        }
+        let sets = self.capacity_bytes / line_capacity;
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} must be a power of two"));
+        }
+        if !positive(self.load_bandwidth) {
+            return Err("load bandwidth must be positive".into());
+        }
+        if !positive(self.latency) {
+            return Err("latency must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Number of sets implied by capacity/line/associativity.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.line_bytes * u64::from(self.associativity))
+    }
+}
+
+/// Main-memory parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MainMemorySpec {
+    /// Sustainable unit-stride bandwidth from DRAM, bytes/second (the
+    /// quantity STREAM observes).
+    pub stream_bandwidth: f64,
+    /// Full load-to-use latency of a DRAM access, seconds (the quantity that
+    /// dominates GUPS).
+    pub latency: f64,
+}
+
+impl MainMemorySpec {
+    fn validate(&self) -> Result<(), String> {
+        if !positive(self.stream_bandwidth) {
+            return Err("memory stream bandwidth must be positive".into());
+        }
+        if !positive(self.latency) {
+            return Err("memory latency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// TLB parameters (see [`crate::tlb`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlbSpec {
+    /// Number of TLB entries (fully associative model).
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Penalty of a TLB miss, seconds.
+    pub miss_penalty: f64,
+}
+
+impl Default for TlbSpec {
+    fn default() -> Self {
+        Self {
+            entries: 128,
+            page_bytes: 4096,
+            miss_penalty: 60e-9,
+        }
+    }
+}
+
+/// Complete per-processor memory system description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySpec {
+    /// Cache levels ordered L1 first. One to three levels supported.
+    pub levels: Vec<LevelSpec>,
+    /// Main-memory behaviour.
+    pub memory: MainMemorySpec,
+    /// TLB behaviour.
+    pub tlb: TlbSpec,
+    /// Sustainable outstanding misses (memory-level parallelism) for
+    /// independent access streams. Random-access throughput is
+    /// `mlp / latency` lines per second.
+    pub mlp: f64,
+    /// Prefetcher efficiency for short non-unit strides (2–8 elements), in
+    /// `[0, 1]`: 1 means short strides stream as well as unit stride (modulo
+    /// line utilization), 0 means they pay full latency. Early-2000s
+    /// prefetchers sat in between.
+    pub short_stride_prefetch: f64,
+    /// Extra serialization latency per access, seconds, when a loop's
+    /// accesses form a dependency chain (loop-carried dependence): roughly
+    /// L1 latency plus functional-unit latency.
+    pub dependency_chain_latency: f64,
+    /// Penalty per in-loop branch when the loop body branches unpredictably,
+    /// seconds (≈ misprediction penalty × miss rate).
+    pub branch_penalty: f64,
+}
+
+impl MemorySpec {
+    /// Validate the full specification.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels.is_empty() || self.levels.len() > 3 {
+            return Err(format!("expected 1..=3 cache levels, got {}", self.levels.len()));
+        }
+        for (i, l) in self.levels.iter().enumerate() {
+            l.validate().map_err(|e| format!("L{}: {e}", i + 1))?;
+        }
+        for pair in self.levels.windows(2) {
+            if pair[1].capacity_bytes <= pair[0].capacity_bytes {
+                return Err("cache levels must strictly grow in capacity".into());
+            }
+            if pair[1].line_bytes < pair[0].line_bytes {
+                return Err("cache line sizes must be non-decreasing outward".into());
+            }
+            if pair[1].load_bandwidth > pair[0].load_bandwidth {
+                return Err("outer levels must not be faster than inner levels".into());
+            }
+            if pair[1].latency < pair[0].latency {
+                return Err("outer levels must not have lower latency".into());
+            }
+        }
+        self.memory.validate()?;
+        if let Some(last) = self.levels.last() {
+            if self.memory.stream_bandwidth > last.load_bandwidth {
+                return Err("main memory must not out-stream the last cache level".into());
+            }
+            if self.memory.latency < last.latency {
+                return Err("main memory latency must exceed last cache level".into());
+            }
+        }
+        if !(self.mlp.is_finite() && self.mlp >= 1.0) {
+            return Err("mlp must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.short_stride_prefetch) {
+            return Err("short_stride_prefetch must be in [0,1]".into());
+        }
+        if !non_negative(self.dependency_chain_latency) {
+            return Err("dependency_chain_latency must be non-negative".into());
+        }
+        if !non_negative(self.branch_penalty) {
+            return Err("branch_penalty must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Innermost cache line size in bytes.
+    #[must_use]
+    pub fn l1_line(&self) -> u64 {
+        self.levels[0].line_bytes
+    }
+
+    /// A small, fast, two-level example configuration used by doc-tests and
+    /// unit tests (not one of the study machines).
+    #[must_use]
+    pub fn example_two_level() -> Self {
+        Self {
+            levels: vec![
+                LevelSpec {
+                    capacity_bytes: 32 << 10,
+                    line_bytes: 64,
+                    associativity: 2,
+                    load_bandwidth: 16e9,
+                    latency: 2e-9,
+                },
+                LevelSpec {
+                    capacity_bytes: 1 << 20,
+                    line_bytes: 64,
+                    associativity: 8,
+                    load_bandwidth: 8e9,
+                    latency: 10e-9,
+                },
+            ],
+            memory: MainMemorySpec {
+                stream_bandwidth: 2e9,
+                latency: 150e-9,
+            },
+            tlb: TlbSpec::default(),
+            mlp: 4.0,
+            short_stride_prefetch: 0.6,
+            dependency_chain_latency: 5e-9,
+            branch_penalty: 8e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_level() -> LevelSpec {
+        LevelSpec {
+            capacity_bytes: 32 << 10,
+            line_bytes: 64,
+            associativity: 2,
+            load_bandwidth: 10e9,
+            latency: 1e-9,
+        }
+    }
+
+    #[test]
+    fn example_spec_validates() {
+        MemorySpec::example_two_level().validate().unwrap();
+    }
+
+    #[test]
+    fn level_validation_catches_bad_geometry() {
+        let mut l = good_level();
+        l.line_bytes = 48;
+        assert!(l.validate().unwrap_err().contains("power of two"));
+
+        let mut l = good_level();
+        l.capacity_bytes = 0;
+        assert!(l.validate().is_err());
+
+        let mut l = good_level();
+        l.associativity = 0;
+        assert!(l.validate().is_err());
+
+        let mut l = good_level();
+        l.capacity_bytes = 100; // not divisible by 128
+        assert!(l.validate().unwrap_err().contains("divisible"));
+
+        let mut l = good_level();
+        // capacity/(line*assoc) = 3 sets: not a power of two
+        l.capacity_bytes = 64 * 2 * 3;
+        assert!(l.validate().unwrap_err().contains("power of two"));
+    }
+
+    #[test]
+    fn sets_computation() {
+        let l = good_level();
+        assert_eq!(l.sets(), (32 << 10) / (64 * 2));
+    }
+
+    #[test]
+    fn spec_rejects_non_monotone_hierarchy() {
+        let mut s = MemorySpec::example_two_level();
+        s.levels[1].capacity_bytes = s.levels[0].capacity_bytes;
+        assert!(s.validate().unwrap_err().contains("grow"));
+
+        let mut s = MemorySpec::example_two_level();
+        s.levels[1].load_bandwidth = s.levels[0].load_bandwidth * 2.0;
+        assert!(s.validate().unwrap_err().contains("faster"));
+
+        let mut s = MemorySpec::example_two_level();
+        s.levels[1].latency = s.levels[0].latency / 2.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn spec_rejects_memory_outpacing_cache() {
+        let mut s = MemorySpec::example_two_level();
+        s.memory.stream_bandwidth = 100e9;
+        assert!(s.validate().unwrap_err().contains("out-stream"));
+
+        let mut s = MemorySpec::example_two_level();
+        s.memory.latency = 1e-12;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn spec_rejects_bad_scalars() {
+        let mut s = MemorySpec::example_two_level();
+        s.mlp = 0.5;
+        assert!(s.validate().is_err());
+
+        let mut s = MemorySpec::example_two_level();
+        s.short_stride_prefetch = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = MemorySpec::example_two_level();
+        s.levels.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = MemorySpec::example_two_level();
+        s.dependency_chain_latency = -1.0;
+        assert!(s.validate().is_err());
+
+        let mut s = MemorySpec::example_two_level();
+        s.branch_penalty = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn tlb_default_is_sane() {
+        let t = TlbSpec::default();
+        assert!(t.entries > 0);
+        assert!(t.page_bytes.is_power_of_two());
+        assert!(t.miss_penalty > 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! A fully-associative LRU TLB model.
+//!
+//! Large random working sets (GUPS, random-stride MAPS at big sizes) pay TLB
+//! misses on top of cache misses on real machines; the timing model adds the
+//! penalty so random-access curves keep degrading past the last cache level,
+//! as the paper's MAPS data does.
+
+use crate::spec::TlbSpec;
+
+/// Fully-associative, true-LRU translation lookaside buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, stamp)
+    capacity: usize,
+    page_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Build from a [`TlbSpec`].
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(spec: &TlbSpec) -> Self {
+        assert!(spec.entries > 0, "TLB needs at least one entry");
+        assert!(spec.page_bytes.is_power_of_two(), "page size must be a power of two");
+        Self {
+            entries: Vec::with_capacity(spec.entries),
+            capacity: spec.entries,
+            page_shift: spec.page_bytes.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page containing `addr`; returns `true` on TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push((page, self.clock));
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, s)| *s)
+                .expect("capacity > 0");
+            *lru = (page, self.clock);
+        }
+        false
+    }
+
+    /// Reset contents and statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Misses since construction/reset.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits since construction/reset.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Reach in bytes (entries × page size).
+    #[must_use]
+    pub fn reach_bytes(&self) -> u64 {
+        (self.capacity as u64) << self.page_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(entries: usize) -> TlbSpec {
+        TlbSpec {
+            entries,
+            page_bytes: 4096,
+            miss_penalty: 50e-9,
+        }
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(&spec(4));
+        assert!(!t.access(0));
+        assert!(t.access(100));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+        assert_eq!(t.hits(), 2);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(&spec(2));
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // page 0 hit -> MRU
+        t.access(8192); // page 2 evicts page 1
+        assert!(t.access(0), "page 0 retained");
+        assert!(!t.access(4096), "page 1 evicted");
+    }
+
+    #[test]
+    fn within_reach_working_set_hits_after_warmup() {
+        let mut t = Tlb::new(&spec(8));
+        for _ in 0..2 {
+            for p in 0..8u64 {
+                t.access(p * 4096);
+            }
+        }
+        let misses = t.misses();
+        for p in 0..8u64 {
+            assert!(t.access(p * 4096));
+        }
+        assert_eq!(t.misses(), misses);
+    }
+
+    #[test]
+    fn reach_and_reset() {
+        let mut t = Tlb::new(&spec(128));
+        assert_eq!(t.reach_bytes(), 128 * 4096);
+        t.access(0);
+        t.reset();
+        assert_eq!(t.hits() + t.misses(), 0);
+        assert!(!t.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = Tlb::new(&spec(0));
+    }
+}

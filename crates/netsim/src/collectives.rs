@@ -1,0 +1,187 @@
+//! Collective-operation cost models.
+//!
+//! Costs follow the standard algorithmic analyses (binomial tree for
+//! latency-bound sizes, ring / recursive-halving for bandwidth-bound sizes),
+//! taking the cheaper algorithm at each size the way production MPI
+//! libraries switch. All costs reduce to the point-to-point terms of the
+//! [`NetworkSpec`], so a low-latency fabric is automatically a good
+//! small-collective fabric.
+
+use crate::p2p::point_to_point_time;
+use crate::spec::NetworkSpec;
+
+fn log2_ceil(p: u64) -> u64 {
+    debug_assert!(p >= 1);
+    64 - (p - 1).leading_zeros() as u64
+}
+
+/// Barrier across `p` processes: a dissemination barrier of `⌈log₂ p⌉`
+/// zero-byte rounds.
+#[must_use]
+pub fn barrier_time(net: &NetworkSpec, p: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    log2_ceil(p) as f64 * point_to_point_time(net, 0)
+}
+
+/// All-reduce of `bytes` per process across `p` processes.
+///
+/// Minimum of recursive doubling (`⌈log₂ p⌉` rounds of the full payload) and
+/// ring reduce-scatter + allgather (`2(p−1)` rounds of `bytes/p`).
+#[must_use]
+pub fn allreduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let doubling = log2_ceil(p) as f64 * point_to_point_time(net, bytes);
+    let chunk = bytes.div_ceil(p);
+    let ring = 2.0 * (p - 1) as f64 * point_to_point_time(net, chunk);
+    doubling.min(ring)
+}
+
+/// Broadcast of `bytes` from one root to `p−1` others (binomial tree vs
+/// scatter+allgather).
+#[must_use]
+pub fn broadcast_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let tree = log2_ceil(p) as f64 * point_to_point_time(net, bytes);
+    let chunk = bytes.div_ceil(p);
+    let scatter_allgather = (log2_ceil(p) as f64 + (p - 1) as f64) * point_to_point_time(net, chunk);
+    tree.min(scatter_allgather)
+}
+
+/// All-to-all with `bytes` per destination pair: `p−1` exchange rounds,
+/// throttled by the fabric's bisection factor.
+#[must_use]
+pub fn alltoall_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let per_round = net.latency
+        + net.per_message_overhead
+        + bytes as f64 / (net.bandwidth * net.bisection_factor);
+    (p - 1) as f64 * per_round
+}
+
+/// Reduce (to a root): modelled with the same algorithms as broadcast.
+#[must_use]
+pub fn reduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+    broadcast_time(net, p, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+
+    fn net() -> NetworkSpec {
+        NetworkSpec::example_cluster()
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn single_process_collectives_are_free() {
+        let n = net();
+        assert_eq!(barrier_time(&n, 1), 0.0);
+        assert_eq!(allreduce_time(&n, 1, 1 << 20), 0.0);
+        assert_eq!(broadcast_time(&n, 1, 1 << 20), 0.0);
+        assert_eq!(alltoall_time(&n, 1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn barrier_grows_logarithmically() {
+        let n = net();
+        let t16 = barrier_time(&n, 16);
+        let t256 = barrier_time(&n, 256);
+        assert!((t256 / t16 - 2.0).abs() < 1e-9, "log2(256)/log2(16) = 2");
+    }
+
+    #[test]
+    fn allreduce_monotone_in_p_and_bytes() {
+        let n = net();
+        assert!(allreduce_time(&n, 64, 1024) > allreduce_time(&n, 16, 1024));
+        assert!(allreduce_time(&n, 64, 1 << 20) > allreduce_time(&n, 64, 1024));
+    }
+
+    #[test]
+    fn allreduce_small_uses_doubling_large_uses_ring() {
+        let n = net();
+        let p = 64;
+        // Small: doubling cost = 6 rounds; ring = 126 rounds of tiny chunks
+        // (latency dominated) — doubling must win.
+        let small = allreduce_time(&n, p, 8);
+        let doubling = 6.0 * point_to_point_time(&n, 8);
+        assert!((small - doubling).abs() / doubling < 1e-9);
+        // Large: ring must beat doubling.
+        let bytes = 64 << 20;
+        let large = allreduce_time(&n, p, bytes);
+        let doubling_large = 6.0 * point_to_point_time(&n, bytes);
+        assert!(large < doubling_large);
+    }
+
+    #[test]
+    fn broadcast_never_exceeds_naive_tree() {
+        let n = net();
+        for p in [2u64, 7, 32, 200] {
+            for bytes in [0u64, 512, 1 << 20] {
+                let t = broadcast_time(&n, p, bytes);
+                let tree = log2_ceil(p) as f64 * point_to_point_time(&n, bytes);
+                assert!(t <= tree * (1.0 + 1e-12));
+                assert!(t > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_scales_linearly_in_p() {
+        let n = net();
+        let t32 = alltoall_time(&n, 33, 4096); // 32 rounds
+        let t64 = alltoall_time(&n, 65, 4096); // 64 rounds
+        assert!((t64 / t32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisection_factor_throttles_alltoall_only_bandwidth_term() {
+        let mut n = net();
+        let base = alltoall_time(&n, 16, 1 << 20);
+        n.bisection_factor = 0.3;
+        let throttled = alltoall_time(&n, 16, 1 << 20);
+        assert!(throttled > base);
+        // Latency term unchanged: zero-byte all-to-all identical.
+        let n0 = net();
+        assert!((alltoall_time(&n, 16, 0) - alltoall_time(&n0, 16, 0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn better_network_is_uniformly_faster() {
+        let slow = net();
+        let fast = NetworkSpec {
+            latency: slow.latency / 4.0,
+            bandwidth: slow.bandwidth * 4.0,
+            per_message_overhead: slow.per_message_overhead / 2.0,
+            rendezvous_threshold: slow.rendezvous_threshold,
+            bisection_factor: 1.0,
+        };
+        for p in [4u64, 64, 300] {
+            for bytes in [64u64, 8192, 1 << 20] {
+                assert!(allreduce_time(&fast, p, bytes) < allreduce_time(&slow, p, bytes));
+                assert!(broadcast_time(&fast, p, bytes) < broadcast_time(&slow, p, bytes));
+                assert!(alltoall_time(&fast, p, bytes) < alltoall_time(&slow, p, bytes));
+            }
+            assert!(barrier_time(&fast, p) < barrier_time(&slow, p));
+        }
+    }
+}

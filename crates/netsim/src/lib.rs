@@ -1,0 +1,42 @@
+//! Interconnect simulator for the `metasim` workspace.
+//!
+//! The paper's NETBENCH probe measures interconnect latency and bandwidth
+//! (plus an `all_reduce` test), and its Metric #8 convolves an MPIDTRACE
+//! communication signature with those rates. The ten HPCMP systems span five
+//! interconnect families (NUMALink, Colony, Quadrics, Federation, Myrinet)
+//! with order-of-magnitude latency and bandwidth differences.
+//!
+//! This crate models a network the way LogGP-style analytical models do:
+//!
+//! * **Point-to-point** ([`p2p`]): one-way cost `L + o + n/B`, with a
+//!   rendezvous handshake surcharge for large messages.
+//! * **Collectives** ([`collectives`]): algorithmic cost models
+//!   (binomial-tree and ring variants, using whichever is cheaper at a given
+//!   size, as MPI implementations do), built on the point-to-point terms.
+//! * **Trace replay** ([`mod@replay`]): a communication-event trace is costed
+//!   event by event; the ground-truth model layers synchronization imbalance
+//!   on top.
+//!
+//! ```
+//! use metasim_netsim::spec::NetworkSpec;
+//! use metasim_netsim::collectives::allreduce_time;
+//!
+//! let net = NetworkSpec::example_cluster();
+//! // All-reduce cost grows with both message size and process count.
+//! let t_small = allreduce_time(&net, 16, 8 * 1024);
+//! let t_big = allreduce_time(&net, 256, 8 * 1024);
+//! assert!(t_big > t_small);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collectives;
+pub mod p2p;
+pub mod replay;
+pub mod spec;
+
+pub use collectives::{allreduce_time, alltoall_time, barrier_time, broadcast_time};
+pub use p2p::point_to_point_time;
+pub use replay::{replay, CommEvent, CommOp};
+pub use spec::NetworkSpec;

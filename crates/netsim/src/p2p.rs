@@ -1,0 +1,83 @@
+//! Point-to-point message cost model.
+
+use crate::spec::NetworkSpec;
+
+/// Time for one point-to-point message of `bytes`, seconds.
+///
+/// `L + o + n/B`, plus a rendezvous round trip (`2L`) for messages above the
+/// protocol threshold — the visible "knee" in real ping-pong curves.
+#[must_use]
+pub fn point_to_point_time(net: &NetworkSpec, bytes: u64) -> f64 {
+    let mut t = net.latency + net.per_message_overhead + bytes as f64 / net.bandwidth;
+    if bytes > net.rendezvous_threshold {
+        t += 2.0 * net.latency;
+    }
+    t
+}
+
+/// Round-trip ping-pong time for one message size (what NETBENCH measures).
+#[must_use]
+pub fn ping_pong_time(net: &NetworkSpec, bytes: u64) -> f64 {
+    2.0 * point_to_point_time(net, bytes)
+}
+
+/// Effective delivered bandwidth for a given message size, bytes/second.
+#[must_use]
+pub fn effective_bandwidth(net: &NetworkSpec, bytes: u64) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    bytes as f64 / point_to_point_time(net, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+
+    #[test]
+    fn zero_byte_message_costs_latency_plus_overhead() {
+        let n = NetworkSpec::example_cluster();
+        let t = point_to_point_time(&n, 0);
+        assert!((t - (n.latency + n.per_message_overhead)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cost_is_affine_below_rendezvous() {
+        let n = NetworkSpec::example_cluster();
+        let t1 = point_to_point_time(&n, 1024);
+        let t2 = point_to_point_time(&n, 2048);
+        let slope = (t2 - t1) / 1024.0;
+        assert!((slope - 1.0 / n.bandwidth).abs() / slope < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_knee_exists() {
+        let n = NetworkSpec::example_cluster();
+        let below = point_to_point_time(&n, n.rendezvous_threshold);
+        let above = point_to_point_time(&n, n.rendezvous_threshold + 1);
+        assert!(above - below > 1.9 * n.latency);
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_peak_for_large_messages() {
+        let n = NetworkSpec::example_cluster();
+        let bw = effective_bandwidth(&n, 64 << 20);
+        assert!(bw > 0.99 * n.bandwidth, "bw {bw}");
+        assert!(bw < n.bandwidth, "cannot exceed wire rate");
+    }
+
+    #[test]
+    fn effective_bandwidth_small_messages_latency_dominated() {
+        let n = NetworkSpec::example_cluster();
+        let bw = effective_bandwidth(&n, 8);
+        assert!(bw < 0.01 * n.bandwidth, "8-byte messages are latency-bound");
+        assert_eq!(effective_bandwidth(&n, 0), 0.0);
+    }
+
+    #[test]
+    fn ping_pong_is_twice_one_way() {
+        let n = NetworkSpec::example_cluster();
+        assert!((ping_pong_time(&n, 100) - 2.0 * point_to_point_time(&n, 100)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,170 @@
+//! Communication-trace replay: cost a sequence of MPI events on a network.
+//!
+//! The tracer crate's MPIDTRACE equivalent emits [`CommEvent`]s; replaying
+//! them on a [`NetworkSpec`] yields the communication time the paper's
+//! Metric #8 adds, and (with an imbalance factor layered on by the
+//! ground-truth model) the communication component of "real" runtimes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::collectives::{
+    allreduce_time, alltoall_time, barrier_time, broadcast_time, reduce_time,
+};
+use crate::p2p::point_to_point_time;
+use crate::spec::NetworkSpec;
+
+/// One kind of MPI operation, with its per-process payload in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommOp {
+    /// Point-to-point send/recv pair of `bytes`.
+    PointToPoint {
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// Barrier across the communicator.
+    Barrier,
+    /// All-reduce of `bytes` per process.
+    AllReduce {
+        /// Payload per process in bytes.
+        bytes: u64,
+    },
+    /// Broadcast of `bytes`.
+    Broadcast {
+        /// Payload in bytes.
+        bytes: u64,
+    },
+    /// Reduce of `bytes` to a root.
+    Reduce {
+        /// Payload in bytes.
+        bytes: u64,
+    },
+    /// All-to-all with `bytes` per destination.
+    AllToAll {
+        /// Payload per destination pair in bytes.
+        bytes: u64,
+    },
+}
+
+/// An operation repeated `count` times during the traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommEvent {
+    /// The operation.
+    pub op: CommOp,
+    /// How many times it occurred.
+    pub count: u64,
+}
+
+impl CommEvent {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(op: CommOp, count: u64) -> Self {
+        Self { op, count }
+    }
+
+    /// Total bytes this event moves per process (count × payload); barriers
+    /// move zero.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        let per = match self.op {
+            CommOp::PointToPoint { bytes }
+            | CommOp::AllReduce { bytes }
+            | CommOp::Broadcast { bytes }
+            | CommOp::Reduce { bytes }
+            | CommOp::AllToAll { bytes } => bytes,
+            CommOp::Barrier => 0,
+        };
+        per * self.count
+    }
+}
+
+/// Cost of one occurrence of `op` on `net` with `p` processes, seconds.
+#[must_use]
+pub fn op_time(net: &NetworkSpec, p: u64, op: CommOp) -> f64 {
+    match op {
+        CommOp::PointToPoint { bytes } => point_to_point_time(net, bytes),
+        CommOp::Barrier => barrier_time(net, p),
+        CommOp::AllReduce { bytes } => allreduce_time(net, p, bytes),
+        CommOp::Broadcast { bytes } => broadcast_time(net, p, bytes),
+        CommOp::Reduce { bytes } => reduce_time(net, p, bytes),
+        CommOp::AllToAll { bytes } => alltoall_time(net, p, bytes),
+    }
+}
+
+/// Replay an event trace: total communication seconds for one process's
+/// critical path (no overlap with computation assumed here; callers model
+/// overlap).
+#[must_use]
+pub fn replay(net: &NetworkSpec, p: u64, events: &[CommEvent]) -> f64 {
+    events
+        .iter()
+        .map(|e| e.count as f64 * op_time(net, p, e.op))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+
+    fn net() -> NetworkSpec {
+        NetworkSpec::example_cluster()
+    }
+
+    #[test]
+    fn replay_sums_event_costs() {
+        let n = net();
+        let events = [
+            CommEvent::new(CommOp::PointToPoint { bytes: 1024 }, 10),
+            CommEvent::new(CommOp::AllReduce { bytes: 64 }, 3),
+            CommEvent::new(CommOp::Barrier, 2),
+        ];
+        let total = replay(&n, 32, &events);
+        let manual = 10.0 * op_time(&n, 32, CommOp::PointToPoint { bytes: 1024 })
+            + 3.0 * op_time(&n, 32, CommOp::AllReduce { bytes: 64 })
+            + 2.0 * op_time(&n, 32, CommOp::Barrier);
+        assert!((total - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        assert_eq!(replay(&net(), 64, &[]), 0.0);
+    }
+
+    #[test]
+    fn total_bytes_accounting() {
+        assert_eq!(
+            CommEvent::new(CommOp::PointToPoint { bytes: 100 }, 7).total_bytes(),
+            700
+        );
+        assert_eq!(CommEvent::new(CommOp::Barrier, 9).total_bytes(), 0);
+        assert_eq!(
+            CommEvent::new(CommOp::AllToAll { bytes: 64 }, 2).total_bytes(),
+            128
+        );
+    }
+
+    #[test]
+    fn op_time_covers_all_variants() {
+        let n = net();
+        let p = 16;
+        for op in [
+            CommOp::PointToPoint { bytes: 64 },
+            CommOp::Barrier,
+            CommOp::AllReduce { bytes: 64 },
+            CommOp::Broadcast { bytes: 64 },
+            CommOp::Reduce { bytes: 64 },
+            CommOp::AllToAll { bytes: 64 },
+        ] {
+            let t = op_time(&n, p, op);
+            assert!(t > 0.0 && t.is_finite(), "{op:?} -> {t}");
+        }
+    }
+
+    #[test]
+    fn replay_scales_linearly_in_count() {
+        let n = net();
+        let one = replay(&n, 8, &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 1)]);
+        let five = replay(&n, 8, &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 5)]);
+        assert!((five - 5.0 * one).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,92 @@
+//! Network hardware description.
+
+use serde::{Deserialize, Serialize};
+
+/// True when `x` is a finite, strictly positive number (NaN-rejecting).
+fn positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+/// Analytical description of one machine's interconnect, as seen by a
+/// single MPI process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// One-way small-message MPI latency, seconds (wire + software stack).
+    pub latency: f64,
+    /// Sustainable point-to-point bandwidth per process pair, bytes/second.
+    pub bandwidth: f64,
+    /// Sender/receiver CPU overhead per MPI message, seconds.
+    pub per_message_overhead: f64,
+    /// Message size (bytes) above which the rendezvous protocol adds a
+    /// round-trip handshake.
+    pub rendezvous_threshold: u64,
+    /// Fraction of full bisection bandwidth the fabric sustains under
+    /// all-to-all pressure, in `(0, 1]`. Fat, low-diameter fabrics
+    /// (NUMALink, Federation) sit near 1; commodity Myrinet meshes lower.
+    pub bisection_factor: f64,
+}
+
+impl NetworkSpec {
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !positive(self.latency) {
+            return Err("latency must be positive".into());
+        }
+        if !positive(self.bandwidth) {
+            return Err("bandwidth must be positive".into());
+        }
+        if !(self.per_message_overhead.is_finite() && self.per_message_overhead >= 0.0) {
+            return Err("per-message overhead must be non-negative".into());
+        }
+        if !(self.bisection_factor > 0.0 && self.bisection_factor <= 1.0) {
+            return Err("bisection factor must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+
+    /// A generic early-2000s cluster interconnect used by tests and
+    /// doc-examples (not one of the study machines).
+    #[must_use]
+    pub fn example_cluster() -> Self {
+        Self {
+            latency: 8e-6,
+            bandwidth: 250e6,
+            per_message_overhead: 1.5e-6,
+            rendezvous_threshold: 32 << 10,
+            bisection_factor: 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_validates() {
+        NetworkSpec::example_cluster().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_nonpositive_parameters() {
+        let mut n = NetworkSpec::example_cluster();
+        n.latency = 0.0;
+        assert!(n.validate().is_err());
+
+        let mut n = NetworkSpec::example_cluster();
+        n.bandwidth = -1.0;
+        assert!(n.validate().is_err());
+
+        let mut n = NetworkSpec::example_cluster();
+        n.per_message_overhead = -1e-9;
+        assert!(n.validate().is_err());
+
+        let mut n = NetworkSpec::example_cluster();
+        n.bisection_factor = 0.0;
+        assert!(n.validate().is_err());
+
+        let mut n = NetworkSpec::example_cluster();
+        n.bisection_factor = 1.5;
+        assert!(n.validate().is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the interconnect model.
+
+use metasim_netsim::collectives::{allreduce_time, alltoall_time, barrier_time, broadcast_time};
+use metasim_netsim::p2p::{effective_bandwidth, point_to_point_time};
+use metasim_netsim::replay::{replay, CommEvent, CommOp};
+use metasim_netsim::spec::NetworkSpec;
+use proptest::prelude::*;
+
+fn any_net() -> impl Strategy<Value = NetworkSpec> {
+    (
+        1e-6f64..50e-6,   // latency
+        50e6f64..2e9,     // bandwidth
+        0.0f64..5e-6,     // overhead
+        1u64..20,         // rendezvous threshold in KiB
+        0.3f64..1.0,      // bisection
+    )
+        .prop_map(|(latency, bandwidth, ovh, rkib, bis)| NetworkSpec {
+            latency,
+            bandwidth,
+            per_message_overhead: ovh,
+            rendezvous_threshold: rkib << 10,
+            bisection_factor: bis,
+        })
+}
+
+proptest! {
+    // Message cost is monotone in size.
+    #[test]
+    fn p2p_monotone_in_bytes(net in any_net(), a in 0u64..1<<22, b in 0u64..1<<22) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(point_to_point_time(&net, lo) <= point_to_point_time(&net, hi));
+    }
+
+    // Delivered bandwidth never exceeds the wire rate.
+    #[test]
+    fn effective_bandwidth_below_wire(net in any_net(), bytes in 1u64..1<<26) {
+        prop_assert!(effective_bandwidth(&net, bytes) < net.bandwidth);
+    }
+
+    // Small-payload collectives are monotone in process count. (For large
+    // payloads the ring/scatter algorithms amortize the payload over p and
+    // per-chunk sizes can drop below the rendezvous knee, so doubling p can
+    // genuinely cheapen an allreduce — the same effect visible in real MPI
+    // measurements. The property is therefore asserted in the
+    // latency-dominated regime, where every algorithm's cost grows with p.)
+    #[test]
+    fn small_collectives_monotone_in_p(net in any_net(), p in 2u64..256, bytes in 0u64..512) {
+        prop_assert!(barrier_time(&net, 2 * p) >= barrier_time(&net, p));
+        prop_assert!(allreduce_time(&net, 2 * p, bytes) >= allreduce_time(&net, p, bytes) * 0.999);
+        prop_assert!(broadcast_time(&net, 2 * p, bytes) >= broadcast_time(&net, p, bytes) * 0.999);
+        prop_assert!(alltoall_time(&net, 2 * p, bytes) >= alltoall_time(&net, p, bytes));
+    }
+
+    // Collectives cost at least one message and are finite.
+    #[test]
+    fn collectives_bounded(net in any_net(), p in 2u64..512, bytes in 0u64..1<<22) {
+        let one_msg = point_to_point_time(&net, 0);
+        for t in [
+            barrier_time(&net, p),
+            allreduce_time(&net, p, bytes),
+            broadcast_time(&net, p, bytes),
+            alltoall_time(&net, p, bytes),
+        ] {
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= one_msg * 0.999, "{t} vs one message {one_msg}");
+        }
+    }
+
+    // Replay is additive over event concatenation.
+    #[test]
+    fn replay_is_additive(net in any_net(), p in 2u64..128, n1 in 1u64..50, n2 in 1u64..50, bytes in 1u64..1<<16) {
+        let e1 = [CommEvent::new(CommOp::PointToPoint { bytes }, n1)];
+        let e2 = [CommEvent::new(CommOp::AllReduce { bytes }, n2)];
+        let both = [e1[0], e2[0]];
+        let sum = replay(&net, p, &e1) + replay(&net, p, &e2);
+        let joint = replay(&net, p, &both);
+        prop_assert!((sum - joint).abs() < 1e-12 * sum.max(1e-30));
+    }
+
+    // The allreduce algorithm switch never makes the chosen cost worse than
+    // either pure algorithm.
+    #[test]
+    fn allreduce_takes_the_cheaper_algorithm(net in any_net(), p in 2u64..256, bytes in 1u64..1<<22) {
+        let chosen = allreduce_time(&net, p, bytes);
+        let log2p = 64 - (p - 1).leading_zeros() as u64;
+        let doubling = log2p as f64 * point_to_point_time(&net, bytes);
+        prop_assert!(chosen <= doubling * (1.0 + 1e-12));
+    }
+}

@@ -1,0 +1,297 @@
+//! The MEMBENCH MAPS probe: memory bandwidth versus working-set size.
+//!
+//! MAPS "is equivalent to launching multiple instances of both STREAM and
+//! GUPS at various sizes in order to span the various levels of cache"
+//! (paper §3). We sweep working sets from 4 KiB to 128 MiB at half-octave
+//! spacing for unit-stride and random patterns. ENHANCED MAPS repeats the
+//! sweep with loop-carried-dependency and branchy issue modes, "inducing
+//! data and control-flow dependencies in the inner loop of both STREAM and
+//! GUPS".
+//!
+//! A [`MapsCurve`] supports log-space interpolation so the convolver can ask
+//! for the delivered bandwidth at any application working-set size —
+//! exactly how the paper's Metrics #7–#9 consume the curves.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use metasim_machines::MachineConfig;
+use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
+use metasim_memsim::timing::{AccessKind, DependencyMode};
+
+/// Which inner-loop flavour a curve was measured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyFlavor {
+    /// Plain MAPS: independent iterations.
+    Independent,
+    /// ENHANCED MAPS: loop-carried data dependency.
+    Chained,
+    /// ENHANCED MAPS: unpredictable branch in the loop body.
+    Branchy,
+}
+
+impl DependencyFlavor {
+    fn mode(self) -> DependencyMode {
+        match self {
+            DependencyFlavor::Independent => DependencyMode::Independent,
+            DependencyFlavor::Chained => DependencyMode::Chained,
+            DependencyFlavor::Branchy => DependencyMode::Branchy,
+        }
+    }
+}
+
+/// One measured bandwidth-versus-size curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapsCurve {
+    /// Access pattern the curve was measured with.
+    pub kind: AccessKind,
+    /// Dependency flavour.
+    pub flavor: DependencyFlavor,
+    /// `(working_set_bytes, bytes_per_second)` points, ascending in size.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl MapsCurve {
+    /// Delivered bandwidth at an arbitrary working-set size, by log-linear
+    /// interpolation; clamps to the measured range.
+    ///
+    /// # Panics
+    /// Panics if the curve is empty.
+    #[must_use]
+    pub fn bandwidth_at(&self, working_set: u64) -> f64 {
+        assert!(!self.points.is_empty(), "empty MAPS curve");
+        let ws = working_set.max(1) as f64;
+        let first = self.points[0];
+        let last = *self.points.last().expect("non-empty");
+        if ws <= first.0 as f64 {
+            return first.1;
+        }
+        if ws >= last.0 as f64 {
+            return last.1;
+        }
+        let idx = self
+            .points
+            .partition_point(|&(size, _)| (size as f64) < ws);
+        let (s0, b0) = self.points[idx - 1];
+        let (s1, b1) = self.points[idx];
+        if s0 == s1 {
+            return b0;
+        }
+        let t = (ws.ln() - (s0 as f64).ln()) / ((s1 as f64).ln() - (s0 as f64).ln());
+        b0 + t * (b1 - b0)
+    }
+
+    /// The main-memory plateau: the last (largest working set) point — this
+    /// is "the lower right-hand portion" that matches STREAM/GUPS (§3).
+    #[must_use]
+    pub fn plateau(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, bw)| bw)
+    }
+}
+
+/// The full MAPS measurement for one machine: unit and random curves, plus
+/// the ENHANCED dependency/branch variants of each.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapsSet {
+    /// Unit-stride, independent (the Figure 1 curve).
+    pub unit: MapsCurve,
+    /// Random, independent.
+    pub random: MapsCurve,
+    /// Unit-stride with a loop-carried dependency (ENHANCED).
+    pub unit_chained: MapsCurve,
+    /// Unit-stride with an in-loop branch (ENHANCED).
+    pub unit_branchy: MapsCurve,
+    /// Random with a loop-carried dependency (ENHANCED).
+    pub random_chained: MapsCurve,
+}
+
+impl MapsSet {
+    /// Select the curve for a pattern/flavour pair as Metric #9 does.
+    #[must_use]
+    pub fn curve(&self, random: bool, flavor: DependencyFlavor) -> &MapsCurve {
+        match (random, flavor) {
+            (false, DependencyFlavor::Independent) => &self.unit,
+            (false, DependencyFlavor::Chained) => &self.unit_chained,
+            (false, DependencyFlavor::Branchy) => &self.unit_branchy,
+            (true, DependencyFlavor::Independent) => &self.random,
+            // Branchy random loops behave like chained ones at this model's
+            // granularity.
+            (true, DependencyFlavor::Chained | DependencyFlavor::Branchy) => &self.random_chained,
+        }
+    }
+}
+
+/// The working-set sizes MAPS sweeps: 4 KiB → 128 MiB at half-octave steps.
+#[must_use]
+pub fn sweep_sizes() -> Vec<u64> {
+    let mut sizes = Vec::new();
+    let mut s: u64 = 4 << 10;
+    while s <= 128 << 20 {
+        sizes.push(s);
+        let next = s * 3 / 2;
+        sizes.push(next.min(128 << 20));
+        s *= 2;
+    }
+    sizes.dedup();
+    sizes
+}
+
+fn measure_curve(
+    machine: &MachineConfig,
+    kind: AccessKind,
+    flavor: DependencyFlavor,
+) -> MapsCurve {
+    let points: Vec<(u64, f64)> = sweep_sizes()
+        .par_iter()
+        .map(|&ws| {
+            let sample = measure_bandwidth(
+                &machine.memory,
+                &Workload::new(ws, kind, flavor.mode()),
+            );
+            (ws, sample.bytes_per_second())
+        })
+        .collect();
+    MapsCurve {
+        kind,
+        flavor,
+        points,
+    }
+}
+
+/// Run the full MAPS + ENHANCED MAPS measurement for one machine.
+#[must_use]
+pub fn measure_maps(machine: &MachineConfig) -> MapsSet {
+    MapsSet {
+        unit: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Independent),
+        random: measure_curve(machine, AccessKind::Random, DependencyFlavor::Independent),
+        unit_chained: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Chained),
+        unit_branchy: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Branchy),
+        random_chained: measure_curve(machine, AccessKind::Random, DependencyFlavor::Chained),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_machines::{fleet, MachineId};
+
+    fn maps_for(id: MachineId) -> MapsSet {
+        measure_maps(fleet().get(id))
+    }
+
+    #[test]
+    fn sweep_spans_l1_to_dram() {
+        let sizes = sweep_sizes();
+        assert_eq!(*sizes.first().unwrap(), 4 << 10);
+        assert_eq!(*sizes.last().unwrap(), 128 << 20);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(sizes.len() > 20, "enough resolution: {}", sizes.len());
+    }
+
+    #[test]
+    fn unit_curve_is_monotone_decreasing_ish() {
+        let set = maps_for(MachineId::Navo655);
+        for w in set.unit.points.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 * 1.05,
+                "unit curve rises: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn plateau_matches_stream_and_gups() {
+        // §3: the lower-right of the unit curve is the STREAM score; of the
+        // random curve, the GUPS score.
+        let f = fleet();
+        let m = f.get(MachineId::ArlOpteron);
+        let set = measure_maps(m);
+        let stream = crate::stream::measure_stream(m);
+        let gups = crate::gups::measure_gups(m);
+        let unit_plateau = set.unit.plateau();
+        assert!(
+            (unit_plateau - stream.bandwidth).abs() / stream.bandwidth < 0.15,
+            "unit plateau {unit_plateau} vs STREAM {}",
+            stream.bandwidth
+        );
+        let random_plateau = set.random.plateau();
+        assert!(
+            (random_plateau - gups.effective_bandwidth()).abs() / gups.effective_bandwidth()
+                < 0.25,
+            "random plateau {random_plateau} vs GUPS {}",
+            gups.effective_bandwidth()
+        );
+    }
+
+    #[test]
+    fn interpolation_is_sane() {
+        let curve = MapsCurve {
+            kind: AccessKind::Sequential,
+            flavor: DependencyFlavor::Independent,
+            points: vec![(1024, 10e9), (4096, 2e9)],
+        };
+        // Clamps at the ends.
+        assert_eq!(curve.bandwidth_at(1), 10e9);
+        assert_eq!(curve.bandwidth_at(1 << 30), 2e9);
+        // Log-midpoint of 1024..4096 is 2048.
+        let mid = curve.bandwidth_at(2048);
+        assert!((mid - 6e9).abs() / 6e9 < 1e-9, "got {mid}");
+        // Monotone between the ends.
+        assert!(curve.bandwidth_at(1500) > curve.bandwidth_at(3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty MAPS curve")]
+    fn empty_curve_panics() {
+        let curve = MapsCurve {
+            kind: AccessKind::Sequential,
+            flavor: DependencyFlavor::Independent,
+            points: vec![],
+        };
+        let _ = curve.bandwidth_at(1024);
+    }
+
+    #[test]
+    fn enhanced_curves_are_slower_in_cache() {
+        let set = maps_for(MachineId::Navo655);
+        // At L1-resident sizes the chained curve must be far below plain.
+        let plain = set.unit.bandwidth_at(8 << 10);
+        let chained = set.unit_chained.bandwidth_at(8 << 10);
+        let branchy = set.unit_branchy.bandwidth_at(8 << 10);
+        assert!(chained < 0.5 * plain, "chained {chained} vs {plain}");
+        assert!(branchy < plain, "branchy {branchy} vs {plain}");
+    }
+
+    #[test]
+    fn figure1_crossovers_hold() {
+        // Paper Figure 1: Opteron best from main memory; Altix best in the
+        // L2 region; p655 best at L1-resident sizes (among those three).
+        let p655 = maps_for(MachineId::Navo655);
+        let altix = maps_for(MachineId::ArlAltix);
+        let opteron = maps_for(MachineId::ArlOpteron);
+
+        let l1 = 16 << 10;
+        assert!(p655.unit.bandwidth_at(l1) > opteron.unit.bandwidth_at(l1));
+
+        let l2 = 192 << 10;
+        assert!(altix.unit.bandwidth_at(l2) > p655.unit.bandwidth_at(l2));
+        assert!(altix.unit.bandwidth_at(l2) > opteron.unit.bandwidth_at(l2));
+
+        let dram = 128 << 20;
+        assert!(opteron.unit.bandwidth_at(dram) > altix.unit.bandwidth_at(dram));
+        assert!(opteron.unit.bandwidth_at(dram) > p655.unit.bandwidth_at(dram));
+    }
+
+    #[test]
+    fn curve_selector_routes_flavours() {
+        let set = maps_for(MachineId::ArlXeon);
+        assert_eq!(set.curve(false, DependencyFlavor::Independent), &set.unit);
+        assert_eq!(set.curve(true, DependencyFlavor::Independent), &set.random);
+        assert_eq!(set.curve(false, DependencyFlavor::Chained), &set.unit_chained);
+        assert_eq!(set.curve(false, DependencyFlavor::Branchy), &set.unit_branchy);
+        assert_eq!(set.curve(true, DependencyFlavor::Chained), &set.random_chained);
+        assert_eq!(set.curve(true, DependencyFlavor::Branchy), &set.random_chained);
+    }
+}

@@ -1,0 +1,130 @@
+//! The full probe suite for a machine, measured once and memoized.
+//!
+//! The study needs every probe result for every machine (Tables 4/5 convolve
+//! 1,350 predictions); [`ProbeSuite`] caches per-machine measurements behind
+//! a `parking_lot::RwLock` so parallel study drivers measure each machine at
+//! most once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use metasim_machines::{MachineConfig, MachineId};
+
+use crate::gups::{measure_gups, GupsResult};
+use crate::hpl::{measure_hpl, HplResult};
+use crate::maps::{measure_maps, MapsSet};
+use crate::netbench::{measure_netbench, NetbenchResult};
+use crate::stream::{measure_stream, StreamResult};
+
+/// Number of processes the fleet-comparable HPL submission uses.
+pub const HPL_PROCESSES: u64 = 64;
+
+/// Every probe result for one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineProbes {
+    /// Which machine was measured.
+    pub id: MachineId,
+    /// HPL result (per-processor Rmax).
+    pub hpl: HplResult,
+    /// STREAM result.
+    pub stream: StreamResult,
+    /// GUPS result.
+    pub gups: GupsResult,
+    /// MAPS and ENHANCED MAPS curves.
+    pub maps: MapsSet,
+    /// NETBENCH result.
+    pub netbench: NetbenchResult,
+}
+
+impl MachineProbes {
+    /// Measure everything for one machine (expensive: full MAPS sweeps).
+    #[must_use]
+    pub fn measure(machine: &MachineConfig) -> Self {
+        Self {
+            id: machine.id,
+            hpl: measure_hpl(machine, HPL_PROCESSES),
+            stream: measure_stream(machine),
+            gups: measure_gups(machine),
+            maps: measure_maps(machine),
+            netbench: measure_netbench(machine),
+        }
+    }
+}
+
+/// Memoizing probe runner.
+#[derive(Debug, Default)]
+pub struct ProbeSuite {
+    cache: RwLock<HashMap<MachineId, Arc<MachineProbes>>>,
+}
+
+impl ProbeSuite {
+    /// Fresh suite with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probe results for `machine`, measuring on first request.
+    #[must_use]
+    pub fn measure(&self, machine: &MachineConfig) -> Arc<MachineProbes> {
+        if let Some(hit) = self.cache.read().get(&machine.id) {
+            return Arc::clone(hit);
+        }
+        let probes = Arc::new(MachineProbes::measure(machine));
+        let mut guard = self.cache.write();
+        Arc::clone(guard.entry(machine.id).or_insert(probes))
+    }
+
+    /// Number of machines measured so far.
+    #[must_use]
+    pub fn measured_count(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_machines::{fleet, MachineId};
+
+    #[test]
+    fn suite_memoizes() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let a = suite.measure(f.get(MachineId::ArlXeon));
+        let b = suite.measure(f.get(MachineId::ArlXeon));
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(suite.measured_count(), 1);
+    }
+
+    #[test]
+    fn probes_carry_machine_identity() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let p = suite.measure(f.get(MachineId::ErdcO3800));
+        assert_eq!(p.id, MachineId::ErdcO3800);
+        assert_eq!(p.hpl.processes, HPL_PROCESSES);
+    }
+
+    #[test]
+    fn concurrent_measurement_is_safe() {
+        let f = Arc::new(fleet());
+        let suite = Arc::new(ProbeSuite::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                let suite = Arc::clone(&suite);
+                std::thread::spawn(move || {
+                    let p = suite.measure(f.get(MachineId::AscSc45));
+                    p.stream.bandwidth
+                })
+            })
+            .collect();
+        let values: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(suite.measured_count(), 1);
+    }
+}

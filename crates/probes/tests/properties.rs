@@ -1,0 +1,85 @@
+//! Property-based tests for the probe layer.
+
+use metasim_machines::{fleet, MachineId};
+use metasim_probes::maps::{DependencyFlavor, MapsCurve};
+use metasim_probes::suite::ProbeSuite;
+use metasim_memsim::timing::AccessKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn any_target() -> impl Strategy<Value = MachineId> {
+    (0usize..10).prop_map(|i| MachineId::TARGETS[i])
+}
+
+/// Probe measurements are expensive; share one suite across all cases.
+fn suite() -> &'static ProbeSuite {
+    static SUITE: OnceLock<ProbeSuite> = OnceLock::new();
+    SUITE.get_or_init(ProbeSuite::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Curve interpolation always stays within the envelope of measured
+    // bandwidths.
+    #[test]
+    fn interpolation_stays_in_envelope(id in any_target(), ws in 1u64..1<<28) {
+        let f = fleet();
+        let probes = suite().measure(f.get(id));
+        let curve = &probes.maps.unit;
+        let lo = curve.points.iter().map(|&(_, b)| b).fold(f64::INFINITY, f64::min);
+        let hi = curve.points.iter().map(|&(_, b)| b).fold(0.0f64, f64::max);
+        let v = curve.bandwidth_at(ws);
+        prop_assert!(v >= lo * 0.999 && v <= hi * 1.001, "{id}: {v} outside [{lo}, {hi}]");
+    }
+
+    // Enhanced (chained) curves never beat the plain curve at any size.
+    #[test]
+    fn chained_curve_never_faster(id in any_target(), ws in 4u64..1<<27) {
+        let f = fleet();
+        let probes = suite().measure(f.get(id));
+        let plain = probes.maps.curve(false, DependencyFlavor::Independent).bandwidth_at(ws);
+        let chained = probes.maps.curve(false, DependencyFlavor::Chained).bandwidth_at(ws);
+        prop_assert!(chained <= plain * 1.01, "{id} at {ws}: chained {chained} vs plain {plain}");
+    }
+
+    // Random curves never beat unit-stride curves at any size.
+    #[test]
+    fn random_never_beats_unit(id in any_target(), ws in 4u64..1<<27) {
+        let f = fleet();
+        let probes = suite().measure(f.get(id));
+        let unit = probes.maps.unit.bandwidth_at(ws);
+        let random = probes.maps.random.bandwidth_at(ws);
+        prop_assert!(random <= unit * 1.01, "{id} at {ws}");
+    }
+}
+
+#[test]
+fn curve_interpolation_is_continuous_at_knots() {
+    let curve = MapsCurve {
+        kind: AccessKind::Sequential,
+        flavor: DependencyFlavor::Independent,
+        points: vec![(1 << 12, 8e9), (1 << 14, 4e9), (1 << 18, 1e9)],
+    };
+    for &(ws, bw) in &curve.points {
+        assert!((curve.bandwidth_at(ws) - bw).abs() / bw < 1e-9);
+        // One byte either side is close.
+        assert!((curve.bandwidth_at(ws + 1) - bw).abs() / bw < 0.01);
+        assert!((curve.bandwidth_at(ws - 1) - bw).abs() / bw < 0.01);
+    }
+}
+
+#[test]
+fn hpl_rmax_ordering_is_deterministic() {
+    let f = fleet();
+    let a: Vec<f64> = MachineId::TARGETS
+        .iter()
+        .map(|&id| suite().measure(f.get(id)).hpl.rmax_gflops_per_proc)
+        .collect();
+    let fresh = ProbeSuite::new();
+    let b: Vec<f64> = MachineId::TARGETS
+        .iter()
+        .map(|&id| fresh.measure(f.get(id)).hpl.rmax_gflops_per_proc)
+        .collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,174 @@
+//! ASCII charts: grouped bar charts (the paper's Figures 2–7) and simple
+//! line charts (Figure 1's MAPS curves) for terminal output.
+
+/// One labelled group of bars (e.g. one CPU count with nine metric bars).
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label.
+    pub label: String,
+    /// `(bar label, value)` pairs.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// Render a horizontal grouped bar chart. Values must be non-negative.
+#[must_use]
+pub fn ascii_bar_chart(title: &str, groups: &[BarGroup], width: usize) -> String {
+    let max = groups
+        .iter()
+        .flat_map(|g| g.bars.iter().map(|(_, v)| *v))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = groups
+        .iter()
+        .flat_map(|g| g.bars.iter().map(|(l, _)| l.len()))
+        .max()
+        .unwrap_or(0);
+
+    let mut out = format!("{title}\n");
+    for g in groups {
+        out.push_str(&format!("[{}]\n", g.label));
+        for (label, value) in &g.bars {
+            debug_assert!(*value >= 0.0, "bar values must be non-negative");
+            let n = ((value / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {label:<label_w$} |{} {value:.1}\n",
+                "#".repeat(n)
+            ));
+        }
+    }
+    out
+}
+
+/// One line-chart series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series name (legend).
+    pub name: String,
+    /// `(x, y)` points, ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render a multi-series line chart on a character grid with log-x
+/// (message sizes) and linear-y axes. Each series plots with its own glyph.
+#[must_use]
+pub fn ascii_line_chart(
+    title: &str,
+    series: &[Series],
+    cols: usize,
+    rows: usize,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '^', '~'];
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut y_hi = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_hi = y_hi.max(y);
+        }
+    }
+    if !x_lo.is_finite() || x_hi <= x_lo || y_hi <= 0.0 {
+        return format!("{title}\n(no data)\n");
+    }
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    let lx_lo = x_lo.ln();
+    let lx_hi = x_hi.ln();
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x.ln() - lx_lo) / (lx_hi - lx_lo)) * (cols - 1) as f64).round() as usize;
+            let cy = ((y / y_hi) * (rows - 1) as f64).round() as usize;
+            let row = rows - 1 - cy.min(rows - 1);
+            grid[row][cx.min(cols - 1)] = glyph;
+        }
+    }
+
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_hi:9.2e}")
+        } else if i == rows - 1 {
+            format!("{:9.2e}", 0.0)
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&format!("{y_label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{} +{}\n{} {x_lo:.0} .. {x_hi:.0} (log x)\n",
+        " ".repeat(9),
+        "-".repeat(cols),
+        " ".repeat(9),
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{} {} = {}\n",
+            " ".repeat(9),
+            GLYPHS[si % GLYPHS.len()],
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let groups = vec![BarGroup {
+            label: "32 cpus".into(),
+            bars: vec![("HPL".into(), 50.0), ("STREAM".into(), 25.0)],
+        }];
+        let s = ascii_bar_chart("Figure 3", &groups, 40);
+        assert!(s.contains("Figure 3"));
+        assert!(s.contains("[32 cpus]"));
+        let hpl_hashes = s
+            .lines()
+            .find(|l| l.contains("HPL"))
+            .unwrap()
+            .matches('#')
+            .count();
+        let stream_hashes = s
+            .lines()
+            .find(|l| l.contains("STREAM"))
+            .unwrap()
+            .matches('#')
+            .count();
+        assert_eq!(hpl_hashes, 40, "max bar fills the width");
+        assert_eq!(stream_hashes, 20, "half value, half width");
+    }
+
+    #[test]
+    fn line_chart_places_extremes() {
+        let series = vec![Series {
+            name: "unit".into(),
+            points: vec![(1024.0, 1.0), (1_048_576.0, 10.0)],
+        }];
+        let s = ascii_line_chart("Figure 1", &series, 40, 10);
+        assert!(s.contains("Figure 1"));
+        assert!(s.contains("* = unit"));
+        // The max-y point lands on the top row.
+        let first_grid_line = s.lines().nth(1).unwrap();
+        assert!(first_grid_line.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_does_not_panic() {
+        let s = ascii_line_chart("empty", &[], 20, 5);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let mk = |name: &str, y: f64| Series {
+            name: name.into(),
+            points: vec![(10.0, y), (100.0, y * 2.0)],
+        };
+        let s = ascii_line_chart("t", &[mk("a", 1.0), mk("b", 2.0)], 30, 8);
+        assert!(s.contains("* = a"));
+        assert!(s.contains("o = b"));
+    }
+}

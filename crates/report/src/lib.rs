@@ -1,0 +1,16 @@
+//! Rendering for metasim experiment outputs: aligned ASCII tables, CSV,
+//! ASCII bar/line charts, and minimal SVG — everything the CLI and benches
+//! use to print the paper's tables and figures.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chart;
+pub mod csv;
+pub mod svg;
+pub mod table;
+
+pub use chart::{ascii_bar_chart, ascii_line_chart, BarGroup, Series};
+pub use csv::CsvWriter;
+pub use svg::line_chart_svg;
+pub use table::Table;

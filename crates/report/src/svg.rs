@@ -1,0 +1,203 @@
+//! Minimal SVG line-chart emission, for regenerating Figure 1 as a
+//! publishable artifact.
+
+use crate::chart::Series;
+
+const PALETTE: [&str; 6] = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951", "#9c6b4e",
+];
+
+/// Render series as an SVG line chart with log-x and linear-y axes.
+#[must_use]
+pub fn line_chart_svg(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: u32,
+    height: u32,
+) -> String {
+    let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 50.0);
+    let plot_w = f64::from(width) - ml - mr;
+    let plot_h = f64::from(height) - mt - mb;
+
+    let (mut x_lo, mut x_hi, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_hi = y_hi.max(y);
+        }
+    }
+    if !x_lo.is_finite() || x_hi <= x_lo || y_hi <= 0.0 {
+        return format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\">\
+             <text x=\"10\" y=\"20\">{title}: no data</text></svg>"
+        );
+    }
+    let (lx_lo, lx_hi) = (x_lo.ln(), x_hi.ln());
+    let px = |x: f64| ml + (x.ln() - lx_lo) / (lx_hi - lx_lo) * plot_w;
+    let py = |y: f64| mt + (1.0 - y / y_hi) * plot_h;
+
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n\
+         <text x=\"{tx}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">{title}</text>\n\
+         <rect x=\"{ml}\" y=\"{mt}\" width=\"{plot_w}\" height=\"{plot_h}\" \
+         fill=\"none\" stroke=\"#999\"/>\n\
+         <text x=\"{tx}\" y=\"{by}\" text-anchor=\"middle\">{x_label}</text>\n\
+         <text x=\"16\" y=\"{my}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 16 {my})\">{y_label}</text>\n",
+        tx = f64::from(width) / 2.0,
+        by = f64::from(height) - 12.0,
+        my = mt + plot_h / 2.0,
+    );
+
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(j, &(x, y))| {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                format!("{cmd}{:.1},{:.1}", px(x), py(y))
+            })
+            .collect();
+        svg.push_str(&format!(
+            "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            path.join(" ")
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\">{}</text>\n",
+            ml + 8.0,
+            mt + 16.0 + 16.0 * i as f64,
+            s.name
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render labelled bars (Figure 2's error-by-metric chart) as SVG.
+#[must_use]
+pub fn bar_chart_svg(
+    title: &str,
+    y_label: &str,
+    bars: &[(String, f64)],
+    width: u32,
+    height: u32,
+) -> String {
+    let (ml, mr, mt, mb) = (60.0, 20.0, 40.0, 90.0);
+    let plot_w = f64::from(width) - ml - mr;
+    let plot_h = f64::from(height) - mt - mb;
+    let max = bars.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    if bars.is_empty() || max <= 0.0 {
+        return format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\">\
+             <text x=\"10\" y=\"20\">{title}: no data</text></svg>"
+        );
+    }
+    let slot = plot_w / bars.len() as f64;
+    let bar_w = slot * 0.7;
+
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n\
+         <text x=\"{tx}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">{title}</text>\n\
+         <text x=\"16\" y=\"{my}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 16 {my})\">{y_label}</text>\n",
+        tx = f64::from(width) / 2.0,
+        my = mt + plot_h / 2.0,
+    );
+    for (i, (label, value)) in bars.iter().enumerate() {
+        let x = ml + slot * i as f64 + (slot - bar_w) / 2.0;
+        let h = value / max * plot_h;
+        let y = mt + plot_h - h;
+        let color = PALETTE[i % PALETTE.len()];
+        svg.push_str(&format!(
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{color}\"/>\n\
+             <text x=\"{vx:.1}\" y=\"{vy:.1}\" text-anchor=\"middle\">{value:.0}</text>\n\
+             <text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"end\" \
+             transform=\"rotate(-45 {lx:.1} {ly:.1})\">{label}</text>\n",
+            vx = x + bar_w / 2.0,
+            vy = y - 4.0,
+            lx = x + bar_w / 2.0,
+            ly = mt + plot_h + 14.0,
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "p655".into(),
+                points: vec![(4096.0, 20e9), (1e6, 10e9), (1e8, 2e9)],
+            },
+            Series {
+                name: "Opteron".into(),
+                points: vec![(4096.0, 15e9), (1e6, 8e9), (1e8, 2.5e9)],
+            },
+        ]
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = line_chart_svg("Figure 1", "size", "GB/s", &demo_series(), 640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("p655"));
+        assert!(svg.contains("Opteron"));
+        assert!(svg.contains("Figure 1"));
+    }
+
+    #[test]
+    fn empty_input_yields_placeholder() {
+        let svg = line_chart_svg("t", "x", "y", &[], 100, 100);
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let bars: Vec<(String, f64)> = vec![
+            ("HPL".into(), 63.0),
+            ("STREAM".into(), 43.0),
+            ("GUPS".into(), 33.0),
+        ];
+        let svg = bar_chart_svg("Figure 2", "error %", &bars, 640, 400);
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("HPL"));
+        assert!(svg.contains("63"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn bar_chart_empty_is_placeholder() {
+        let svg = bar_chart_svg("t", "y", &[], 100, 100);
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn paths_stay_inside_canvas() {
+        let svg = line_chart_svg("t", "x", "y", &demo_series(), 640, 400);
+        for cap in svg.split('"').filter(|s| s.starts_with('M')) {
+            for pair in cap.split(' ') {
+                let coords: Vec<f64> = pair[1..]
+                    .split(',')
+                    .filter_map(|v| v.parse().ok())
+                    .collect();
+                if coords.len() == 2 {
+                    assert!(coords[0] >= 0.0 && coords[0] <= 640.0);
+                    assert!(coords[1] >= 0.0 && coords[1] <= 400.0);
+                }
+            }
+        }
+    }
+}

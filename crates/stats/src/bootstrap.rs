@@ -1,0 +1,137 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports bare means and standard deviations; the report layer
+//! here additionally offers percentile-bootstrap confidence intervals for
+//! the Table 4 means, so a reader can see how much of the metric ordering
+//! is resolution and how much is noise. Deterministic given the seed.
+
+use crate::descriptive::quantile_sorted;
+use crate::rng::SeededRng;
+use crate::StatsError;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `x`.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`.
+///
+/// `resamples` of 1,000–10,000 are customary; determinism comes from the
+/// caller-supplied RNG.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    confidence: f64,
+    rng: &mut SeededRng,
+) -> Result<ConfidenceInterval, StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if resamples == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(StatsError::NonPositive {
+            what: "confidence level in (0,1)",
+        });
+    }
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += xs[rng.next_below(n as u64) as usize];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    Ok(ConfidenceInterval {
+        lo: quantile_sorted(&means, alpha)?,
+        hi: quantile_sorted(&means, 1.0 - alpha)?,
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+
+    fn sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SeededRng::new(seed);
+        (0..n).map(|_| rng.normal_with(50.0, 10.0)).collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_sample_mean() {
+        let xs = sample(200, 1);
+        let mut rng = SeededRng::new(2);
+        let ci = bootstrap_mean_ci(&xs, 2000, 0.95, &mut rng).unwrap();
+        let m = mean(&xs).unwrap();
+        assert!(ci.contains(m), "CI [{}, {}] vs mean {m}", ci.lo, ci.hi);
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn wider_confidence_means_wider_interval() {
+        let xs = sample(100, 3);
+        let ci90 = bootstrap_mean_ci(&xs, 2000, 0.90, &mut SeededRng::new(4)).unwrap();
+        let ci99 = bootstrap_mean_ci(&xs, 2000, 0.99, &mut SeededRng::new(4)).unwrap();
+        assert!(ci99.width() > ci90.width());
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let small = sample(30, 5);
+        let large = sample(3000, 5);
+        let ci_small = bootstrap_mean_ci(&small, 1000, 0.95, &mut SeededRng::new(6)).unwrap();
+        let ci_large = bootstrap_mean_ci(&large, 1000, 0.95, &mut SeededRng::new(6)).unwrap();
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = sample(50, 7);
+        let a = bootstrap_mean_ci(&xs, 500, 0.95, &mut SeededRng::new(8)).unwrap();
+        let b = bootstrap_mean_ci(&xs, 500, 0.95, &mut SeededRng::new(8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        let mut rng = SeededRng::new(9);
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.5, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn constant_data_gives_point_interval() {
+        let xs = vec![42.0; 20];
+        let ci = bootstrap_mean_ci(&xs, 200, 0.95, &mut SeededRng::new(10)).unwrap();
+        assert_eq!(ci.lo, 42.0);
+        assert_eq!(ci.hi, 42.0);
+    }
+}

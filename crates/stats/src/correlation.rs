@@ -1,0 +1,195 @@
+//! Correlation measures: Pearson, Spearman, Kendall τ.
+//!
+//! The paper's introduction frames performance prediction as a proxy for
+//! *ranking* HPC systems; Gustafson & Todi's observation that HPL can be
+//! "anticorrelated" with application performance is a correlation claim.
+//! These routines back the workspace's rank-correlation extension analysis
+//! (Kendall τ of predicted vs. true machine rankings).
+
+use crate::StatsError;
+
+/// Pearson product-moment correlation of paired samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "variance for correlation",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Mid-ranks of a sample (ties share the average rank), 1-based.
+#[must_use]
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; tie-safe).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall τ-b rank correlation (tie-corrected), O(n²) — fine for the ≤ 150
+/// observation sets this workspace correlates.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tied in both: contributes to neither
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_x as f64) * (n0 - ties_y as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "Kendall denominator",
+        });
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -3.0 * x + 9.0).collect();
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_errors() {
+        assert!(matches!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::NonPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn pearson_shape_errors() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(pearson(&[1.0], &[1.0]), Err(StatsError::EmptyInput)));
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_midranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+        assert!(ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        // Classic example: one discordant pair among 6 => τ = (5-1)/6 = 2/3.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&xs, &ys).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_reversed_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tie_correction() {
+        // x has one tied pair; τ-b should still be well-defined and < 1.
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&xs, &ys).unwrap();
+        assert!(tau > 0.8 && tau < 1.0, "tau {tau}");
+    }
+
+    #[test]
+    fn kendall_all_tied_errors() {
+        assert!(matches!(
+            kendall_tau(&[1.0, 1.0], &[2.0, 3.0]),
+            Err(StatsError::NonPositive { .. })
+        ));
+    }
+}

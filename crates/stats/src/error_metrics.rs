@@ -1,0 +1,226 @@
+//! Prediction-error metrics: Equation 2 of the paper and its aggregations.
+//!
+//! > % Error = (T′(X,Y) − T(X,Y)) / T(X,Y) · 100
+//!
+//! Negative error means the prediction was *faster* than the actual runtime;
+//! positive means *slower*. The paper then takes absolute values before
+//! averaging "to ensure the magnitude of each deviation is considered …
+//! preventing error cancellation". [`ErrorAccumulator`] implements exactly
+//! that aggregation discipline and is what Tables 4 and 5 are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::Welford;
+use crate::StatsError;
+
+/// Signed percent error of a prediction against a measurement (Equation 2).
+///
+/// Panics in debug builds if `actual` is not strictly positive; use
+/// [`try_percent_error`] for fallible call sites.
+#[must_use]
+pub fn percent_error(predicted: f64, actual: f64) -> f64 {
+    debug_assert!(actual > 0.0, "percent_error: actual must be positive");
+    (predicted - actual) / actual * 100.0
+}
+
+/// Fallible variant of [`percent_error`].
+pub fn try_percent_error(predicted: f64, actual: f64) -> Result<f64, StatsError> {
+    if actual <= 0.0 {
+        return Err(StatsError::NonPositive {
+            what: "actual runtime",
+        });
+    }
+    Ok((predicted - actual) / actual * 100.0)
+}
+
+/// Absolute percent error (|Equation 2|).
+#[must_use]
+pub fn absolute_percent_error(predicted: f64, actual: f64) -> f64 {
+    percent_error(predicted, actual).abs()
+}
+
+/// Aggregates prediction errors the way the paper does: signed errors are
+/// recorded per experiment, then the *absolute* values are averaged (with
+/// their standard deviation) across experiments.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ErrorAccumulator {
+    signed: Welford,
+    absolute: Welford,
+}
+
+impl ErrorAccumulator {
+    /// Fresh, empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (prediction, measurement) pair.
+    pub fn record(&mut self, predicted: f64, actual: f64) {
+        let e = percent_error(predicted, actual);
+        self.record_signed_error(e);
+    }
+
+    /// Record a pre-computed signed percent error.
+    pub fn record_signed_error(&mut self, signed_percent: f64) {
+        self.signed.push(signed_percent);
+        self.absolute.push(signed_percent.abs());
+    }
+
+    /// Merge another accumulator (parallel reduction support).
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.signed.merge(&other.signed);
+        self.absolute.merge(&other.absolute);
+    }
+
+    /// Number of recorded experiments.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.absolute.count()
+    }
+
+    /// Average absolute percent error — the paper's headline statistic.
+    #[must_use]
+    pub fn mean_absolute(&self) -> f64 {
+        self.absolute.mean()
+    }
+
+    /// Population standard deviation of absolute percent errors — the
+    /// paper's second column in Table 4.
+    #[must_use]
+    pub fn stddev_absolute(&self) -> f64 {
+        self.absolute.stddev()
+    }
+
+    /// Mean of the *signed* errors (reveals bias direction).
+    #[must_use]
+    pub fn mean_signed(&self) -> f64 {
+        self.signed.mean()
+    }
+
+    /// Largest absolute error recorded; 0 if empty.
+    #[must_use]
+    pub fn max_absolute(&self) -> f64 {
+        self.absolute.summary().map_or(0.0, |s| s.max)
+    }
+}
+
+/// Mean absolute percent error of paired predictions/measurements.
+pub fn mean_absolute_percent_error(
+    predicted: &[f64],
+    actual: &[f64],
+) -> Result<f64, StatsError> {
+    if predicted.len() != actual.len() {
+        return Err(StatsError::LengthMismatch {
+            left: predicted.len(),
+            right: actual.len(),
+        });
+    }
+    if predicted.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut acc = ErrorAccumulator::new();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        acc.record_signed_error(try_percent_error(p, a)?);
+    }
+    Ok(acc.mean_absolute())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_two_signs() {
+        // Prediction faster than actual => negative.
+        assert!((percent_error(50.0, 100.0) + 50.0).abs() < 1e-12);
+        // Prediction slower than actual => positive.
+        assert!((percent_error(150.0, 100.0) - 50.0).abs() < 1e-12);
+        // Perfect prediction => zero.
+        assert_eq!(percent_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn try_variant_rejects_nonpositive_actual() {
+        assert!(matches!(
+            try_percent_error(1.0, 0.0),
+            Err(StatsError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            try_percent_error(1.0, -5.0),
+            Err(StatsError::NonPositive { .. })
+        ));
+        assert!((try_percent_error(2.0, 4.0).unwrap() + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_error_drops_sign() {
+        assert!((absolute_percent_error(50.0, 100.0) - 50.0).abs() < 1e-12);
+        assert!((absolute_percent_error(150.0, 100.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_prevents_cancellation() {
+        // +50% and -50% would cancel to zero under naive signed averaging;
+        // the paper's discipline keeps them at 50.
+        let mut acc = ErrorAccumulator::new();
+        acc.record(150.0, 100.0);
+        acc.record(50.0, 100.0);
+        assert_eq!(acc.count(), 2);
+        assert!((acc.mean_absolute() - 50.0).abs() < 1e-12);
+        assert!(acc.mean_signed().abs() < 1e-12);
+        assert!((acc.stddev_absolute() - 0.0).abs() < 1e-12);
+        assert!((acc.max_absolute() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_stddev_of_absolute_values() {
+        let mut acc = ErrorAccumulator::new();
+        // absolute errors: 10 and 30 => mean 20, population SD 10.
+        acc.record(110.0, 100.0);
+        acc.record(70.0, 100.0);
+        assert!((acc.mean_absolute() - 20.0).abs() < 1e-12);
+        assert!((acc.stddev_absolute() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential() {
+        let pairs = [(110.0, 100.0), (70.0, 100.0), (95.0, 100.0), (210.0, 100.0)];
+        let mut whole = ErrorAccumulator::new();
+        pairs.iter().for_each(|&(p, a)| whole.record(p, a));
+
+        let mut left = ErrorAccumulator::new();
+        let mut right = ErrorAccumulator::new();
+        pairs[..2].iter().for_each(|&(p, a)| left.record(p, a));
+        pairs[2..].iter().for_each(|&(p, a)| right.record(p, a));
+        left.merge(&right);
+
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean_absolute() - whole.mean_absolute()).abs() < 1e-10);
+        assert!((left.stddev_absolute() - whole.stddev_absolute()).abs() < 1e-10);
+        assert!((left.mean_signed() - whole.mean_signed()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mape_helper() {
+        let p = [90.0, 120.0];
+        let a = [100.0, 100.0];
+        assert!((mean_absolute_percent_error(&p, &a).unwrap() - 15.0).abs() < 1e-12);
+        assert!(matches!(
+            mean_absolute_percent_error(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            mean_absolute_percent_error(&[], &[]),
+            Err(StatsError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeroes() {
+        let acc = ErrorAccumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean_absolute(), 0.0);
+        assert_eq!(acc.max_absolute(), 0.0);
+    }
+}

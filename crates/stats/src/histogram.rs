@@ -1,0 +1,125 @@
+//! Fixed-bin histograms, used by the report crate's ASCII charts and by
+//! diagnostics on error distributions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A histogram over `[lo, hi)` with equal-width bins plus overflow/underflow
+/// counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Err(StatsError::NonPositive {
+                what: "histogram range",
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against FP edge where x==hi-ulp maps to len().
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts (excluding under/overflow).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count below range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count at or above range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.99);
+        h.record(-0.1);
+        h.record(10.0);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(0.0, 10.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.5));
+        assert_eq!(h.bin_edges(3), (7.5, 10.0));
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(5.0, 5.0, 3).is_err());
+        assert!(Histogram::new(6.0, 5.0, 3).is_err());
+    }
+
+    #[test]
+    fn near_upper_edge_does_not_panic() {
+        let mut h = Histogram::new(0.0, 1.0, 3).unwrap();
+        h.record(1.0 - f64::EPSILON);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+}

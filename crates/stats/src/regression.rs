@@ -1,0 +1,358 @@
+//! Least-squares regression.
+//!
+//! Section 4 of the paper fits "category weightings which minimize estimation
+//! error" over three simple-benchmark categories (HPL, STREAM, all_reduce),
+//! finding 5% / 50% / 45%. That fit needs (a) ordinary least squares and (b)
+//! a *constrained* variant where weights are non-negative and sum to one —
+//! i.e. least squares over the probability simplex. Both are implemented here
+//! from first principles: OLS via normal equations with partially-pivoted
+//! Gaussian elimination, and the simplex fit via projected gradient descent
+//! with an exact Euclidean simplex projection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Result of an ordinary-least-squares fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// Fitted coefficients, one per predictor column (plus the intercept
+    /// last, if requested).
+    pub coefficients: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Solve the square linear system `a · x = b` in place using Gaussian
+/// elimination with partial pivoting. `a` is row-major, `n × n`.
+pub fn solve_linear_system(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, StatsError> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    for col in 0..n {
+        // Partial pivot: pick the largest |value| at/below the diagonal.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return Err(StatsError::SingularMatrix);
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: fit `y ≈ X·β (+ intercept)`.
+///
+/// `rows` is a slice of predictor rows (each the same length); `y` the
+/// responses. When `intercept` is true a constant column is appended and the
+/// intercept coefficient is returned *last*.
+pub fn ols(rows: &[Vec<f64>], y: &[f64], intercept: bool) -> Result<OlsFit, StatsError> {
+    if rows.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if rows.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: rows.len(),
+            right: y.len(),
+        });
+    }
+    let p = rows[0].len();
+    if rows.iter().any(|r| r.len() != p) {
+        return Err(StatsError::LengthMismatch {
+            left: p,
+            right: rows.iter().map(Vec::len).find(|&l| l != p).unwrap_or(p),
+        });
+    }
+    let k = p + usize::from(intercept);
+    if rows.len() < k {
+        return Err(StatsError::Underdetermined {
+            observations: rows.len(),
+            unknowns: k,
+        });
+    }
+
+    // Normal equations: (XᵀX) β = Xᵀy. k is tiny (≤ 10) in this workspace,
+    // so the O(n·k²) build dominates and conditioning is manageable.
+    let xij = |row: &Vec<f64>, j: usize| -> f64 {
+        if j < p {
+            row[j]
+        } else {
+            1.0
+        }
+    };
+    let mut xtx = vec![0.0; k * k];
+    let mut xty = vec![0.0; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            let xi = xij(row, i);
+            xty[i] += xi * yi;
+            for j in 0..k {
+                xtx[i * k + j] += xi * xij(row, j);
+            }
+        }
+    }
+    let beta = solve_linear_system(&mut xtx, &mut xty, k)?;
+
+    // Goodness of fit.
+    let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+    let mut rss = 0.0;
+    let mut tss = 0.0;
+    for (row, &yi) in rows.iter().zip(y) {
+        let pred: f64 = (0..k).map(|j| beta[j] * xij(row, j)).sum();
+        rss += (yi - pred).powi(2);
+        tss += (yi - y_mean).powi(2);
+    }
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+    Ok(OlsFit {
+        coefficients: beta,
+        rss,
+        r_squared,
+    })
+}
+
+/// Exact Euclidean projection of `v` onto the probability simplex
+/// `{ w : wᵢ ≥ 0, Σ wᵢ = 1 }` (Duchi et al. 2008).
+#[must_use]
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    let mut u = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("NaN in simplex projection"));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - 1.0) / (i + 1) as f64;
+        if ui - t > 0.0 {
+            rho = i;
+            theta = t;
+        }
+    }
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+/// Least squares over the probability simplex: find weights `w` (non-negative,
+/// summing to 1) minimizing `Σᵢ (Σⱼ wⱼ·Xᵢⱼ − yᵢ)²`, via projected gradient
+/// descent with a fixed step derived from the Lipschitz constant.
+///
+/// This is the constrained fit the paper's "optimized balanced rating" needs:
+/// the categories are rates normalized to `[0, 1]`, the weights are a convex
+/// combination.
+pub fn simplex_constrained_least_squares(
+    rows: &[Vec<f64>],
+    y: &[f64],
+    iterations: usize,
+) -> Result<Vec<f64>, StatsError> {
+    if rows.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if rows.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: rows.len(),
+            right: y.len(),
+        });
+    }
+    let p = rows[0].len();
+    if p == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if rows.iter().any(|r| r.len() != p) {
+        return Err(StatsError::LengthMismatch {
+            left: p,
+            right: rows.iter().map(Vec::len).find(|&l| l != p).unwrap_or(p),
+        });
+    }
+
+    // Lipschitz constant of the gradient is 2·λmax(XᵀX) ≤ 2·trace(XᵀX).
+    let trace: f64 = rows.iter().flat_map(|r| r.iter().map(|x| x * x)).sum();
+    let step = if trace > 0.0 { 1.0 / (2.0 * trace) } else { 1.0 };
+
+    let mut w = vec![1.0 / p as f64; p];
+    let mut grad = vec![0.0; p];
+    for _ in 0..iterations {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for (row, &yi) in rows.iter().zip(y) {
+            let pred: f64 = row.iter().zip(&w).map(|(x, wi)| x * wi).sum();
+            let resid = pred - yi;
+            for (g, &x) in grad.iter_mut().zip(row) {
+                *g += 2.0 * resid * x;
+            }
+        }
+        for (wi, g) in w.iter_mut().zip(&grad) {
+            *wi -= step * g;
+        }
+        w = project_to_simplex(&w);
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let mut a = vec![2.0, 1.0, 1.0, -1.0];
+        let mut b = vec![5.0, 1.0];
+        let x = solve_linear_system(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry zero forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![3.0, 4.0];
+        let x = solve_linear_system(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_is_reported() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(
+            solve_linear_system(&mut a, &mut b, 2),
+            Err(StatsError::SingularMatrix)
+        );
+    }
+
+    #[test]
+    fn ols_recovers_exact_linear_relationship() {
+        // y = 3·x1 - 2·x2 + 7
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i as f64).powf(1.3)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 7.0).collect();
+        let fit = ols(&rows, &y, true).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-8);
+        assert!((fit.coefficients[1] + 2.0).abs() < 1e-8);
+        assert!((fit.coefficients[2] - 7.0).abs() < 1e-6);
+        assert!(fit.rss < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ols_without_intercept() {
+        let rows: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.5 * r[0]).collect();
+        let fit = ols(&rows, &y, false).unwrap();
+        assert_eq!(fit.coefficients.len(), 1);
+        assert!((fit.coefficients[0] - 2.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ols_rejects_bad_shapes() {
+        assert!(matches!(ols(&[], &[], true), Err(StatsError::EmptyInput)));
+        assert!(matches!(
+            ols(&[vec![1.0]], &[1.0, 2.0], true),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ols(&[vec![1.0, 2.0]], &[1.0], true),
+            Err(StatsError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn simplex_projection_properties() {
+        let cases: [&[f64]; 4] = [
+            &[0.2, 0.3, 0.5],
+            &[5.0, -3.0, 0.0],
+            &[-1.0, -2.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        ];
+        for v in cases {
+            let w = project_to_simplex(v);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} for {v:?}");
+            assert!(w.iter().all(|&x| x >= -1e-12), "negative in {w:?}");
+        }
+        // Already on the simplex: fixed point.
+        let w = project_to_simplex(&[0.2, 0.3, 0.5]);
+        assert!((w[0] - 0.2).abs() < 1e-9);
+        assert!((w[1] - 0.3).abs() < 1e-9);
+        assert!((w[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constrained_fit_recovers_convex_combination() {
+        // y generated by weights (0.1, 0.6, 0.3); recoverable exactly since
+        // the true optimum lies inside the simplex.
+        let truth = [0.1, 0.6, 0.3];
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                vec![(t * 0.37).sin().abs(), (t * 0.11).cos().abs(), (t * 0.77).sin().powi(2)]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().zip(&truth).map(|(x, w)| x * w).sum())
+            .collect();
+        let w = simplex_constrained_least_squares(&rows, &y, 20_000).unwrap();
+        for (wi, ti) in w.iter().zip(&truth) {
+            assert!((wi - ti).abs() < 0.01, "got {w:?}");
+        }
+    }
+
+    #[test]
+    fn constrained_fit_clamps_to_boundary() {
+        // Best unconstrained weight on x1 is negative; the simplex fit should
+        // park it at (or very near) zero.
+        let rows: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64, 25.0 - i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[1]).collect();
+        let w = simplex_constrained_least_squares(&rows, &y, 20_000).unwrap();
+        assert!(w[0] < 0.05, "weights {w:?}");
+        assert!(w[1] > 0.95, "weights {w:?}");
+    }
+
+    #[test]
+    fn constrained_fit_rejects_bad_shapes() {
+        assert!(matches!(
+            simplex_constrained_least_squares(&[], &[], 10),
+            Err(StatsError::EmptyInput)
+        ));
+        assert!(matches!(
+            simplex_constrained_least_squares(&[vec![1.0]], &[1.0, 2.0], 10),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+}

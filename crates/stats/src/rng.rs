@@ -1,0 +1,324 @@
+//! Deterministic random-number generation for reproducible experiments.
+//!
+//! Everything stochastic in the workspace — synthetic address streams,
+//! machine idiosyncrasy factors, communication imbalance draws — must be
+//! exactly reproducible so that the regenerated tables and figures are stable
+//! artifacts. This module provides a small, fast SplitMix64 generator seeded
+//! either directly or from a stable FNV-1a hash of a list of string labels
+//! (e.g. `("avus-standard", "ARL_Opteron", "64", "idiosyncrasy")`).
+//!
+//! SplitMix64 is the seeding generator recommended by the xoshiro authors; it
+//! passes BigCrush when used directly and is more than adequate for workload
+//! synthesis (we are not doing cryptography or high-dimensional Monte Carlo).
+
+/// Stable 64-bit FNV-1a hash of a byte string.
+///
+/// Used to derive RNG seeds from human-readable labels. The constants are the
+/// standard FNV-1a 64-bit offset basis and prime, so hashes are stable across
+/// platforms, Rust versions, and process runs (unlike `std::hash`).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Derive a seed from a sequence of string labels.
+///
+/// Labels are separated by an ASCII unit separator so that
+/// `("ab", "c")` and `("a", "bc")` hash differently.
+#[must_use]
+pub fn seed_from_labels(labels: &[&str]) -> u64 {
+    let mut buf = Vec::with_capacity(labels.iter().map(|l| l.len() + 1).sum());
+    for l in labels {
+        buf.extend_from_slice(l.as_bytes());
+        buf.push(0x1f);
+    }
+    fnv1a(&buf)
+}
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// Cheap to construct (two words of state is one word — just the counter),
+/// `Copy`-free by design so accidental state duplication is visible, and
+/// entirely allocation-free.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Construct from a raw 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Construct from stable string labels (see [`seed_from_labels`]).
+    #[must_use]
+    pub fn from_labels(labels: &[&str]) -> Self {
+        Self::new(seed_from_labels(labels))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased results.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be nonzero");
+        // Lemire's method: rejection zone keeps the mapping unbiased.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo, "uniform range inverted");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Standard normal draw via Box–Muller (one value per call; the twin is
+    /// discarded to keep state evolution simple and branch-free).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by mapping the first draw into (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Lognormal multiplicative factor with median 1 and log-space standard
+    /// deviation `sigma`. This is what the ground-truth model uses for the
+    /// per-(machine, application) idiosyncrasy term.
+    pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
+        (sigma * self.normal()).exp()
+    }
+
+    /// Fisher–Yates shuffle (deterministic given the RNG state).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick one element of a non-empty slice uniformly.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose on empty slice");
+        &xs[self.next_below(xs.len() as u64) as usize]
+    }
+
+    /// Sample an index from a discrete distribution given non-negative
+    /// weights (not necessarily normalized). Panics if all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index: weights sum to zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "negative weight");
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        // Floating-point slop: return the last nonzero weight.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("at least one positive weight")
+    }
+
+    /// Fork a child generator labelled by `label`, leaving `self` untouched
+    /// except for one state advance. Children with different labels are
+    /// decorrelated even when forked from the same parent state.
+    pub fn fork(&mut self, label: &str) -> SeededRng {
+        let base = self.next_u64();
+        SeededRng::new(base ^ fnv1a(label.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn label_separation_prevents_collisions() {
+        assert_ne!(seed_from_labels(&["ab", "c"]), seed_from_labels(&["a", "bc"]));
+        assert_ne!(seed_from_labels(&["a"]), seed_from_labels(&["a", ""]));
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SeededRng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = SeededRng::new(99);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = r.next_below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn next_below_zero_panics() {
+        SeededRng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SeededRng::new(5);
+        for _ in 0..1_000 {
+            let x = r.uniform(-3.0, 9.0);
+            assert!((-3.0..9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SeededRng::new(123);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_factor_has_median_near_one() {
+        let mut r = SeededRng::new(321);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal_factor(0.15)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[5_000];
+        assert!((median - 1.0).abs() < 0.02, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SeededRng::new(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // and with seed fixed, the permutation is stable
+        let mut r2 = SeededRng::new(8);
+        let mut ys: Vec<u32> = (0..50).collect();
+        r2.shuffle(&mut ys);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut r = SeededRng::new(1);
+        let mut empty: [u8; 0] = [];
+        r.shuffle(&mut empty);
+        let mut one = [42u8];
+        r.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SeededRng::new(77);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn weighted_index_zero_weights_panics() {
+        SeededRng::new(1).weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fork_decorrelates_children() {
+        let mut parent = SeededRng::new(10);
+        let mut a = parent.clone().fork("alpha");
+        let mut b = parent.fork("beta");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut r = SeededRng::new(3);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(r.choose(&xs)));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the statistics substrate.
+
+use metasim_stats::correlation::{kendall_tau, pearson, ranks, spearman};
+use metasim_stats::descriptive::{
+    geometric_mean, mean, median, quantile_sorted, stddev, Summary, Welford,
+};
+use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
+use metasim_stats::regression::{ols, project_to_simplex, simplex_constrained_least_squares};
+use metasim_stats::rng::SeededRng;
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_is_between_min_and_max(xs in finite_vec(64)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn stddev_is_nonnegative_and_shift_invariant(xs in finite_vec(64), shift in -1e3f64..1e3) {
+        let sd = stddev(&xs).unwrap();
+        prop_assert!(sd >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let sd2 = stddev(&shifted).unwrap();
+        prop_assert!((sd - sd2).abs() < 1e-6 * (1.0 + sd.abs()));
+    }
+
+    #[test]
+    fn welford_agrees_with_batch(xs in finite_vec(128)) {
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        let scale = 1.0 + xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        prop_assert!((w.mean() - mean(&xs).unwrap()).abs() < 1e-8 * scale);
+        prop_assert!((w.stddev() - stddev(&xs).unwrap()).abs() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent(xs in finite_vec(64), ys in finite_vec(64)) {
+        let mut a = Welford::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = Welford::new();
+        ys.iter().for_each(|&y| b.push(y));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        let scale = 1.0 + ab.mean().abs();
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-8 * scale);
+        prop_assert!((ab.stddev() - ba.stddev()).abs() < 1e-6 * scale);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(mut xs in finite_vec(64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let va = quantile_sorted(&xs, qa).unwrap();
+        let vb = quantile_sorted(&xs, qb).unwrap();
+        prop_assert!(va <= vb + 1e-9);
+    }
+
+    #[test]
+    fn median_is_a_quantile(xs in finite_vec(64)) {
+        let m = median(&xs).unwrap();
+        let below = xs.iter().filter(|&&x| x <= m + 1e-12).count();
+        let above = xs.iter().filter(|&&x| x >= m - 1e-12).count();
+        prop_assert!(below * 2 >= xs.len());
+        prop_assert!(above * 2 >= xs.len());
+    }
+
+    #[test]
+    fn percent_error_round_trip(actual in 1e-3f64..1e6, signed in -99.0f64..500.0) {
+        let predicted = actual * (1.0 + signed / 100.0);
+        let e = percent_error(predicted, actual);
+        prop_assert!((e - signed).abs() < 1e-6 * (1.0 + signed.abs()));
+    }
+
+    #[test]
+    fn error_accumulator_mean_abs_bounds_mean_signed(pairs in prop::collection::vec((1e-3f64..1e4, 1e-3f64..1e4), 1..64)) {
+        let mut acc = ErrorAccumulator::new();
+        for (p, a) in &pairs {
+            acc.record(*p, *a);
+        }
+        prop_assert!(acc.mean_absolute() >= acc.mean_signed().abs() - 1e-9);
+        prop_assert!(acc.mean_absolute() >= 0.0);
+        prop_assert_eq!(acc.count(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_sum(xs in finite_vec(64)) {
+        let r = ranks(&xs);
+        let n = xs.len() as f64;
+        let total: f64 = r.iter().sum();
+        // Sum of mid-ranks is always n(n+1)/2 regardless of ties.
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(xs in finite_vec(64), seed in 0u64..1000) {
+        prop_assume!(xs.len() >= 2);
+        let mut rng = SeededRng::new(seed);
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.5 + rng.normal() * 10.0).collect();
+        if let (Ok(rxy), Ok(ryx)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rxy));
+            prop_assert!((rxy - ryx).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(xs in prop::collection::vec(-20.0f64..20.0, 3..32)) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 3.0 + 1.0).collect();
+        let zs: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        if let (Ok(a), Ok(b)) = (spearman(&xs, &ys), spearman(&xs, &zs)) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kendall_is_antisymmetric_under_negation(xs in prop::collection::vec(-50.0f64..50.0, 2..32), seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let ys: Vec<f64> = xs.iter().map(|_| rng.normal()).collect();
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        if let (Ok(t), Ok(tn)) = (kendall_tau(&xs, &ys), kendall_tau(&xs, &neg)) {
+            prop_assert!((t + tn).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_is_idempotent(v in prop::collection::vec(-10.0f64..10.0, 1..16)) {
+        let w = project_to_simplex(&v);
+        let w2 = project_to_simplex(&w);
+        for (a, b) in w.iter().zip(&w2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constrained_weights_never_leave_simplex(
+        n in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..n).map(|_| rng.next_f64()).collect())
+            .collect();
+        let y: Vec<f64> = (0..20).map(|_| rng.next_f64()).collect();
+        let w = simplex_constrained_least_squares(&rows, &y, 500).unwrap();
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        prop_assert!(w.iter().all(|&x| x >= -1e-9));
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_predictors(seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] - 2.0 * r[1] + rng.normal()).collect();
+        let fit = ols(&rows, &y, true).unwrap();
+        // Normal equations imply Xᵀ(y − Xβ) = 0.
+        for j in 0..2 {
+            let dot: f64 = rows
+                .iter()
+                .zip(&y)
+                .map(|(r, &yi)| {
+                    let pred = fit.coefficients[0] * r[0]
+                        + fit.coefficients[1] * r[1]
+                        + fit.coefficients[2];
+                    r[j] * (yi - pred)
+                })
+                .sum();
+            prop_assert!(dot.abs() < 1e-6, "dot[{}] = {}", j, dot);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_bounded_by_arithmetic(xs in prop::collection::vec(1e-3f64..1e3, 1..32)) {
+        let g = geometric_mean(&xs).unwrap();
+        let a = mean(&xs).unwrap();
+        prop_assert!(g <= a + 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn summary_consistency(xs in finite_vec(64)) {
+        let s = Summary::from_slice(&xs);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev <= (s.max - s.min) + 1e-9);
+    }
+
+    #[test]
+    fn rng_next_below_uniform_support(bound in 1u64..100, seed in 0u64..100) {
+        let mut r = SeededRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+}

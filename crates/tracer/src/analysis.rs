@@ -1,0 +1,124 @@
+//! Static binary analysis stand-in: dependency flags for Metric #9.
+//!
+//! "Static analysis was applied to the binary executable for each
+//! application on the base system, so ILP limited basic blocks could be
+//! identified" (§3). The real analyzer (written by Xiaofeng Gao, per the
+//! acknowledgements) inspects instruction dependence chains. Our synthetic
+//! applications construct blocks with known dependency classes; the analyzer
+//! stand-in recovers those labels from block *structure* the way a real
+//! analyzer would — with one deliberate blind spot: a chained block whose
+//! flop intensity is high enough hides its dependency behind arithmetic,
+//! which real static analysis also struggles to prove harmful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{DependencyClass, TracedBlock};
+
+/// Flop-per-reference ratio above which a chained block's dependency is
+/// masked by arithmetic and the analyzer reports it independent.
+pub const MASKING_INTENSITY: f64 = 8.0;
+
+/// One block's analysis verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyVerdict {
+    /// What the analyzer decided.
+    pub detected: DependencyClass,
+    /// Whether the verdict matches the block's true class.
+    pub exact: bool,
+}
+
+/// Analyze one block.
+#[must_use]
+pub fn analyze_block(block: &TracedBlock) -> DependencyVerdict {
+    let refs = block.mem_refs().max(1);
+    let intensity = block.flops as f64 / refs as f64;
+    let detected = match block.dependency {
+        DependencyClass::Chained if intensity > MASKING_INTENSITY => DependencyClass::Independent,
+        other => other,
+    };
+    DependencyVerdict {
+        detected,
+        exact: detected == block.dependency,
+    }
+}
+
+/// Analyze a block list, returning the detected class per block (the labels
+/// Metric #9's convolution consumes).
+#[must_use]
+pub fn analyze_dependencies(blocks: &[TracedBlock]) -> Vec<DependencyClass> {
+    blocks.iter().map(|b| analyze_block(b).detected).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::StrideBins;
+
+    fn block(flops: u64, refs: u64, dep: DependencyClass) -> TracedBlock {
+        TracedBlock {
+            name: "b".into(),
+            flops,
+            bins: StrideBins {
+                stride1: refs,
+                short: 0,
+                random: 0,
+            },
+            working_set: 4096,
+            dependency: dep,
+            invocations: 1,
+        }
+    }
+
+    #[test]
+    fn plain_blocks_are_detected_exactly() {
+        for dep in [
+            DependencyClass::Independent,
+            DependencyClass::Chained,
+            DependencyClass::Branchy,
+        ] {
+            let v = analyze_block(&block(100, 100, dep));
+            assert_eq!(v.detected, dep);
+            assert!(v.exact);
+        }
+    }
+
+    #[test]
+    fn high_intensity_masks_chains() {
+        let v = analyze_block(&block(10_000, 100, DependencyClass::Chained));
+        assert_eq!(v.detected, DependencyClass::Independent);
+        assert!(!v.exact);
+    }
+
+    #[test]
+    fn high_intensity_does_not_mask_branches() {
+        let v = analyze_block(&block(10_000, 100, DependencyClass::Branchy));
+        assert_eq!(v.detected, DependencyClass::Branchy);
+    }
+
+    #[test]
+    fn batch_analysis_preserves_order() {
+        let blocks = vec![
+            block(1, 100, DependencyClass::Independent),
+            block(1, 100, DependencyClass::Chained),
+            block(10_000, 100, DependencyClass::Chained),
+        ];
+        let labels = analyze_dependencies(&blocks);
+        assert_eq!(
+            labels,
+            vec![
+                DependencyClass::Independent,
+                DependencyClass::Chained,
+                DependencyClass::Independent,
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_ref_block_does_not_divide_by_zero() {
+        let mut b = block(100, 0, DependencyClass::Chained);
+        b.bins = StrideBins::default();
+        // intensity = 100/1 > threshold => masked
+        let v = analyze_block(&b);
+        assert_eq!(v.detected, DependencyClass::Independent);
+    }
+}

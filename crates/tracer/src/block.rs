@@ -1,0 +1,252 @@
+//! Basic-block profiles: the unit of the convolution methodology.
+//!
+//! "Operation counts, once determined by tracing, are divided by
+//! corresponding operation rates … to yield an execution time for the
+//! current basic block per operation type" (§3). A [`TracedBlock`] carries
+//! everything the convolver needs about one block: per-invocation operation
+//! counts, the stride classification of its references, its working set, and
+//! its dependency class.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of memory references by stride class (the stride detector's
+/// output).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StrideBins {
+    /// Stride-1 references.
+    pub stride1: u64,
+    /// Non-unit short strides (2–8 elements).
+    pub short: u64,
+    /// Random-stride references.
+    pub random: u64,
+}
+
+impl StrideBins {
+    /// Total references.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.stride1 + self.short + self.random
+    }
+
+    /// Fraction that is stride-1 (0 if empty).
+    #[must_use]
+    pub fn stride1_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.stride1 as f64 / t as f64
+        }
+    }
+
+    /// Fraction that is short-stride.
+    #[must_use]
+    pub fn short_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.short as f64 / t as f64
+        }
+    }
+
+    /// Fraction that is random.
+    #[must_use]
+    pub fn random_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.random as f64 / t as f64
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: &StrideBins) -> StrideBins {
+        StrideBins {
+            stride1: self.stride1 + other.stride1,
+            short: self.short + other.short,
+            random: self.random + other.random,
+        }
+    }
+
+    /// Scale every bin by an integer factor (weighting by invocations).
+    #[must_use]
+    pub fn scaled(&self, factor: u64) -> StrideBins {
+        StrideBins {
+            stride1: self.stride1 * factor,
+            short: self.short * factor,
+            random: self.random * factor,
+        }
+    }
+}
+
+/// ILP structure of the loop a block came from (what the paper's static
+/// binary analysis labels for Metric #9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DependencyClass {
+    /// Independent iterations; the machine may overlap freely.
+    #[default]
+    Independent,
+    /// Loop-carried data dependency limits ILP.
+    Chained,
+    /// A data-dependent branch inside the loop body.
+    Branchy,
+}
+
+/// One traced basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracedBlock {
+    /// Human-readable name (e.g. `"flux_sweep"`).
+    pub name: String,
+    /// Floating-point operations per invocation (per process).
+    pub flops: u64,
+    /// Memory references per invocation, classified by stride.
+    pub bins: StrideBins,
+    /// Working set the block touches per invocation, bytes.
+    pub working_set: u64,
+    /// Dependency class (ground truth for the static analyzer).
+    pub dependency: DependencyClass,
+    /// Number of invocations during the traced run.
+    pub invocations: u64,
+}
+
+impl TracedBlock {
+    /// Total memory references per invocation.
+    #[must_use]
+    pub fn mem_refs(&self) -> u64 {
+        self.bins.total()
+    }
+
+    /// Total flops across all invocations.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.flops * self.invocations
+    }
+
+    /// Total memory references across all invocations.
+    #[must_use]
+    pub fn total_mem_refs(&self) -> u64 {
+        self.mem_refs() * self.invocations
+    }
+
+    /// Sanity-check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("block name must not be empty".into());
+        }
+        if self.invocations == 0 {
+            return Err(format!("block {}: zero invocations", self.name));
+        }
+        if self.flops == 0 && self.mem_refs() == 0 {
+            return Err(format!("block {}: no work at all", self.name));
+        }
+        if self.mem_refs() > 0 && self.working_set == 0 {
+            return Err(format!(
+                "block {}: memory references but zero working set",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> TracedBlock {
+        TracedBlock {
+            name: "flux".into(),
+            flops: 1000,
+            bins: StrideBins {
+                stride1: 600,
+                short: 100,
+                random: 300,
+            },
+            working_set: 1 << 20,
+            dependency: DependencyClass::Independent,
+            invocations: 50,
+        }
+    }
+
+    #[test]
+    fn bin_fractions_sum_to_one() {
+        let b = block().bins;
+        let s = b.stride1_fraction() + b.short_fraction() + b.random_fraction();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(b.total(), 1000);
+    }
+
+    #[test]
+    fn empty_bins_have_zero_fractions() {
+        let b = StrideBins::default();
+        assert_eq!(b.stride1_fraction(), 0.0);
+        assert_eq!(b.short_fraction(), 0.0);
+        assert_eq!(b.random_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let a = StrideBins {
+            stride1: 1,
+            short: 2,
+            random: 3,
+        };
+        let b = StrideBins {
+            stride1: 10,
+            short: 20,
+            random: 30,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m, StrideBins { stride1: 11, short: 22, random: 33 });
+        assert_eq!(
+            a.scaled(4),
+            StrideBins { stride1: 4, short: 8, random: 12 }
+        );
+    }
+
+    #[test]
+    fn block_totals_respect_invocations() {
+        let b = block();
+        assert_eq!(b.mem_refs(), 1000);
+        assert_eq!(b.total_flops(), 50_000);
+        assert_eq!(b.total_mem_refs(), 50_000);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_blocks() {
+        let mut b = block();
+        b.name.clear();
+        assert!(b.validate().is_err());
+
+        let mut b = block();
+        b.invocations = 0;
+        assert!(b.validate().is_err());
+
+        let mut b = block();
+        b.flops = 0;
+        b.bins = StrideBins::default();
+        assert!(b.validate().is_err());
+
+        let mut b = block();
+        b.working_set = 0;
+        assert!(b.validate().is_err());
+
+        block().validate().unwrap();
+    }
+
+    #[test]
+    fn flop_only_block_is_valid_without_working_set() {
+        let b = TracedBlock {
+            name: "daxpy_registers".into(),
+            flops: 10,
+            bins: StrideBins::default(),
+            working_set: 0,
+            dependency: DependencyClass::Independent,
+            invocations: 1,
+        };
+        b.validate().unwrap();
+    }
+}

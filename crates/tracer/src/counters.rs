@@ -1,0 +1,65 @@
+//! Performance-counter mode: the cheap collection path for Metrics #4–#5.
+//!
+//! "MetaSim Tracer is not the most efficient means for collecting such
+//! dynamic operation counts … performance counters provide a more
+//! expeditious result" (§3). Counters see *totals only* — flops and
+//! load/stores — with no stride classification, no per-block resolution, and
+//! no working sets. Deriving a [`HardwareCounters`] from a full trace
+//! deliberately throws that structure away, which is exactly why Metrics #4
+//! and #5 are as blunt as they are.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::ApplicationTrace;
+
+/// What PAPI-style counters report for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareCounters {
+    /// Total floating-point operations (per process).
+    pub flops: u64,
+    /// Total load/store instructions (per process).
+    pub mem_refs: u64,
+}
+
+impl HardwareCounters {
+    /// "Read the counters" for a run described by a full trace: totals only.
+    #[must_use]
+    pub fn from_trace(trace: &ApplicationTrace) -> Self {
+        Self {
+            flops: trace.total_flops(),
+            mem_refs: trace.total_mem_refs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{DependencyClass, StrideBins, TracedBlock};
+    use crate::mpi::MpiTrace;
+
+    #[test]
+    fn counters_are_trace_totals() {
+        let trace = ApplicationTrace {
+            app: "X".into(),
+            case: "std".into(),
+            processes: 4,
+            blocks: vec![TracedBlock {
+                name: "k".into(),
+                flops: 7,
+                bins: StrideBins {
+                    stride1: 3,
+                    short: 2,
+                    random: 1,
+                },
+                working_set: 64,
+                dependency: DependencyClass::Independent,
+                invocations: 5,
+            }],
+            mpi: MpiTrace::empty(4),
+        };
+        let c = HardwareCounters::from_trace(&trace);
+        assert_eq!(c.flops, 35);
+        assert_eq!(c.mem_refs, 30);
+    }
+}

@@ -1,0 +1,92 @@
+//! The cost of tracing: dilation accounting.
+//!
+//! "MetaSim has been carefully streamlined for speed, imposing approximately
+//! a 30× slowdown on an instrumented application" while TI-05 test cases run
+//! 1–4 hours natively (§3). The paper stresses that this cost is
+//! *non-recurring* — tracing happens once per application on the base
+//! system — and asks "was the increase in accuracy worth the effort?". This
+//! module gives the workspace a concrete model of that trade so reports can
+//! answer the question with numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// MetaSim's approximate tracing dilation factor (§3).
+pub const METASIM_DILATION: f64 = 30.0;
+
+/// Dilation of the performance-counter collection mode: counters run at
+/// native speed plus a trivial multiplexing overhead.
+pub const COUNTER_DILATION: f64 = 1.05;
+
+/// Cost model for collecting one application's signature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracingCost {
+    /// Native runtime of the traced case on the base system, seconds.
+    pub native_seconds: f64,
+    /// Slowdown factor of the collection method.
+    pub dilation: f64,
+}
+
+impl TracingCost {
+    /// Full MetaSim tracing of a run with the given native runtime.
+    #[must_use]
+    pub fn metasim(native_seconds: f64) -> Self {
+        Self {
+            native_seconds,
+            dilation: METASIM_DILATION,
+        }
+    }
+
+    /// Counter-mode collection of the same run.
+    #[must_use]
+    pub fn counters(native_seconds: f64) -> Self {
+        Self {
+            native_seconds,
+            dilation: COUNTER_DILATION,
+        }
+    }
+
+    /// Wall-clock seconds the collection takes.
+    #[must_use]
+    pub fn collection_seconds(&self) -> f64 {
+        self.native_seconds * self.dilation
+    }
+
+    /// Collection cost amortized over `n_targets` target systems — the
+    /// paper's point that tracing "is only required once per application on
+    /// the base system".
+    #[must_use]
+    pub fn amortized_seconds(&self, n_targets: u32) -> f64 {
+        assert!(n_targets > 0, "amortizing over zero targets");
+        self.collection_seconds() / f64::from(n_targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metasim_is_thirty_x() {
+        let c = TracingCost::metasim(3600.0);
+        assert!((c.collection_seconds() - 108_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_are_nearly_free() {
+        let c = TracingCost::counters(3600.0);
+        assert!(c.collection_seconds() < 3600.0 * 1.1);
+        assert!(c.collection_seconds() > 3600.0);
+    }
+
+    #[test]
+    fn amortization_divides() {
+        let c = TracingCost::metasim(1000.0);
+        assert!((c.amortized_seconds(10) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero targets")]
+    fn zero_targets_panics() {
+        let _ = TracingCost::metasim(1.0).amortized_seconds(0);
+    }
+}

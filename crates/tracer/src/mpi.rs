@@ -1,0 +1,107 @@
+//! The MPIDTRACE equivalent: communication event traces.
+//!
+//! "MPIDTRACE \[counts\] MPI communications events in applications" (§3,
+//! Metric #8). An [`MpiTrace`] is the per-process event census of one run:
+//! operation kinds, payload sizes, and counts, expressed in
+//! [`metasim_netsim::replay::CommEvent`]s so both the ground-truth replay
+//! and the Metric #8 convolution consume the same artifact.
+
+use serde::{Deserialize, Serialize};
+
+use metasim_netsim::replay::{CommEvent, CommOp};
+
+/// A traced communication signature for one (application, process-count)
+/// pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpiTrace {
+    /// Processes in the traced run.
+    pub processes: u64,
+    /// The event census.
+    pub events: Vec<CommEvent>,
+}
+
+impl MpiTrace {
+    /// An empty trace (serial run).
+    #[must_use]
+    pub fn empty(processes: u64) -> Self {
+        Self {
+            processes,
+            events: Vec::new(),
+        }
+    }
+
+    /// Total messages (point-to-point count + one per collective).
+    #[must_use]
+    pub fn message_count(&self) -> u64 {
+        self.events.iter().map(|e| e.count).sum()
+    }
+
+    /// Total payload bytes across all events.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(CommEvent::total_bytes).sum()
+    }
+
+    /// Number of collective operations (everything but point-to-point).
+    #[must_use]
+    pub fn collective_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e.op, CommOp::PointToPoint { .. }))
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Mean point-to-point message size in bytes (0 if none).
+    #[must_use]
+    pub fn mean_p2p_bytes(&self) -> f64 {
+        let (bytes, count) = self
+            .events
+            .iter()
+            .filter_map(|e| match e.op {
+                CommOp::PointToPoint { bytes } => Some((bytes * e.count, e.count)),
+                _ => None,
+            })
+            .fold((0u64, 0u64), |(b, c), (eb, ec)| (b + eb, c + ec));
+        if count == 0 {
+            0.0
+        } else {
+            bytes as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> MpiTrace {
+        MpiTrace {
+            processes: 64,
+            events: vec![
+                CommEvent::new(CommOp::PointToPoint { bytes: 1000 }, 10),
+                CommEvent::new(CommOp::PointToPoint { bytes: 3000 }, 10),
+                CommEvent::new(CommOp::AllReduce { bytes: 8 }, 5),
+                CommEvent::new(CommOp::Barrier, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn census_accounting() {
+        let t = trace();
+        assert_eq!(t.message_count(), 27);
+        assert_eq!(t.total_bytes(), 10_000 + 30_000 + 40);
+        assert_eq!(t.collective_count(), 7);
+        assert!((t.mean_p2p_bytes() - 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = MpiTrace::empty(16);
+        assert_eq!(t.processes, 16);
+        assert_eq!(t.message_count(), 0);
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.mean_p2p_bytes(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-stream stride detection: the EMPS-style detector that tracks each
+//! load/store instruction (stream) separately.
+//!
+//! The global [`crate::stride::StrideDetector`] classifies the *merged*
+//! address stream, which mis-bins references at interleave boundaries —
+//! fine for block-chunked workloads, but a real binary interleaves several
+//! reference streams per loop iteration. MetaSim's tracer (via EMPS, the
+//! paper's reference \[12\]) keys detector state by instruction PC. This
+//! module reproduces that: callers tag each reference with a stream id (a
+//! PC stand-in) and each stream classifies against its own last address.
+
+use std::collections::HashMap;
+
+use crate::block::StrideBins;
+use crate::stride::{StrideClass, StrideDetector};
+
+/// A stride detector with per-stream (per-PC) state.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTableDetector {
+    last: HashMap<u64, u64>,
+    bins: StrideBins,
+}
+
+impl StreamTableDetector {
+    /// Fresh detector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one reference from stream `stream_id` (e.g. the issuing
+    /// instruction's PC). Returns its classification.
+    pub fn observe(&mut self, stream_id: u64, addr: u64) -> StrideClass {
+        let class = match self.last.insert(stream_id, addr) {
+            None => StrideClass::Random,
+            Some(prev) => StrideDetector::classify_delta(prev, addr),
+        };
+        match class {
+            StrideClass::Unit => self.bins.stride1 += 1,
+            StrideClass::Short => self.bins.short += 1,
+            StrideClass::Random => self.bins.random += 1,
+        }
+        class
+    }
+
+    /// Observe a slice of `(stream_id, addr)` pairs.
+    pub fn observe_all(&mut self, refs: &[(u64, u64)]) {
+        for &(sid, addr) in refs {
+            self.observe(sid, addr);
+        }
+    }
+
+    /// Accumulated bins.
+    #[must_use]
+    pub fn bins(&self) -> StrideBins {
+        self.bins
+    }
+
+    /// Streams seen so far.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Reset all state.
+    pub fn reset(&mut self) {
+        self.last.clear();
+        self.bins = StrideBins::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_stats::rng::SeededRng;
+
+    /// Interleave two unit-stride streams reference-by-reference.
+    fn interleaved_unit_streams(n: usize) -> Vec<(u64, u64)> {
+        (0..n)
+            .map(|i| {
+                let sid = (i % 2) as u64;
+                let step = (i / 2) as u64;
+                (sid, sid * (1 << 20) + step * 8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_unit_streams_classify_as_unit() {
+        let refs = interleaved_unit_streams(1000);
+        let mut per_stream = StreamTableDetector::new();
+        per_stream.observe_all(&refs);
+        // All but the two stream-opening references are unit stride.
+        assert_eq!(per_stream.bins().stride1, 998);
+        assert_eq!(per_stream.bins().random, 2);
+        assert_eq!(per_stream.stream_count(), 2);
+
+        // The global detector, by contrast, sees the interleave as jumps.
+        let mut global = StrideDetector::new();
+        for &(_, addr) in &refs {
+            global.observe(addr);
+        }
+        assert!(
+            global.bins().random > 900,
+            "global detector mis-bins interleaves: {:?}",
+            global.bins()
+        );
+    }
+
+    #[test]
+    fn single_stream_matches_global_detector() {
+        let mut rng = SeededRng::new(11);
+        let addrs: Vec<u64> = (0..500).map(|_| rng.next_below(1 << 16) * 8).collect();
+        let mut table = StreamTableDetector::new();
+        let mut global = StrideDetector::new();
+        for &a in &addrs {
+            table.observe(7, a);
+            global.observe(a);
+        }
+        assert_eq!(table.bins(), global.bins());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut d = StreamTableDetector::new();
+        // Stream 1 walks unit stride; stream 2 walks stride-4; their
+        // interleaving must not contaminate each other.
+        for i in 0..100u64 {
+            d.observe(1, i * 8);
+            d.observe(2, 1 << 30 | (i * 32));
+        }
+        let bins = d.bins();
+        assert_eq!(bins.stride1, 99);
+        assert_eq!(bins.short, 99);
+        assert_eq!(bins.random, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = StreamTableDetector::new();
+        d.observe(1, 0);
+        d.observe(1, 8);
+        d.reset();
+        assert_eq!(d.bins().total(), 0);
+        assert_eq!(d.stream_count(), 0);
+        assert_eq!(d.observe(1, 16), StrideClass::Random);
+    }
+
+    #[test]
+    fn conservation_across_streams() {
+        let mut rng = SeededRng::new(12);
+        let refs: Vec<(u64, u64)> = (0..2000)
+            .map(|_| (rng.next_below(16), rng.next_below(1 << 20)))
+            .collect();
+        let mut d = StreamTableDetector::new();
+        d.observe_all(&refs);
+        assert_eq!(d.bins().total(), 2000);
+        assert!(d.stream_count() <= 16);
+    }
+}

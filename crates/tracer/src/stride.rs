@@ -1,0 +1,195 @@
+//! The stride detector: classify memory references as stride-1, short
+//! non-unit stride (2–8 elements), or random.
+//!
+//! This mirrors the EMPS-style detector MetaSim Tracer uses (§3, citing
+//! Hollingsworth et al.): references are classified by the delta between
+//! consecutive addresses of the same reference stream. Deltas of exactly one
+//! element are stride-1; deltas up to eight elements are "short"; anything
+//! else (including negative jumps and large skips) is random.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::StrideBins;
+
+/// Element size assumed by the detector (double precision).
+pub const ELEMENT_BYTES: u64 = 8;
+
+/// Largest short stride, in elements (the paper's "up to stride-8").
+pub const MAX_SHORT_STRIDE: u64 = 8;
+
+/// Classification of a single reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrideClass {
+    /// Consecutive elements.
+    Unit,
+    /// Constant short stride of 2–8 elements.
+    Short,
+    /// No detectable short-stride pattern.
+    Random,
+}
+
+/// Streaming stride detector.
+///
+/// Feed it addresses in program order; it classifies each reference after
+/// the first against its predecessor and accumulates [`StrideBins`].
+#[derive(Debug, Clone, Default)]
+pub struct StrideDetector {
+    last: Option<u64>,
+    bins: StrideBins,
+}
+
+impl StrideDetector {
+    /// Fresh detector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify the delta between two consecutive addresses.
+    #[must_use]
+    pub fn classify_delta(prev: u64, next: u64) -> StrideClass {
+        let delta = next.wrapping_sub(prev);
+        if delta == ELEMENT_BYTES {
+            StrideClass::Unit
+        } else if delta.is_multiple_of(ELEMENT_BYTES)
+            && (2 * ELEMENT_BYTES..=MAX_SHORT_STRIDE * ELEMENT_BYTES).contains(&delta)
+        {
+            StrideClass::Short
+        } else {
+            StrideClass::Random
+        }
+    }
+
+    /// Observe one address; returns the classification of this reference
+    /// (the first reference of a stream counts as random — there is no
+    /// established stride yet).
+    pub fn observe(&mut self, addr: u64) -> StrideClass {
+        let class = match self.last {
+            None => StrideClass::Random,
+            Some(prev) => Self::classify_delta(prev, addr),
+        };
+        match class {
+            StrideClass::Unit => self.bins.stride1 += 1,
+            StrideClass::Short => self.bins.short += 1,
+            StrideClass::Random => self.bins.random += 1,
+        }
+        self.last = Some(addr);
+        class
+    }
+
+    /// Observe a whole slice of addresses.
+    pub fn observe_all(&mut self, addrs: &[u64]) {
+        for &a in addrs {
+            self.observe(a);
+        }
+    }
+
+    /// The accumulated bins.
+    #[must_use]
+    pub fn bins(&self) -> StrideBins {
+        self.bins
+    }
+
+    /// Reset stream state and bins.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Estimate the working set of an address sample: distinct cache lines
+/// touched × line size. Matches how address-stream tracers size loops for
+/// MAPS lookup.
+#[must_use]
+pub fn estimate_working_set(addrs: &[u64], line_bytes: u64) -> u64 {
+    debug_assert!(line_bytes.is_power_of_two());
+    let shift = line_bytes.trailing_zeros();
+    let mut lines: Vec<u64> = addrs.iter().map(|&a| a >> shift).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len() as u64 * line_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_stream_is_almost_all_stride1() {
+        let mut d = StrideDetector::new();
+        let addrs: Vec<u64> = (0..1000u64).map(|i| i * 8).collect();
+        d.observe_all(&addrs);
+        let bins = d.bins();
+        assert_eq!(bins.stride1, 999);
+        assert_eq!(bins.random, 1, "first reference has no stride yet");
+        assert_eq!(bins.short, 0);
+    }
+
+    #[test]
+    fn short_strides_are_detected_up_to_eight() {
+        for stride in 2..=8u64 {
+            let mut d = StrideDetector::new();
+            let addrs: Vec<u64> = (0..100u64).map(|i| i * stride * 8).collect();
+            d.observe_all(&addrs);
+            assert_eq!(d.bins().short, 99, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn stride_nine_is_random() {
+        let mut d = StrideDetector::new();
+        let addrs: Vec<u64> = (0..100u64).map(|i| i * 9 * 8).collect();
+        d.observe_all(&addrs);
+        assert_eq!(d.bins().random, 100);
+    }
+
+    #[test]
+    fn backwards_and_unaligned_deltas_are_random() {
+        assert_eq!(StrideDetector::classify_delta(800, 792), StrideClass::Random);
+        assert_eq!(StrideDetector::classify_delta(0, 12), StrideClass::Random);
+        assert_eq!(StrideDetector::classify_delta(100, 100), StrideClass::Random);
+    }
+
+    #[test]
+    fn boundary_classifications() {
+        assert_eq!(StrideDetector::classify_delta(0, 8), StrideClass::Unit);
+        assert_eq!(StrideDetector::classify_delta(0, 16), StrideClass::Short);
+        assert_eq!(StrideDetector::classify_delta(0, 64), StrideClass::Short);
+        assert_eq!(StrideDetector::classify_delta(0, 72), StrideClass::Random);
+    }
+
+    #[test]
+    fn mixed_stream_bins_proportionally() {
+        let mut d = StrideDetector::new();
+        // 3 unit steps then a jump, repeated.
+        let mut addr = 0u64;
+        for i in 0..400u64 {
+            d.observe(addr);
+            addr = if i % 4 == 3 { addr + 10_000 } else { addr + 8 };
+        }
+        let bins = d.bins();
+        assert_eq!(bins.total(), 400);
+        assert_eq!(bins.stride1, 300);
+        assert_eq!(bins.random, 100);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = StrideDetector::new();
+        d.observe(0);
+        d.observe(8);
+        d.reset();
+        assert_eq!(d.bins().total(), 0);
+        assert_eq!(d.observe(16), StrideClass::Random, "stream restarts");
+    }
+
+    #[test]
+    fn working_set_estimate_counts_lines() {
+        // 16 addresses in 2 lines of 64 B.
+        let addrs: Vec<u64> = (0..16u64).map(|i| i * 8).collect();
+        assert_eq!(estimate_working_set(&addrs, 64), 128);
+        // Repeats don't inflate.
+        let repeated: Vec<u64> = addrs.iter().chain(addrs.iter()).copied().collect();
+        assert_eq!(estimate_working_set(&repeated, 64), 128);
+        assert_eq!(estimate_working_set(&[], 64), 0);
+    }
+}

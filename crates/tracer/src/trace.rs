@@ -1,0 +1,159 @@
+//! The complete application trace: blocks plus communication.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::{StrideBins, TracedBlock};
+use crate::mpi::MpiTrace;
+
+/// Everything tracing one (application, process-count) run on the base
+/// system produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationTrace {
+    /// Application name (e.g. `"AVUS"`).
+    pub app: String,
+    /// Test case (e.g. `"standard"`).
+    pub case: String,
+    /// Processes in the traced run.
+    pub processes: u64,
+    /// Per-process basic-block census.
+    pub blocks: Vec<TracedBlock>,
+    /// Per-process communication census.
+    pub mpi: MpiTrace,
+}
+
+impl ApplicationTrace {
+    /// Total floating-point operations per process.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        self.blocks.iter().map(TracedBlock::total_flops).sum()
+    }
+
+    /// Total memory references per process.
+    #[must_use]
+    pub fn total_mem_refs(&self) -> u64 {
+        self.blocks.iter().map(TracedBlock::total_mem_refs).sum()
+    }
+
+    /// Stride bins aggregated over all blocks, weighted by invocations.
+    #[must_use]
+    pub fn aggregate_bins(&self) -> StrideBins {
+        self.blocks
+            .iter()
+            .map(|b| b.bins.scaled(b.invocations))
+            .fold(StrideBins::default(), |acc, b| acc.merged(&b))
+    }
+
+    /// Flops per memory reference — the classic balance metric.
+    #[must_use]
+    pub fn flops_per_ref(&self) -> f64 {
+        let refs = self.total_mem_refs();
+        if refs == 0 {
+            return f64::INFINITY;
+        }
+        self.total_flops() as f64 / refs as f64
+    }
+
+    /// Validate every block and the trace shape.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err(format!("{}/{}: no blocks traced", self.app, self.case));
+        }
+        if self.processes == 0 {
+            return Err("traced process count must be nonzero".into());
+        }
+        if self.mpi.processes != self.processes {
+            return Err(format!(
+                "{}/{}: MPI trace processes {} != {}",
+                self.app, self.case, self.mpi.processes, self.processes
+            ));
+        }
+        for b in &self.blocks {
+            b.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::DependencyClass;
+
+    fn sample() -> ApplicationTrace {
+        ApplicationTrace {
+            app: "TEST".into(),
+            case: "standard".into(),
+            processes: 8,
+            blocks: vec![
+                TracedBlock {
+                    name: "a".into(),
+                    flops: 100,
+                    bins: StrideBins {
+                        stride1: 50,
+                        short: 0,
+                        random: 10,
+                    },
+                    working_set: 4096,
+                    dependency: DependencyClass::Independent,
+                    invocations: 2,
+                },
+                TracedBlock {
+                    name: "b".into(),
+                    flops: 10,
+                    bins: StrideBins {
+                        stride1: 5,
+                        short: 5,
+                        random: 0,
+                    },
+                    working_set: 4096,
+                    dependency: DependencyClass::Chained,
+                    invocations: 10,
+                },
+            ],
+            mpi: MpiTrace::empty(8),
+        }
+    }
+
+    #[test]
+    fn totals_weight_invocations() {
+        let t = sample();
+        assert_eq!(t.total_flops(), 200 + 100);
+        assert_eq!(t.total_mem_refs(), 120 + 100);
+        let agg = t.aggregate_bins();
+        assert_eq!(agg.stride1, 100 + 50);
+        assert_eq!(agg.short, 50);
+        assert_eq!(agg.random, 20);
+    }
+
+    #[test]
+    fn flop_balance() {
+        let t = sample();
+        let expect = 300.0 / 220.0;
+        assert!((t.flops_per_ref() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_checks_shape() {
+        let mut t = sample();
+        t.validate().unwrap();
+        t.mpi.processes = 4;
+        assert!(t.validate().is_err());
+
+        let mut t = sample();
+        t.blocks.clear();
+        assert!(t.validate().is_err());
+
+        let mut t = sample();
+        t.processes = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn flops_per_ref_of_pure_compute_is_infinite() {
+        let mut t = sample();
+        for b in &mut t.blocks {
+            b.bins = StrideBins::default();
+        }
+        assert!(t.flops_per_ref().is_infinite());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the tracer.
+
+use metasim_stats::rng::SeededRng;
+use metasim_tracer::block::{DependencyClass, StrideBins, TracedBlock};
+use metasim_tracer::stride::{estimate_working_set, StrideDetector};
+use proptest::prelude::*;
+
+proptest! {
+    // Every reference lands in exactly one bin.
+    #[test]
+    fn bins_conserve_references(seed in 0u64..2000, n in 1usize..2000) {
+        let mut rng = SeededRng::new(seed);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 20) * 8).collect();
+        let mut d = StrideDetector::new();
+        d.observe_all(&addrs);
+        prop_assert_eq!(d.bins().total(), n as u64);
+    }
+
+    // A pure constant-stride stream (no wrap) classifies uniformly after
+    // the first reference.
+    #[test]
+    fn constant_stride_classifies_uniformly(stride in 1u64..32, n in 2usize..500) {
+        let addrs: Vec<u64> = (0..n as u64).map(|i| i * stride * 8).collect();
+        let mut d = StrideDetector::new();
+        d.observe_all(&addrs);
+        let bins = d.bins();
+        // The first reference of any stream is binned random (no stride is
+        // established yet), so large-stride streams are all-random.
+        let expect = (n - 1) as u64;
+        match stride {
+            1 => prop_assert_eq!(bins.stride1, expect),
+            2..=8 => prop_assert_eq!(bins.short, expect),
+            _ => prop_assert_eq!(bins.random, n as u64),
+        }
+    }
+
+    // Detection is insensitive to a constant base offset.
+    #[test]
+    fn detection_is_translation_invariant(seed in 0u64..1000, base in 0u64..1<<40) {
+        let mut rng = SeededRng::new(seed);
+        let addrs: Vec<u64> = (0..500).map(|_| rng.next_below(1 << 16) * 8).collect();
+        let shifted: Vec<u64> = addrs.iter().map(|a| a + base).collect();
+        let mut d1 = StrideDetector::new();
+        d1.observe_all(&addrs);
+        let mut d2 = StrideDetector::new();
+        d2.observe_all(&shifted);
+        prop_assert_eq!(d1.bins(), d2.bins());
+    }
+
+    // Working-set estimates are monotone under stream extension and
+    // bounded by line-rounded span.
+    #[test]
+    fn working_set_estimate_bounds(seed in 0u64..1000, n in 1usize..1000) {
+        let mut rng = SeededRng::new(seed);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 18)).collect();
+        let half = estimate_working_set(&addrs[..n / 2], 64);
+        let full = estimate_working_set(&addrs, 64);
+        prop_assert!(full >= half);
+        prop_assert!(full <= (n as u64) * 64, "at most one line per ref");
+        prop_assert_eq!(full % 64, 0);
+    }
+
+    // Bin arithmetic: merged totals add, scaling multiplies.
+    #[test]
+    fn bin_arithmetic(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, k in 1u64..100) {
+        let bins = StrideBins { stride1: a, short: b, random: c };
+        let doubled = bins.merged(&bins);
+        prop_assert_eq!(doubled.total(), 2 * bins.total());
+        prop_assert_eq!(bins.scaled(k).total(), k * bins.total());
+        let fsum = bins.stride1_fraction() + bins.short_fraction() + bins.random_fraction();
+        if bins.total() > 0 {
+            prop_assert!((fsum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    // Static analysis never invents a dependency that isn't there.
+    #[test]
+    fn analyzer_never_invents_dependencies(flops in 0u64..100_000, refs in 1u64..100_000) {
+        let block = TracedBlock {
+            name: "b".into(),
+            flops,
+            bins: StrideBins { stride1: refs, short: 0, random: 0 },
+            working_set: 4096,
+            dependency: DependencyClass::Independent,
+            invocations: 1,
+        };
+        let verdict = metasim_tracer::analysis::analyze_block(&block);
+        prop_assert_eq!(verdict.detected, DependencyClass::Independent);
+        prop_assert!(verdict.exact);
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: trace an application once, predict a target machine.
+//!
+//! This walks the paper's whole methodology in one page:
+//!   1. "run" (simulate) the application on the base system to get T(X₀),
+//!   2. trace it with the MetaSim-equivalent tracer,
+//!   3. measure the target machine with the synthetic probes,
+//!   4. convolve trace × rates for all nine metrics,
+//!   5. compare against the target's "real" (ground-truth) runtime.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use metasim::apps::groundtruth::GroundTruth;
+use metasim::apps::registry::TestCase;
+use metasim::apps::tracing::trace_workload;
+use metasim::core::metric::MetricId;
+use metasim::core::prediction::predict_all;
+use metasim::machines::{fleet, MachineId};
+use metasim::probes::suite::ProbeSuite;
+use metasim::tracer::analysis::analyze_dependencies;
+
+fn main() {
+    let fleet = fleet();
+    let suite = ProbeSuite::new();
+    let gt = GroundTruth::new();
+
+    let case = TestCase::AvusStandard;
+    let cpus = 64;
+    let target = MachineId::ArlAltix;
+
+    // 1. The base-system run (the one measurement the methodology needs).
+    let t_base = gt.run(case, cpus, fleet.base()).seconds;
+    println!(
+        "{} @ {cpus} CPUs ran {:.0} s on the base system ({}).",
+        case.label(),
+        t_base,
+        fleet.base().id
+    );
+
+    // 2. Trace once on the base system (30x dilation in real life — see
+    //    metasim::tracer::dilation).
+    let workload = case.workload(cpus);
+    let trace = trace_workload(&workload);
+    let labels = analyze_dependencies(&trace.blocks);
+    let bins = trace.aggregate_bins();
+    println!(
+        "traced {} blocks: {:.0}% stride-1, {:.0}% short, {:.0}% random references\n",
+        trace.blocks.len(),
+        bins.stride1_fraction() * 100.0,
+        bins.short_fraction() * 100.0,
+        bins.random_fraction() * 100.0,
+    );
+
+    // 3. Probe the target machine (no application run needed there).
+    let target_probes = suite.measure(fleet.get(target));
+    let base_probes = suite.measure(fleet.base());
+    println!(
+        "{target}: Rmax {:.2} GF/s, STREAM {:.2} GB/s, GUPS {:.4}",
+        target_probes.hpl.rmax_gflops_per_proc,
+        target_probes.stream.gb_per_second(),
+        target_probes.gups.gups(),
+    );
+
+    // 4. Convolve: all nine predictions.
+    let predictions = predict_all(&trace, &labels, &target_probes, &base_probes, t_base);
+
+    // 5. Compare with the ground truth.
+    let actual = gt.run(case, cpus, fleet.get(target)).seconds;
+    println!("\nactual runtime on {target}: {actual:.0} s\n");
+    println!("{:<24} {:>12} {:>9}", "metric", "predicted s", "error %");
+    for (metric, pred) in MetricId::ALL.iter().zip(predictions) {
+        println!(
+            "{:<24} {:>12.0} {:>+8.1}%",
+            metric.to_string(),
+            pred,
+            (pred - actual) / actual * 100.0
+        );
+    }
+    println!(
+        "\nThe convolution metrics (#6-#9) use the traced operation mix; the\n\
+         simple metrics scale the base runtime by one benchmark ratio (Eq. 1)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Trace explorer: look inside what the MetaSim-equivalent tracer collects,
+//! and what it costs.
+//!
+//! Prints, for each TI-05 test case: the per-block operation census (flops,
+//! stride bins, working set, dependency class), the MPI event census, the
+//! flop-per-reference balance, and the tracing-dilation cost model of §3
+//! ("was the increase in accuracy worth the effort?").
+//!
+//! Run with: `cargo run --release --example trace_explorer`
+
+use metasim::apps::groundtruth::GroundTruth;
+use metasim::apps::registry::TestCase;
+use metasim::apps::tracing::trace_workload;
+use metasim::machines::fleet;
+use metasim::tracer::analysis::analyze_block;
+use metasim::tracer::counters::HardwareCounters;
+use metasim::tracer::dilation::TracingCost;
+
+fn human_bytes(b: u64) -> String {
+    match b {
+        _ if b >= 1 << 30 => format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64),
+        _ if b >= 1 << 20 => format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64),
+        _ if b >= 1 << 10 => format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64),
+        _ => format!("{b} B"),
+    }
+}
+
+fn main() {
+    let fleet = fleet();
+    let gt = GroundTruth::new();
+
+    for case in TestCase::ALL {
+        let cpus = case.cpu_counts()[0];
+        let workload = case.workload(cpus);
+        let trace = trace_workload(&workload);
+
+        println!("== {} @ {cpus} CPUs ==", case.label());
+        println!(
+            "{:<28} {:>6} {:>6} {:>6} {:>10} {:>12}",
+            "block", "s1%", "sh%", "rnd%", "ws", "dependency"
+        );
+        for block in &trace.blocks {
+            let verdict = analyze_block(block);
+            println!(
+                "{:<28} {:>5.0}% {:>5.0}% {:>5.0}% {:>10} {:>12}",
+                block.name,
+                block.bins.stride1_fraction() * 100.0,
+                block.bins.short_fraction() * 100.0,
+                block.bins.random_fraction() * 100.0,
+                human_bytes(block.working_set),
+                format!(
+                    "{:?}{}",
+                    verdict.detected,
+                    if verdict.exact { "" } else { "*" }
+                ),
+            );
+        }
+
+        let counters = HardwareCounters::from_trace(&trace);
+        println!(
+            "counters: {:.2e} flops, {:.2e} refs -> {:.2} flops/ref",
+            counters.flops as f64,
+            counters.mem_refs as f64,
+            trace.flops_per_ref()
+        );
+        println!(
+            "MPI census: {} messages, {} collectives, {} moved, mean p2p {:.0} B",
+            trace.mpi.message_count(),
+            trace.mpi.collective_count(),
+            human_bytes(trace.mpi.total_bytes()),
+            trace.mpi.mean_p2p_bytes(),
+        );
+
+        // §3's cost accounting: tracing happens once, on the base system.
+        let native = gt.run(case, cpus, fleet.base()).seconds;
+        let full = TracingCost::metasim(native);
+        let cheap = TracingCost::counters(native);
+        println!(
+            "tracing cost on base: native {:.1} h -> MetaSim {:.1} h (counters {:.1} h); \
+             amortized over 10 targets: {:.1} h\n",
+            native / 3600.0,
+            full.collection_seconds() / 3600.0,
+            cheap.collection_seconds() / 3600.0,
+            full.amortized_seconds(10) / 3600.0,
+        );
+    }
+    println!("(* = static analysis mislabelled the block's dependency class)");
+}

@@ -1,0 +1,75 @@
+//! # metasim
+//!
+//! A full reproduction of *"How Well Can Simple Metrics Represent the
+//! Performance of HPC Applications?"* (Carrington, Laurenzano, Snavely,
+//! Campbell, Davis — SC 2005): trace-convolution performance prediction for
+//! HPC systems, with every substrate the study depends on built in —
+//! simulated machines standing in for the ten DoD HPCMP systems, synthetic
+//! probes (HPL, STREAM, GUPS, MAPS, ENHANCED MAPS, NETBENCH), a MetaSim-style
+//! tracer with stride detection, the convolver implementing the paper's nine
+//! metrics, and synthetic TI-05 applications with a detailed ground-truth
+//! execution model.
+//!
+//! This crate is the facade: it re-exports the workspace crates under stable
+//! module names and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use metasim::machines::{fleet, MachineId};
+//! use metasim::probes::suite::ProbeSuite;
+//! use metasim::apps::registry::TestCase;
+//! use metasim::apps::tracing::trace_workload;
+//! use metasim::apps::groundtruth::GroundTruth;
+//! use metasim::core::prediction::predict_all;
+//! use metasim::tracer::analysis::analyze_dependencies;
+//!
+//! let fleet = fleet();
+//! let suite = ProbeSuite::new();
+//! let gt = GroundTruth::new();
+//!
+//! // Trace HYCOM once on the base system...
+//! let workload = TestCase::HycomStandard.workload(96);
+//! let trace = trace_workload(&workload);
+//! let labels = analyze_dependencies(&trace.blocks);
+//! let t_base = gt.run(TestCase::HycomStandard, 96, fleet.base()).seconds;
+//!
+//! // ...then predict any target machine from probe measurements alone.
+//! let target = fleet.get(MachineId::ArlOpteron);
+//! let predictions = predict_all(
+//!     &trace,
+//!     &labels,
+//!     &suite.measure(target),
+//!     &suite.measure(fleet.base()),
+//!     t_base,
+//! );
+//! println!("metric #9 predicts {:.0} s", predictions[8]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`stats`] | `metasim-stats` | statistics, regression, deterministic RNG |
+//! | [`memsim`] | `metasim-memsim` | cache-hierarchy simulator |
+//! | [`netsim`] | `metasim-netsim` | interconnect model |
+//! | [`machines`] | `metasim-machines` | the 11-system HPCMP fleet |
+//! | [`probes`] | `metasim-probes` | HPL/STREAM/GUPS/MAPS/NETBENCH |
+//! | [`tracer`] | `metasim-tracer` | MetaSim tracer + MPIDTRACE equivalents |
+//! | [`apps`] | `metasim-apps` | TI-05 applications + ground truth |
+//! | [`core`] | `metasim-core` | the convolver, nine metrics, study driver |
+//! | [`report`] | `metasim-report` | tables, CSV, charts, SVG |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use metasim_apps as apps;
+pub use metasim_core as core;
+pub use metasim_machines as machines;
+pub use metasim_memsim as memsim;
+pub use metasim_netsim as netsim;
+pub use metasim_probes as probes;
+pub use metasim_report as report;
+pub use metasim_stats as stats;
+pub use metasim_tracer as tracer;

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full methodology pipeline through the
+//! `metasim` facade, exactly as a downstream user would drive it.
+
+use metasim::apps::groundtruth::GroundTruth;
+use metasim::apps::registry::TestCase;
+use metasim::apps::tracing::trace_workload;
+use metasim::core::metric::MetricId;
+use metasim::core::prediction::predict_all;
+use metasim::machines::{fleet, MachineId};
+use metasim::probes::suite::ProbeSuite;
+use metasim::tracer::analysis::analyze_dependencies;
+
+struct Pipeline {
+    fleet: metasim::machines::Fleet,
+    suite: ProbeSuite,
+    gt: GroundTruth,
+}
+
+impl Pipeline {
+    fn new() -> Self {
+        Self {
+            fleet: fleet(),
+            suite: ProbeSuite::new(),
+            gt: GroundTruth::new(),
+        }
+    }
+
+    fn predict(&self, case: TestCase, cpus: u64, target: MachineId) -> ([f64; 9], f64) {
+        let workload = case.workload(cpus);
+        let trace = trace_workload(&workload);
+        let labels = analyze_dependencies(&trace.blocks);
+        let t_base = self.gt.run(case, cpus, self.fleet.base()).seconds;
+        let predictions = predict_all(
+            &trace,
+            &labels,
+            &self.suite.measure(self.fleet.get(target)),
+            &self.suite.measure(self.fleet.base()),
+            t_base,
+        );
+        let actual = self.gt.run(case, cpus, self.fleet.get(target)).seconds;
+        (predictions, actual)
+    }
+}
+
+#[test]
+fn full_pipeline_produces_sane_predictions() {
+    let p = Pipeline::new();
+    for target in [MachineId::ArlOpteron, MachineId::MhpccP3, MachineId::AscSc45] {
+        let (predictions, actual) = p.predict(TestCase::HycomStandard, 96, target);
+        assert!(actual > 0.0);
+        for (m, pred) in MetricId::ALL.iter().zip(predictions) {
+            assert!(pred > 0.0 && pred.is_finite(), "{target:?} {m}");
+            // No metric should be off by more than 5x on this fleet.
+            let ratio = pred / actual;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "{target:?} {m}: predicted {pred:.0} vs actual {actual:.0}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metric4_reduces_to_equation_one_hpl() {
+    let p = Pipeline::new();
+    for target in MachineId::TARGETS {
+        let (predictions, _) = p.predict(TestCase::AvusStandard, 32, target);
+        assert!(
+            (predictions[0] - predictions[3]).abs() / predictions[0] < 1e-9,
+            "{target:?}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_instances() {
+    let a = Pipeline::new();
+    let b = Pipeline::new();
+    let (pa, aa) = a.predict(TestCase::RfcthStandard, 32, MachineId::ArlXeon);
+    let (pb, ab) = b.predict(TestCase::RfcthStandard, 32, MachineId::ArlXeon);
+    assert_eq!(pa, pb);
+    assert_eq!(aa, ab);
+}
+
+#[test]
+fn best_metric_beats_worst_metric_on_aggregate() {
+    // Aggregated over a handful of pipeline calls (not the full study,
+    // which crates/core pins): #9's error should undercut #1's.
+    let p = Pipeline::new();
+    let (mut e1, mut e9, mut n) = (0.0, 0.0, 0.0);
+    for (case, cpus) in [
+        (TestCase::AvusStandard, 64),
+        (TestCase::HycomStandard, 96),
+        (TestCase::Overflow2Standard, 48),
+        (TestCase::RfcthStandard, 32),
+    ] {
+        for target in MachineId::TARGETS {
+            let (pred, actual) = p.predict(case, cpus, target);
+            e1 += ((pred[0] - actual) / actual).abs();
+            e9 += ((pred[8] - actual) / actual).abs();
+            n += 1.0;
+        }
+    }
+    let (e1, e9) = (e1 / n * 100.0, e9 / n * 100.0);
+    assert!(
+        e9 < e1,
+        "metric #9 ({e9:.1}%) must beat metric #1 ({e1:.1}%)"
+    );
+    assert!(e9 < 30.0, "metric #9 should be in the ~80%-accuracy band: {e9:.1}%");
+}
+
+#[test]
+fn tracing_and_counters_agree_on_totals() {
+    // The cheap counter path and the full trace must count the same work.
+    use metasim::tracer::counters::HardwareCounters;
+    let workload = TestCase::Overflow2Standard.workload(48);
+    let trace = trace_workload(&workload);
+    let counters = HardwareCounters::from_trace(&trace);
+    assert_eq!(counters.flops, trace.total_flops());
+    assert_eq!(counters.mem_refs, trace.total_mem_refs());
+    assert_eq!(counters.mem_refs, workload.total_refs());
+}

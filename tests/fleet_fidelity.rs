@@ -1,0 +1,126 @@
+//! Fleet fidelity: the simulated machines must behave like the real 2005
+//! fleet wherever the paper published data to check against.
+
+use metasim::apps::groundtruth::GroundTruth;
+use metasim::apps::paper_data;
+use metasim::apps::registry::TestCase;
+use metasim::machines::{fleet, MachineId};
+use metasim::probes::suite::ProbeSuite;
+use metasim::stats::correlation::spearman;
+
+/// Simulated times-to-solution rank-correlate strongly with the paper's
+/// published appendix tables, per test case, across every cell the paper
+/// reports.
+#[test]
+fn simulated_runtimes_correlate_with_published_tables() {
+    let f = fleet();
+    let gt = GroundTruth::new();
+    for case in TestCase::ALL {
+        let mut sim = Vec::new();
+        let mut paper = Vec::new();
+        for id in MachineId::TARGETS {
+            for p in case.cpu_counts() {
+                if let Some(observed) = paper_data::observed_at(case, id, p) {
+                    sim.push(gt.run(case, p, f.get(id)).seconds);
+                    paper.push(observed);
+                }
+            }
+        }
+        assert!(sim.len() >= 17, "{case:?}: too few published cells");
+        let rho = spearman(&sim, &paper).expect("well-formed runtime vectors");
+        assert!(
+            rho > 0.65,
+            "{case:?}: simulated-vs-published Spearman {rho:.3} too weak"
+        );
+    }
+}
+
+/// Figure 1's crossover structure: p655 leads at L1-resident sizes, Altix
+/// in the L2 region, Opteron from main memory.
+#[test]
+fn figure1_crossovers_match_the_paper() {
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let bw = |id: MachineId, ws: u64| {
+        suite.measure(f.get(id)).maps.unit.bandwidth_at(ws)
+    };
+    let trio = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+
+    let leader = |ws: u64| {
+        trio.iter()
+            .copied()
+            .max_by(|&a, &b| bw(a, ws).partial_cmp(&bw(b, ws)).unwrap())
+            .unwrap()
+    };
+    assert_eq!(leader(16 << 10), MachineId::Navo655, "L1 region");
+    assert_eq!(leader(192 << 10), MachineId::ArlAltix, "L2 region");
+    assert_eq!(leader(128 << 20), MachineId::ArlOpteron, "main memory");
+}
+
+/// §3: "the lower right-hand portion of each unit-stride MAPS curve
+/// corresponds to the STREAM score … of each random stride MAPS curve
+/// corresponds to the GUPS score".
+#[test]
+fn maps_plateaus_match_stream_and_gups_fleetwide() {
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    for m in f.all() {
+        let p = suite.measure(m);
+        let unit = p.maps.unit.plateau();
+        let stream = p.stream.bandwidth;
+        assert!(
+            (unit - stream).abs() / stream < 0.2,
+            "{}: unit plateau {unit:.2e} vs STREAM {stream:.2e}",
+            m.id
+        );
+        let random = p.maps.random.plateau();
+        let gups = p.gups.effective_bandwidth();
+        assert!(
+            (random - gups).abs() / gups < 0.35,
+            "{}: random plateau {random:.2e} vs GUPS {gups:.2e}",
+            m.id
+        );
+    }
+}
+
+/// Strong scaling holds for every (case, machine): more processors, less
+/// time — matching the published tables' near-universal pattern.
+#[test]
+fn strong_scaling_everywhere() {
+    let f = fleet();
+    let gt = GroundTruth::new();
+    for case in TestCase::ALL {
+        let [p0, p1, p2] = case.cpu_counts();
+        for id in MachineId::TARGETS {
+            let t0 = gt.run(case, p0, f.get(id)).seconds;
+            let t1 = gt.run(case, p1, f.get(id)).seconds;
+            let t2 = gt.run(case, p2, f.get(id)).seconds;
+            assert!(
+                t0 > t1 && t1 > t2,
+                "{case:?} on {id}: {t0:.0} -> {t1:.0} -> {t2:.0}"
+            );
+        }
+    }
+}
+
+/// The base system's runtimes sit inside the fleet's observed spread for
+/// every test case (it's a mid-fleet p690).
+#[test]
+fn base_system_is_mid_fleet() {
+    let f = fleet();
+    let gt = GroundTruth::new();
+    for case in TestCase::ALL {
+        let p = case.cpu_counts()[0];
+        let base = gt.run(case, p, f.base()).seconds;
+        let times: Vec<f64> = MachineId::TARGETS
+            .iter()
+            .map(|&id| gt.run(case, p, f.get(id)).seconds)
+            .collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            base > min && base < max,
+            "{case:?}: base {base:.0} outside fleet [{min:.0}, {max:.0}]"
+        );
+    }
+}
