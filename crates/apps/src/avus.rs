@@ -44,7 +44,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "flux_sweep",
             ref_share: 0.30,
             mix: (0.84, 0.05, 0.11),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 120.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 120.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.1,
         },
@@ -52,7 +54,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "gradient_reconstruction",
             ref_share: 0.15,
             mix: (0.72, 0.12, 0.16),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 48.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 48.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.4,
         },
@@ -60,7 +64,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "turbulence_source",
             ref_share: 0.10,
             mix: (0.85, 0.05, 0.10),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 40.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 40.0,
+            },
             dependency: DependencyClass::Branchy,
             flops_per_ref: 2.2,
         },
@@ -68,7 +74,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "implicit_relaxation",
             ref_share: 0.22,
             mix: (0.70, 0.10, 0.20),
-            ws: WorkingSetModel::Plane { bytes_per_point: 24.0 },
+            ws: WorkingSetModel::Plane {
+                bytes_per_point: 24.0,
+            },
             dependency: DependencyClass::Chained,
             flops_per_ref: 0.9,
         },
@@ -78,7 +86,9 @@ fn templates() -> Vec<BlockTemplate> {
             mix: (0.25, 0.15, 0.60),
             // Edge gathers touch the whole local domain's state plus the
             // connectivity arrays — far beyond any cache.
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 96.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 96.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 0.3,
         },
@@ -89,7 +99,10 @@ fn comm(cells: u64, steps: u64, p: u64) -> Vec<CommEvent> {
     let halo = halo_bytes(cells, p, 5.0);
     vec![
         // Six face exchanges per inner sweep (3-D decomposition).
-        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 6 * steps * INNER_SWEEPS),
+        CommEvent::new(
+            CommOp::PointToPoint { bytes: halo },
+            6 * steps * INNER_SWEEPS,
+        ),
         // Residual norm and CFL control.
         CommEvent::new(CommOp::AllReduce { bytes: 8 }, 2 * steps * INNER_SWEEPS),
         // Occasional solution checkpoints coordinate via barrier.

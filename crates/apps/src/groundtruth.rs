@@ -114,13 +114,8 @@ pub fn imbalance_factor(app: &str, case: &str, machine: &MachineConfig, p: u64) 
         "HYCOM" => 0.03,
         _ => 0.04,
     };
-    let mut rng = SeededRng::from_labels(&[
-        "imbalance",
-        app,
-        case,
-        machine.id.label(),
-        &p.to_string(),
-    ]);
+    let mut rng =
+        SeededRng::from_labels(&["imbalance", app, case, machine.id.label(), &p.to_string()]);
     let jitter = rng.lognormal_factor(0.05);
     (1.0 + inherent * (p as f64).log2()) * jitter
 }
@@ -129,19 +124,9 @@ pub fn imbalance_factor(app: &str, case: &str, machine: &MachineConfig, p: u64) 
 /// methodology cannot see, frozen deterministically.
 #[must_use]
 pub fn idiosyncrasy_factor(app: &str, case: &str, machine: &MachineConfig, p: u64) -> f64 {
-    let mut per_app = SeededRng::from_labels(&[
-        "idiosyncrasy",
-        app,
-        case,
-        machine.id.label(),
-    ]);
-    let mut per_run = SeededRng::from_labels(&[
-        "run-jitter",
-        app,
-        case,
-        machine.id.label(),
-        &p.to_string(),
-    ]);
+    let mut per_app = SeededRng::from_labels(&["idiosyncrasy", app, case, machine.id.label()]);
+    let mut per_run =
+        SeededRng::from_labels(&["run-jitter", app, case, machine.id.label(), &p.to_string()]);
     per_app.lognormal_factor(IDIOSYNCRASY_SIGMA) * per_run.lognormal_factor(RUN_JITTER_SIGMA)
 }
 
@@ -157,20 +142,10 @@ pub fn execute(machine: &MachineConfig, workload: &AppWorkload) -> RunResult {
     }
 
     let raw_comm = replay(&machine.network, workload.processes, &workload.comm.events);
-    let comm = raw_comm
-        * imbalance_factor(
-            &workload.app,
-            &workload.case,
-            machine,
-            workload.processes,
-        );
+    let comm =
+        raw_comm * imbalance_factor(&workload.app, &workload.case, machine, workload.processes);
 
-    let idio = idiosyncrasy_factor(
-        &workload.app,
-        &workload.case,
-        machine,
-        workload.processes,
-    );
+    let idio = idiosyncrasy_factor(&workload.app, &workload.case, machine, workload.processes);
     RunResult {
         seconds: (compute + comm) * idio,
         compute_seconds: compute,
@@ -319,7 +294,13 @@ mod tests {
             dependency_mode(DependencyClass::Independent),
             DependencyMode::Independent
         );
-        assert_eq!(dependency_mode(DependencyClass::Chained), DependencyMode::Chained);
-        assert_eq!(dependency_mode(DependencyClass::Branchy), DependencyMode::Branchy);
+        assert_eq!(
+            dependency_mode(DependencyClass::Chained),
+            DependencyMode::Chained
+        );
+        assert_eq!(
+            dependency_mode(DependencyClass::Branchy),
+            DependencyMode::Branchy
+        );
     }
 }

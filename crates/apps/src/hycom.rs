@@ -33,7 +33,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "baroclinic_update",
             ref_share: 0.28,
             mix: (0.84, 0.10, 0.06),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 64.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 64.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.6,
         },
@@ -41,7 +43,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "barotropic_solver",
             ref_share: 0.12,
             mix: (0.90, 0.05, 0.05),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 16.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 16.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.0,
         },
@@ -51,7 +55,9 @@ fn templates() -> Vec<BlockTemplate> {
             mix: (0.55, 0.35, 0.10),
             // One column slab at a time: cache-resident, like the ADI
             // planes of structured codes.
-            ws: WorkingSetModel::Plane { bytes_per_point: 32.0 },
+            ws: WorkingSetModel::Plane {
+                bytes_per_point: 32.0,
+            },
             dependency: DependencyClass::Chained,
             flops_per_ref: 1.3,
         },
@@ -59,7 +65,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "advection",
             ref_share: 0.20,
             mix: (0.74, 0.10, 0.16),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 40.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 40.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.2,
         },
@@ -81,7 +89,10 @@ fn comm(points: u64, steps: u64, p: u64) -> Vec<CommEvent> {
     let tile = points as f64 / p as f64;
     let halo = (tile.sqrt() * 26.0 * ELEMENT_BYTES as f64) as u64;
     vec![
-        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 4 * steps * INNER_SWEEPS),
+        CommEvent::new(
+            CommOp::PointToPoint { bytes: halo },
+            4 * steps * INNER_SWEEPS,
+        ),
         // The barotropic sub-stepping synchronizes relentlessly.
         CommEvent::new(CommOp::AllReduce { bytes: 8 }, 10 * steps * INNER_SWEEPS),
         CommEvent::new(CommOp::AllReduce { bytes: 64 }, steps * INNER_SWEEPS),

@@ -35,7 +35,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "rhs_stencil",
             ref_share: 0.34,
             mix: (0.83, 0.08, 0.09),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 56.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 56.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 2.2,
         },
@@ -43,7 +45,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "adi_x_solve",
             ref_share: 0.18,
             mix: (0.95, 0.03, 0.02),
-            ws: WorkingSetModel::Plane { bytes_per_point: 24.0 },
+            ws: WorkingSetModel::Plane {
+                bytes_per_point: 24.0,
+            },
             dependency: DependencyClass::Chained,
             flops_per_ref: 1.4,
         },
@@ -51,7 +55,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "adi_y_solve",
             ref_share: 0.18,
             mix: (0.25, 0.65, 0.10),
-            ws: WorkingSetModel::Plane { bytes_per_point: 24.0 },
+            ws: WorkingSetModel::Plane {
+                bytes_per_point: 24.0,
+            },
             dependency: DependencyClass::Chained,
             flops_per_ref: 1.4,
         },
@@ -60,7 +66,9 @@ fn templates() -> Vec<BlockTemplate> {
             ref_share: 0.12,
             mix: (0.20, 0.10, 0.70),
             // Donor-cell searches roam the full local grid system.
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 24.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 24.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 0.6,
         },
@@ -68,7 +76,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "turbulence_model",
             ref_share: 0.18,
             mix: (0.81, 0.08, 0.11),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 32.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 32.0,
+            },
             dependency: DependencyClass::Branchy,
             flops_per_ref: 2.6,
         },
@@ -78,9 +88,15 @@ fn templates() -> Vec<BlockTemplate> {
 fn comm(points: u64, steps: u64, p: u64) -> Vec<CommEvent> {
     let halo = halo_bytes(points, p, 4.0);
     vec![
-        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 4 * steps * INNER_SWEEPS),
+        CommEvent::new(
+            CommOp::PointToPoint { bytes: halo },
+            4 * steps * INNER_SWEEPS,
+        ),
         // Overset donor/receiver exchange once per step.
-        CommEvent::new(CommOp::PointToPoint { bytes: halo / 3 }, steps * INNER_SWEEPS),
+        CommEvent::new(
+            CommOp::PointToPoint { bytes: halo / 3 },
+            steps * INNER_SWEEPS,
+        ),
         CommEvent::new(CommOp::AllReduce { bytes: 8 }, steps * INNER_SWEEPS),
     ]
 }

@@ -160,7 +160,10 @@ mod tests {
             observed_at(TestCase::AvusStandard, MachineId::ErdcO3800, 999),
             None
         );
-        assert_eq!(observed(TestCase::AvusStandard, MachineId::NavoP690Base, 0), None);
+        assert_eq!(
+            observed(TestCase::AvusStandard, MachineId::NavoP690Base, 0),
+            None
+        );
     }
 
     #[test]

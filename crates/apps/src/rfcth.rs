@@ -35,7 +35,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "hydro_sweep",
             ref_share: 0.25,
             mix: (0.76, 0.10, 0.14),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 48.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 48.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.5,
         },
@@ -43,7 +45,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "material_interface",
             ref_share: 0.20,
             mix: (0.60, 0.10, 0.30),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 32.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 32.0,
+            },
             dependency: DependencyClass::Branchy,
             flops_per_ref: 1.8,
         },
@@ -61,7 +65,9 @@ fn templates() -> Vec<BlockTemplate> {
             mix: (0.25, 0.15, 0.60),
             // The AMR tree walk touches block metadata across the whole
             // local octree.
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 160.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 160.0,
+            },
             dependency: DependencyClass::Chained,
             flops_per_ref: 0.4,
         },
@@ -69,7 +75,9 @@ fn templates() -> Vec<BlockTemplate> {
             name: "stress_update",
             ref_share: 0.20,
             mix: (0.82, 0.07, 0.11),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 40.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 40.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 2.0,
         },
@@ -79,11 +87,17 @@ fn templates() -> Vec<BlockTemplate> {
 fn comm(cells: u64, steps: u64, p: u64) -> Vec<CommEvent> {
     let halo = halo_bytes(cells, p, 8.0);
     vec![
-        CommEvent::new(CommOp::PointToPoint { bytes: halo }, 6 * steps * INNER_SWEEPS),
+        CommEvent::new(
+            CommOp::PointToPoint { bytes: halo },
+            6 * steps * INNER_SWEEPS,
+        ),
         // Timestep control every cycle, plus AMR consensus.
         CommEvent::new(CommOp::AllReduce { bytes: 8 }, 4 * steps * INNER_SWEEPS),
         // Regridding redistributes blocks.
-        CommEvent::new(CommOp::AllToAll { bytes: halo / 8 }, steps * INNER_SWEEPS / 100),
+        CommEvent::new(
+            CommOp::AllToAll { bytes: halo / 8 },
+            steps * INNER_SWEEPS / 100,
+        ),
     ]
 }
 

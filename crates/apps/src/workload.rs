@@ -7,6 +7,8 @@
 //! the ground-truth executor. An [`AppWorkload`] is a full run: blocks plus
 //! the MPI event census.
 
+use metasim_audit::registry::{MS201, MS202, MS203};
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 use metasim_netsim::replay::CommEvent;
@@ -75,22 +77,41 @@ pub struct BlockTemplate {
 }
 
 impl BlockTemplate {
-    /// Check the template's internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
-        let (a, b, c) = self.mix;
-        if !(a >= 0.0 && b >= 0.0 && c >= 0.0) {
-            return Err(format!("{}: negative mix component", self.name));
-        }
-        if ((a + b + c) - 1.0).abs() > 1e-9 {
-            return Err(format!("{}: mix must sum to 1", self.name));
+    /// Emit template-consistency diagnostics: [`MS203`] for the stride mix,
+    /// [`MS202`] for the scalar intensities.
+    pub fn audit(&self, a: &mut Auditor) {
+        let (s1, sh, rnd) = self.mix;
+        if !(s1 >= 0.0 && sh >= 0.0 && rnd >= 0.0) {
+            a.finding_at(
+                &MS203,
+                "mix",
+                format!("{}: negative mix component", self.name),
+            );
+        } else if ((s1 + sh + rnd) - 1.0).abs() > 1e-9 {
+            a.finding_at(&MS203, "mix", format!("{}: mix must sum to 1", self.name));
         }
         if !(self.ref_share > 0.0 && self.ref_share <= 1.0) {
-            return Err(format!("{}: ref share out of range", self.name));
+            a.finding_at(
+                &MS202,
+                "ref_share",
+                format!("{}: ref share out of range", self.name),
+            );
         }
         if !(self.flops_per_ref.is_finite() && self.flops_per_ref >= 0.0) {
-            return Err(format!("{}: negative flop intensity", self.name));
+            a.finding_at(
+                &MS202,
+                "flops_per_ref",
+                format!("{}: negative flop intensity", self.name),
+            );
         }
-        Ok(())
+    }
+
+    /// Check the template's internal consistency.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 }
 
@@ -227,39 +248,65 @@ impl AppWorkload {
         format!("{}-{}-{}", self.app, self.case, self.processes)
     }
 
-    /// Validate a workload (used on user-supplied JSON workloads).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit workload diagnostics: [`MS201`] run shape, per-block [`MS202`]
+    /// integrity and [`MS203`] stride-mix conservation.
+    pub fn audit(&self, a: &mut Auditor) {
         if self.app.is_empty() || self.case.is_empty() {
-            return Err("application and case names must be non-empty".into());
+            a.finding(&MS201, "application and case names must be non-empty");
         }
         if self.processes == 0 {
-            return Err("process count must be nonzero".into());
+            a.finding_at(&MS201, "processes", "process count must be nonzero");
         }
         if self.blocks.is_empty() {
-            return Err("workload has no blocks".into());
+            a.finding_at(&MS201, "blocks", "workload has no blocks");
         }
         if self.comm.processes != self.processes {
-            return Err(format!(
-                "MPI trace processes {} != workload processes {}",
-                self.comm.processes, self.processes
-            ));
+            a.finding_at(
+                &MS201,
+                "comm.processes",
+                format!(
+                    "MPI trace processes {} != workload processes {}",
+                    self.comm.processes, self.processes
+                ),
+            );
         }
-        for b in &self.blocks {
-            if b.refs == 0 && b.flops == 0 {
-                return Err(format!("block {}: no work", b.name));
-            }
-            if b.invocations == 0 {
-                return Err(format!("block {}: zero invocations", b.name));
-            }
-            let (m0, m1, m2) = b.mix;
-            if !(m0 >= 0.0 && m1 >= 0.0 && m2 >= 0.0 && (m0 + m1 + m2 - 1.0).abs() < 1e-6) {
-                return Err(format!("block {}: mix must be a distribution", b.name));
-            }
-            if b.refs > 0 && b.working_set < ELEMENT_BYTES {
-                return Err(format!("block {}: working set too small", b.name));
-            }
+        for (i, b) in self.blocks.iter().enumerate() {
+            a.scope(format!("blocks[{i}]"), |a| {
+                if b.refs == 0 && b.flops == 0 {
+                    a.finding(&MS202, format!("block {}: no work", b.name));
+                }
+                if b.invocations == 0 {
+                    a.finding_at(
+                        &MS202,
+                        "invocations",
+                        format!("block {}: zero invocations", b.name),
+                    );
+                }
+                let (m0, m1, m2) = b.mix;
+                if !(m0 >= 0.0 && m1 >= 0.0 && m2 >= 0.0 && (m0 + m1 + m2 - 1.0).abs() < 1e-6) {
+                    a.finding_at(
+                        &MS203,
+                        "mix",
+                        format!("block {}: mix must be a distribution", b.name),
+                    );
+                }
+                if b.refs > 0 && b.working_set < ELEMENT_BYTES {
+                    a.finding_at(
+                        &MS202,
+                        "working_set",
+                        format!("block {}: working set too small", b.name),
+                    );
+                }
+            });
         }
-        Ok(())
+    }
+
+    /// Validate a workload (used on user-supplied JSON workloads).
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 }
 
@@ -281,7 +328,9 @@ mod tests {
             name: "sweep",
             ref_share: 1.0,
             mix: (0.8, 0.1, 0.1),
-            ws: WorkingSetModel::PerProcess { bytes_per_cell: 48.0 },
+            ws: WorkingSetModel::PerProcess {
+                bytes_per_cell: 48.0,
+            },
             dependency: DependencyClass::Independent,
             flops_per_ref: 1.5,
         }
@@ -289,11 +338,15 @@ mod tests {
 
     #[test]
     fn working_set_models_scale_properly() {
-        let per = WorkingSetModel::PerProcess { bytes_per_cell: 64.0 };
+        let per = WorkingSetModel::PerProcess {
+            bytes_per_cell: 64.0,
+        };
         assert_eq!(per.bytes(1_000_000, 1), 64_000_000);
         assert_eq!(per.bytes(1_000_000, 64), 1_000_000);
 
-        let plane = WorkingSetModel::Plane { bytes_per_point: 24.0 };
+        let plane = WorkingSetModel::Plane {
+            bytes_per_point: 24.0,
+        };
         let at8 = plane.bytes(8_000_000, 8);
         let at64 = plane.bytes(8_000_000, 64);
         assert!(at8 > at64, "plane shrinks with p: {at8} vs {at64}");
@@ -307,7 +360,9 @@ mod tests {
 
     #[test]
     fn working_set_clamps_to_minimum() {
-        let per = WorkingSetModel::PerProcess { bytes_per_cell: 1.0 };
+        let per = WorkingSetModel::PerProcess {
+            bytes_per_cell: 1.0,
+        };
         assert_eq!(per.bytes(100, 64), MIN_WORKING_SET);
     }
 
@@ -316,23 +371,39 @@ mod tests {
         template().validate().unwrap();
         let mut t = template();
         t.mix = (0.5, 0.1, 0.1);
-        assert!(t.validate().is_err());
+        let report = t.validate().unwrap_err();
+        assert!(report.has_code("MS203"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "mix");
         let mut t = template();
         t.ref_share = 0.0;
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().has_code("MS202"));
         let mut t = template();
         t.mix = (1.2, -0.1, -0.1);
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().has_code("MS203"));
     }
 
     #[test]
     fn instantiation_divides_work_across_processes() {
         let comm = vec![CommEvent::new(CommOp::Barrier, 10)];
         let w32 = AppWorkload::from_templates(
-            "TEST", "std", 7_000_000, 100, 60.0, &[template()], 32, comm.clone(),
+            "TEST",
+            "std",
+            7_000_000,
+            100,
+            60.0,
+            &[template()],
+            32,
+            comm.clone(),
         );
         let w64 = AppWorkload::from_templates(
-            "TEST", "std", 7_000_000, 100, 60.0, &[template()], 64, comm,
+            "TEST",
+            "std",
+            7_000_000,
+            100,
+            60.0,
+            &[template()],
+            64,
+            comm,
         );
         let refs32 = w32.total_refs();
         let refs64 = w64.total_refs();
@@ -345,7 +416,14 @@ mod tests {
     #[test]
     fn class_refs_sum_exactly() {
         let w = AppWorkload::from_templates(
-            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+            "TEST",
+            "std",
+            1_000_000,
+            10,
+            10.0,
+            &[template()],
+            16,
+            vec![],
         );
         let b = &w.blocks[0];
         let (s1, sh, r) = b.class_refs();
@@ -356,7 +434,14 @@ mod tests {
     #[test]
     fn flops_follow_intensity() {
         let w = AppWorkload::from_templates(
-            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+            "TEST",
+            "std",
+            1_000_000,
+            10,
+            10.0,
+            &[template()],
+            16,
+            vec![],
         );
         let b = &w.blocks[0];
         assert!((b.flops as f64 / b.refs as f64 - 1.5).abs() < 0.01);
@@ -366,7 +451,14 @@ mod tests {
     #[test]
     fn short_stride_is_stable_and_in_range() {
         let w = AppWorkload::from_templates(
-            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+            "TEST",
+            "std",
+            1_000_000,
+            10,
+            10.0,
+            &[template()],
+            16,
+            vec![],
         );
         let b = &w.blocks[0];
         let s = b.short_stride();
@@ -386,30 +478,39 @@ mod tests {
     #[test]
     fn workload_validation() {
         let w = AppWorkload::from_templates(
-            "TEST", "std", 1_000_000, 10, 10.0, &[template()], 16, vec![],
+            "TEST",
+            "std",
+            1_000_000,
+            10,
+            10.0,
+            &[template()],
+            16,
+            vec![],
         );
         w.validate().unwrap();
 
         let mut bad = w.clone();
         bad.blocks.clear();
-        assert!(bad.validate().is_err());
+        assert!(bad.validate().unwrap_err().has_code("MS201"));
 
         let mut bad = w.clone();
         bad.comm.processes = 4;
-        assert!(bad.validate().is_err());
+        assert!(bad.validate().unwrap_err().has_code("MS201"));
 
         let mut bad = w.clone();
         bad.blocks[0].mix = (0.5, 0.1, 0.1);
-        assert!(bad.validate().is_err());
+        let report = bad.validate().unwrap_err();
+        assert!(report.has_code("MS203"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "blocks[0].mix");
 
         let mut bad = w.clone();
         bad.processes = 0;
-        assert!(bad.validate().is_err());
+        assert!(bad.validate().unwrap_err().has_code("MS201"));
 
         let mut bad = w;
         bad.blocks[0].refs = 0;
         bad.blocks[0].flops = 0;
-        assert!(bad.validate().is_err());
+        assert!(bad.validate().unwrap_err().has_code("MS202"));
     }
 
     #[test]

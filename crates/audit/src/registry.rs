@@ -1,0 +1,247 @@
+//! The rule registry: every stable `MSxxx` code, its default severity, and
+//! the piece of the paper's methodology it enforces.
+//!
+//! Code blocks mirror the artifact layers: `MS0xx` machine configuration,
+//! `MS1xx` probe curves (MAPS / ENHANCED MAPS / HPL), `MS2xx` application
+//! traces, `MS3xx` study outputs and predictions. Codes are append-only —
+//! a published code is never renumbered or reused, so `allow` lists in
+//! config files stay meaningful across releases.
+
+use crate::Severity;
+
+/// Static description of one audit rule.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Stable code, e.g. `MS002`.
+    pub code: &'static str,
+    /// Short kebab-case name, e.g. `efficiency-ordering`.
+    pub name: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// Where in the paper's methodology the invariant comes from.
+    pub paper: &'static str,
+    /// Severity when the rule fires, unless escalated or overridden.
+    pub default_severity: Severity,
+}
+
+macro_rules! rules {
+    ($($ident:ident = {
+        code: $code:literal,
+        name: $name:literal,
+        severity: $sev:ident,
+        summary: $summary:literal,
+        paper: $paper:literal $(,)?
+    });* $(;)?) => {
+        $(
+            #[doc = $summary]
+            pub static $ident: Rule = Rule {
+                code: $code,
+                name: $name,
+                summary: $summary,
+                paper: $paper,
+                default_severity: Severity::$sev,
+            };
+        )*
+
+        /// Every registered rule, in code order.
+        pub static ALL: &[&Rule] = &[$(&$ident),*];
+    };
+}
+
+rules! {
+    MS001 = {
+        code: "MS001",
+        name: "processor-scalars",
+        severity: Error,
+        summary: "Processor clock and flops-per-cycle must be positive and finite",
+        paper: "Table 1: machine peak floating-point rates",
+    };
+    MS002 = {
+        code: "MS002",
+        name: "efficiency-ordering",
+        severity: Error,
+        summary: "Efficiencies must satisfy 0 < app_flop_efficiency <= hpl_efficiency <= 1",
+        paper: "Metrics #1/#4: HPL sustains more of peak than real applications",
+    };
+    MS003 = {
+        code: "MS003",
+        name: "cache-geometry",
+        severity: Error,
+        summary: "Cache line/set/capacity geometry must be internally consistent powers of two",
+        paper: "MAPS probes walk real cache hierarchies; impossible geometry voids them",
+    };
+    MS004 = {
+        code: "MS004",
+        name: "hierarchy-monotonicity",
+        severity: Error,
+        summary: "Down the memory hierarchy, capacity grows while bandwidth falls and latency rises",
+        paper: "MAPS curve plateaus exist because each level is bigger and slower",
+    };
+    MS005 = {
+        code: "MS005",
+        name: "memory-micro-parameters",
+        severity: Error,
+        summary: "MLP, prefetch fractions, and penalty cycles must be in their physical ranges",
+        paper: "Cache simulator inputs behind metrics #5/#7-#9",
+    };
+    MS006 = {
+        code: "MS006",
+        name: "network-sanity",
+        severity: Error,
+        summary: "Network latency, bandwidth, and topology parameters must be positive and finite",
+        paper: "Metric #8 adds measured network latency/bandwidth to the convolution",
+    };
+    MS007 = {
+        code: "MS007",
+        name: "fleet-completeness",
+        severity: Error,
+        summary: "The study fleet must contain exactly one config per machine id",
+        paper: "Table 5: ten target systems plus the NAVO p690 base",
+    };
+    MS008 = {
+        code: "MS008",
+        name: "era-envelope",
+        severity: Warn,
+        summary: "Machine parameters should fall inside the 2005-era HPC plausibility envelope",
+        paper: "Table 1: the study fleet spans 0.5-1.7 GHz and microsecond interconnects",
+    };
+    MS101 = {
+        code: "MS101",
+        name: "curve-shape",
+        severity: Error,
+        summary: "A MAPS curve needs >= 2 points, strictly increasing sizes, finite positive bandwidths",
+        paper: "MAPS: achievable bandwidth as a function of working-set size",
+    };
+    MS102 = {
+        code: "MS102",
+        name: "curve-monotone",
+        severity: Error,
+        summary: "MAPS bandwidth must be non-increasing as the working set grows (5% tolerance)",
+        paper: "MAPS: bandwidth falls at each cache-capacity boundary",
+    };
+    MS103 = {
+        code: "MS103",
+        name: "enhanced-dominance",
+        severity: Error,
+        summary: "ENHANCED MAPS chained/branchy curves cannot beat the independent-access curve",
+        paper: "ENHANCED MAPS: dependence limits memory-level parallelism",
+    };
+    MS104 = {
+        code: "MS104",
+        name: "stride-ordering",
+        severity: Error,
+        summary: "Random-stride bandwidth cannot exceed unit-stride bandwidth at the same size",
+        paper: "MAPS measures unit-stride vs random access; random is always slower",
+    };
+    MS105 = {
+        code: "MS105",
+        name: "hpl-within-peak",
+        severity: Error,
+        summary: "Measured HPL GFLOP/s must not exceed the machine's theoretical peak",
+        paper: "Metric #1: HPL is a fraction of peak, never more",
+    };
+    MS106 = {
+        code: "MS106",
+        name: "plateau-ratio",
+        severity: Warn,
+        summary: "The main-memory plateau should sit well below the L1 plateau",
+        paper: "MAPS: cache-to-memory bandwidth ratios of 3-100x across the fleet",
+    };
+    MS201 = {
+        code: "MS201",
+        name: "trace-shape",
+        severity: Error,
+        summary: "A trace needs blocks, a nonzero process count, and a matching MPI process count",
+        paper: "MetaSim tracer + MPI trace drive the convolution",
+    };
+    MS202 = {
+        code: "MS202",
+        name: "block-integrity",
+        severity: Error,
+        summary: "Per-block instruction, memory, and flop counters must be individually coherent",
+        paper: "Basic-block counters are the convolution's independent variables",
+    };
+    MS203 = {
+        code: "MS203",
+        name: "stride-conservation",
+        severity: Error,
+        summary: "Stride-class bins must exactly partition a block's memory references",
+        paper: "MAPS convolution weights unit-stride vs random reference fractions",
+    };
+    MS204 = {
+        code: "MS204",
+        name: "hit-rate-bands",
+        severity: Error,
+        summary: "Simulated cache hit fractions must lie in [0, 1] and partition the access stream",
+        paper: "Cache-simulator hit rates select the operative MAPS bandwidth",
+    };
+    MS301 = {
+        code: "MS301",
+        name: "error-accounting",
+        severity: Error,
+        summary: "Per-observation signed and absolute errors must agree with Equation 2",
+        paper: "Equation 2: percent error of predicted vs measured runtime",
+    };
+    MS302 = {
+        code: "MS302",
+        name: "cpu-monotonicity",
+        severity: Warn,
+        summary: "Measured runtime should not increase with processor count for a fixed case/machine",
+        paper: "Strong-scaling inputs: 5 cases x 3 CPU counts of shrinking runtimes",
+    };
+    MS303 = {
+        code: "MS303",
+        name: "dominance-paradox",
+        severity: Warn,
+        summary: "A machine that dominates another on every benchmark should not measure slower",
+        paper: "Table 2/3: benchmark dominance vs observed runtimes",
+    };
+    MS304 = {
+        code: "MS304",
+        name: "prediction-finiteness",
+        severity: Error,
+        summary: "Every predicted and measured runtime must be finite and positive",
+        paper: "Tables 4-5 average percent errors; one NaN poisons every mean",
+    };
+    MS305 = {
+        code: "MS305",
+        name: "metric-identity",
+        severity: Error,
+        summary: "Metric #4 predictions must equal metric #1 (same ratio, per Equation 1)",
+        paper: "Metrics #1 and #4 share the HPL ratio in Equation 1",
+    };
+}
+
+/// Look up a rule by its stable code (`"MS002"`).
+#[must_use]
+pub fn by_code(code: &str) -> Option<&'static Rule> {
+    ALL.iter().find(|r| r.code == code).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = ALL.iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must stay unique and in code order");
+    }
+
+    #[test]
+    fn lookup_by_code() {
+        assert_eq!(by_code("MS002").unwrap().name, "efficiency-ordering");
+        assert!(by_code("MS999").is_none());
+    }
+
+    #[test]
+    fn every_rule_documents_itself() {
+        for r in ALL {
+            assert!(r.code.starts_with("MS") && r.code.len() == 5, "{}", r.code);
+            assert!(!r.name.is_empty() && !r.summary.is_empty() && !r.paper.is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Renderers: a clippy-style human format and a JSON-lines format for
+//! tooling (`metasim audit --json`).
+
+use serde::Value;
+
+use crate::{AuditReport, Diagnostic};
+
+/// Render one diagnostic in the human-readable compiler-lint style:
+///
+/// ```text
+/// error[MS002]: efficiency-ordering: hpl_efficiency = 1.25 exceeds 1
+///   --> fleet.lemieux.processor.hpl_efficiency
+///   = note: app_flop_efficiency = 0.12
+///   = help: see Table 1; measured HPL never exceeds peak
+///   = paper: Metrics #1/#4: HPL sustains more of peak than real applications
+/// ```
+#[must_use]
+pub fn human_one(d: &Diagnostic) -> String {
+    let mut out = format!(
+        "{}[{}]: {}: {}\n  --> {}\n",
+        d.severity, d.rule.code, d.rule.name, d.message, d.subject
+    );
+    for note in &d.notes {
+        out.push_str(&format!("  = note: {note}\n"));
+    }
+    if let Some(help) = &d.help {
+        out.push_str(&format!("  = help: {help}\n"));
+    }
+    out.push_str(&format!("  = paper: {}\n", d.rule.paper));
+    out
+}
+
+/// Render a full report for terminals, ending with the summary line.
+#[must_use]
+pub fn human(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&human_one(d));
+        out.push('\n');
+    }
+    out.push_str("audit result: ");
+    out.push_str(&report.summary_line());
+    out.push('\n');
+    out
+}
+
+fn jsonl_value(d: &Diagnostic) -> Value {
+    let mut fields = vec![
+        ("code".to_string(), Value::Str(d.rule.code.to_string())),
+        ("name".to_string(), Value::Str(d.rule.name.to_string())),
+        (
+            "severity".to_string(),
+            Value::Str(d.severity.label().to_string()),
+        ),
+        ("subject".to_string(), Value::Str(d.subject.clone())),
+        ("message".to_string(), Value::Str(d.message.clone())),
+        (
+            "notes".to_string(),
+            Value::Array(d.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+        ),
+        ("paper".to_string(), Value::Str(d.rule.paper.to_string())),
+    ];
+    if let Some(help) = &d.help {
+        fields.push(("help".to_string(), Value::Str(help.clone())));
+    }
+    Value::Object(fields)
+}
+
+/// Render a report as JSON lines: one object per diagnostic, then a final
+/// summary object with the counts.
+#[must_use]
+pub fn jsonl(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&serde_json::to_string(&jsonl_value(d)).expect("diagnostics are finite"));
+        out.push('\n');
+    }
+    let summary = Value::Object(vec![(
+        "summary".to_string(),
+        Value::Object(vec![
+            (
+                "errors".to_string(),
+                Value::U64(report.count(crate::Severity::Error) as u64),
+            ),
+            (
+                "warnings".to_string(),
+                Value::U64(report.count(crate::Severity::Warn) as u64),
+            ),
+            (
+                "notes".to_string(),
+                Value::U64(report.count(crate::Severity::Note) as u64),
+            ),
+            (
+                "suppressed".to_string(),
+                Value::U64(report.suppressed as u64),
+            ),
+        ]),
+    )]);
+    out.push_str(&serde_json::to_string(&summary).expect("summary is finite"));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{registry, Auditor};
+
+    fn sample_report() -> AuditReport {
+        let mut a = Auditor::new();
+        a.scope("fleet", |a| {
+            a.scope("lemieux", |a| {
+                let subject = a.subject_of("processor.hpl_efficiency");
+                a.emit(
+                    Diagnostic::new(
+                        registry::by_code("MS002").unwrap(),
+                        subject,
+                        "hpl_efficiency = 1.25 exceeds 1",
+                    )
+                    .with_note("app_flop_efficiency = 0.12")
+                    .with_help("HPL never exceeds peak"),
+                );
+            });
+        });
+        a.finish()
+    }
+
+    #[test]
+    fn human_format_is_lint_like() {
+        let text = human(&sample_report());
+        assert!(text.contains("error[MS002]: efficiency-ordering:"));
+        assert!(text.contains("--> fleet.lemieux.processor.hpl_efficiency"));
+        assert!(text.contains("= note: app_flop_efficiency = 0.12"));
+        assert!(text.contains("= help: HPL never exceeds peak"));
+        assert!(text.contains("audit result: 1 error, 0 warnings, 0 notes"));
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let text = jsonl(&sample_report());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one diagnostic + one summary");
+        let first = serde_json::parse_value(lines[0]).unwrap();
+        assert_eq!(
+            first.get("code").and_then(serde::Value::as_str),
+            Some("MS002")
+        );
+        let last = serde_json::parse_value(lines[1]).unwrap();
+        assert!(last.get("summary").is_some());
+    }
+}

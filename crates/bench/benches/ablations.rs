@@ -92,7 +92,10 @@ fn metric9_error_with_base(base: MachineId) -> f64 {
 fn bench_ablations(c: &mut Criterion) {
     println!("\nAblation 1: Metric #9's dependency term (mean abs error %)");
     for policy in ["none", "static", "oracle"] {
-        println!("  labels = {policy:<7} -> {:.1}%", metric9_error_with_labels(policy));
+        println!(
+            "  labels = {policy:<7} -> {:.1}%",
+            metric9_error_with_labels(policy)
+        );
     }
 
     println!("\nAblation 2: base-system choice (Metric #9, self excluded)");

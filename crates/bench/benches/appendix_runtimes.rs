@@ -32,9 +32,7 @@ fn bench_appendix(c: &mut Criterion) {
             let mut cells = vec![id.label().to_string()];
             for p in cpus {
                 cells.push(f0(gt.run(*case, p, fleet.get(id)).seconds));
-                cells.push(
-                    paper_data::observed_at(*case, id, p).map_or_else(|| "-".into(), f0),
-                );
+                cells.push(paper_data::observed_at(*case, id, p).map_or_else(|| "-".into(), f0));
             }
             t.push_row(cells);
         }

@@ -18,9 +18,20 @@ fn bench_balanced(c: &mut Criterion) {
     let fitted = fit_weights(study, suite, fleet);
     let oracle = fit_weights_mae(study, suite, fleet);
 
-    let mut t = Table::new(vec!["Rating", "HPL", "STREAM", "all_reduce", "err %", "sd %"])
-        .with_title("Balanced ratings (paper: equal 35%/25, fitted 5/50/45 -> 33%/30)");
-    for (name, r) in [("IDC equal", &idc), ("regression-fitted", &fitted), ("oracle MAE", &oracle)] {
+    let mut t = Table::new(vec![
+        "Rating",
+        "HPL",
+        "STREAM",
+        "all_reduce",
+        "err %",
+        "sd %",
+    ])
+    .with_title("Balanced ratings (paper: equal 35%/25, fitted 5/50/45 -> 33%/30)");
+    for (name, r) in [
+        ("IDC equal", &idc),
+        ("regression-fitted", &fitted),
+        ("oracle MAE", &oracle),
+    ] {
         t.push_row(vec![
             name.to_string(),
             format!("{:.2}", r.weights[0]),

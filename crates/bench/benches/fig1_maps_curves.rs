@@ -13,7 +13,11 @@ use metasim_report::chart::{ascii_line_chart, Series};
 fn bench_fig1(c: &mut Criterion) {
     let fleet = shared_fleet();
     let suite = shared_probes();
-    let plotted = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+    let plotted = [
+        MachineId::Navo655,
+        MachineId::ArlAltix,
+        MachineId::ArlOpteron,
+    ];
 
     let series: Vec<Series> = plotted
         .iter()
@@ -41,7 +45,11 @@ fn bench_fig1(c: &mut Criterion) {
         )
     );
     // The paper's crossovers, stated:
-    for (label, ws) in [("L1-resident (16 KiB)", 16u64 << 10), ("L2 region (192 KiB)", 192 << 10), ("DRAM (128 MiB)", 128 << 20)] {
+    for (label, ws) in [
+        ("L1-resident (16 KiB)", 16u64 << 10),
+        ("L2 region (192 KiB)", 192 << 10),
+        ("DRAM (128 MiB)", 128 << 20),
+    ] {
         let mut best = ("", 0.0f64);
         for &id in &plotted {
             let bw = suite.measure(fleet.get(id)).maps.unit.bandwidth_at(ws);

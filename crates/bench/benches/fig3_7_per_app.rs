@@ -29,7 +29,10 @@ fn bench_figs(c: &mut Criterion) {
         println!(
             "\n{}",
             ascii_bar_chart(
-                &format!("Figure {fig} (regenerated): {} error by metric (%)", case.label()),
+                &format!(
+                    "Figure {fig} (regenerated): {} error by metric (%)",
+                    case.label()
+                ),
                 &groups,
                 44,
             )

@@ -24,8 +24,15 @@ fn bench_table4(c: &mut Criterion) {
     let study = shared_study();
 
     // Print the regenerated table once, paper values alongside.
-    let mut t = Table::new(vec!["# & Type", "Metric", "err %", "sd %", "paper err", "paper sd"])
-        .with_title("Table 4 (regenerated vs. paper)");
+    let mut t = Table::new(vec![
+        "# & Type",
+        "Metric",
+        "err %",
+        "sd %",
+        "paper err",
+        "paper sd",
+    ])
+    .with_title("Table 4 (regenerated vs. paper)");
     for (row, paper) in study.table4().iter().zip(PAPER) {
         t.push_row(vec![
             row.metric.short_label(),

@@ -32,6 +32,7 @@ const PAPER_TABLE4: [(f64, f64); 9] = [
 /// Route a subcommand.
 pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
+        "audit" => audit(rest),
         "systems" => systems(),
         "metrics" => metrics(),
         "probes" => probes(),
@@ -84,6 +85,10 @@ metasim — reproduce 'How Well Can Simple Metrics Represent the Performance of
 HPC Applications?' (SC 2005)
 
 commands:
+  audit [--json] [--deny-warnings] [--allow RULE[@subject]]...
+                     statically verify every study artifact (fleet, probe
+                     curves, workloads, traces) against the MSxxx rules;
+                     exits non-zero on error-severity findings
   systems            Table 1/2: the study fleet
   metrics            Table 3: the nine synthetic metrics
   probes             probe summary for every machine
@@ -106,10 +111,61 @@ commands:
                      trace + predict a custom (JSON) workload
   all                run everything";
 
+fn audit(rest: &[String]) -> Result<(), String> {
+    use metasim_audit::{render, AllowRule, AuditPolicy};
+
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut allow = Vec::new();
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--allow" => {
+                let spec = args
+                    .next()
+                    .ok_or("--allow needs RULE or RULE@subject-prefix")?;
+                allow.push(AllowRule::parse(spec)?);
+            }
+            other => return Err(format!("unknown audit flag `{other}`")),
+        }
+    }
+
+    let f = fleet();
+    let suite = ProbeSuite::new();
+    let report = metasim_core::preflight_with_policy(
+        &f,
+        &suite,
+        AuditPolicy {
+            allow,
+            deny_warnings,
+        },
+    );
+
+    if json {
+        print!("{}", render::jsonl(&report));
+    } else {
+        print!("{}", render::human(&report));
+    }
+    if report.has_errors() {
+        Err(report.summary_line())
+    } else {
+        Ok(())
+    }
+}
+
 fn systems() -> Result<(), String> {
     let f = fleet();
-    let mut t = Table::new(vec!["System", "Architecture", "Site", "Interconnect", "CPUs", "role"])
-        .with_title("Tables 1 & 2. Architectures and systems used in the study.");
+    let mut t = Table::new(vec![
+        "System",
+        "Architecture",
+        "Site",
+        "Interconnect",
+        "CPUs",
+        "role",
+    ])
+    .with_title("Tables 1 & 2. Architectures and systems used in the study.");
     for m in f.all() {
         t.push_row(vec![
             m.id.label().to_string(),
@@ -168,7 +224,11 @@ fn probes() -> Result<(), String> {
 fn fig1(svg_path: Option<&str>) -> Result<(), String> {
     let f = fleet();
     let suite = ProbeSuite::new();
-    let systems = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+    let systems = [
+        MachineId::Navo655,
+        MachineId::ArlAltix,
+        MachineId::ArlOpteron,
+    ];
     let series: Vec<Series> = systems
         .iter()
         .map(|&id| {
@@ -238,18 +298,32 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
         bars: study
             .table4()
             .iter()
-            .map(|r| (format!("#{} {}", r.metric.number(), r.metric.name()), r.mean_absolute))
+            .map(|r| {
+                (
+                    format!("#{} {}", r.metric.number(), r.metric.name()),
+                    r.mean_absolute,
+                )
+            })
             .collect(),
     };
     println!(
         "{}",
-        ascii_bar_chart("Figure 2. Average absolute error by metric (%).", &[group], 50)
+        ascii_bar_chart(
+            "Figure 2. Average absolute error by metric (%).",
+            &[group],
+            50
+        )
     );
     if let Some(path) = fig2_svg {
         let bars: Vec<(String, f64)> = study
             .table4()
             .iter()
-            .map(|r| (format!("#{} {}", r.metric.number(), r.metric.name()), r.mean_absolute))
+            .map(|r| {
+                (
+                    format!("#{} {}", r.metric.number(), r.metric.name()),
+                    r.mean_absolute,
+                )
+            })
             .collect();
         let svg = metasim_report::svg::bar_chart_svg(
             "Figure 2: average absolute error by metric",
@@ -307,7 +381,10 @@ fn figure(n: usize) -> Result<(), String> {
     println!(
         "{}",
         ascii_bar_chart(
-            &format!("Figure {n}. Error assessment for {} (avg abs %).", case.label()),
+            &format!(
+                "Figure {n}. Error assessment for {} (avg abs %).",
+                case.label()
+            ),
             &groups,
             50,
         )
@@ -336,8 +413,7 @@ fn appendix() -> Result<(), String> {
                 let sim = gt.run(*case, p, f.get(id)).seconds;
                 cells.push(f0(sim));
                 cells.push(
-                    paper_data::observed_at(*case, id, p)
-                        .map_or_else(|| "-".to_string(), f0),
+                    paper_data::observed_at(*case, id, p).map_or_else(|| "-".to_string(), f0),
                 );
             }
             t.push_row(cells);
@@ -354,8 +430,15 @@ fn balanced() -> Result<(), String> {
     let idc = idc_equal_weights(study, &suite, &f);
     let fitted = fit_weights(study, &suite, &f);
     let oracle = fit_weights_mae(study, &suite, &f);
-    let mut t = Table::new(vec!["Rating", "HPL w", "STREAM w", "all_reduce w", "AvgAbsErr %", "StdDev %"])
-        .with_title("§4: balanced-rating composites (categories: HPL, STREAM, all_reduce).");
+    let mut t = Table::new(vec![
+        "Rating",
+        "HPL w",
+        "STREAM w",
+        "all_reduce w",
+        "AvgAbsErr %",
+        "StdDev %",
+    ])
+    .with_title("§4: balanced-rating composites (categories: HPL, STREAM, all_reduce).");
     for (name, r) in [
         ("IDC equal weights", &idc),
         ("regression-fitted", &fitted),
@@ -403,7 +486,10 @@ fn verify() -> Result<(), String> {
         if !c.pass {
             failures += 1;
         }
-        println!("  [{mark}] {}\n         {}\n         {}\n", c.name, c.statement, c.detail);
+        println!(
+            "  [{mark}] {}\n         {}\n         {}\n",
+            c.name, c.statement, c.detail
+        );
     }
     if failures == 0 {
         println!("all {} claims hold.", claims.len());
@@ -416,8 +502,15 @@ fn verify() -> Result<(), String> {
 fn superlatives() -> Result<(), String> {
     use metasim_core::superlatives::{census, group_errors};
     let study = Study::run_default();
-    let mut t = Table::new(vec!["Case", "CPUs", "best", "best err %", "worst", "worst err %"])
-        .with_title("§6: best and worst predictor per (case, CPU count) group.");
+    let mut t = Table::new(vec![
+        "Case",
+        "CPUs",
+        "best",
+        "best err %",
+        "worst",
+        "worst err %",
+    ])
+    .with_title("§6: best and worst predictor per (case, CPU count) group.");
     for g in group_errors(study) {
         t.push_row(vec![
             g.case.label().to_string(),
@@ -455,7 +548,11 @@ fn export(rest: &[String]) -> Result<(), String> {
         "actual_s".to_string(),
         "base_actual_s".to_string(),
     ];
-    header.extend(MetricId::ALL.iter().map(|m| format!("pred_{}", m.short_label())));
+    header.extend(
+        MetricId::ALL
+            .iter()
+            .map(|m| format!("pred_{}", m.short_label())),
+    );
     w.row(&header);
     for o in &study.observations {
         let mut cells = vec![
@@ -469,7 +566,10 @@ fn export(rest: &[String]) -> Result<(), String> {
         w.row(&cells);
     }
     std::fs::write(path, w.finish()).map_err(|e| format!("writing {path}: {e}"))?;
-    println!("wrote {} observation rows to {path}", study.observations.len());
+    println!(
+        "wrote {} observation rows to {path}",
+        study.observations.len()
+    );
     Ok(())
 }
 
@@ -498,7 +598,9 @@ fn predict_custom(rest: &[String]) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let workload: metasim_apps::workload::AppWorkload =
         serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
-    workload.validate().map_err(|e| format!("invalid workload: {e}"))?;
+    workload
+        .validate()
+        .map_err(|e| format!("invalid workload: {e}"))?;
     let machine = MachineId::ALL
         .into_iter()
         .find(|m| m.label().eq_ignore_ascii_case(machine_s))
@@ -543,7 +645,9 @@ fn parse_case(s: &str) -> Result<TestCase, String> {
 
 fn predict(rest: &[String]) -> Result<(), String> {
     let [case_s, cpus_s, machine_s] = rest else {
-        return Err("usage: predict CASE CPUS MACHINE (e.g. predict avus-standard 64 ARL_Opteron)".into());
+        return Err(
+            "usage: predict CASE CPUS MACHINE (e.g. predict avus-standard 64 ARL_Opteron)".into(),
+        );
     };
     let case = parse_case(case_s)?;
     let cpus: u64 = cpus_s.parse().map_err(|_| "CPUS must be an integer")?;
@@ -599,18 +703,31 @@ mod tests {
     fn case_parsing_accepts_all_five() {
         assert_eq!(parse_case("avus-standard").unwrap(), TestCase::AvusStandard);
         assert_eq!(parse_case("AVUS-LARGE").unwrap(), TestCase::AvusLarge);
-        assert_eq!(parse_case("hycom-standard").unwrap(), TestCase::HycomStandard);
+        assert_eq!(
+            parse_case("hycom-standard").unwrap(),
+            TestCase::HycomStandard
+        );
         assert_eq!(
             parse_case("overflow2-standard").unwrap(),
             TestCase::Overflow2Standard
         );
-        assert_eq!(parse_case("rfcth-standard").unwrap(), TestCase::RfcthStandard);
+        assert_eq!(
+            parse_case("rfcth-standard").unwrap(),
+            TestCase::RfcthStandard
+        );
         assert!(parse_case("linpack").is_err());
     }
 
     #[test]
     fn unknown_command_is_an_error() {
         assert!(dispatch("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn audit_rejects_bad_flags() {
+        assert!(dispatch("audit", &["--frobnicate".into()]).is_err());
+        assert!(dispatch("audit", &["--allow".into()]).is_err());
+        assert!(dispatch("audit", &["--allow".into(), "not-a-code".into()]).is_err());
     }
 
     #[test]
@@ -638,15 +755,9 @@ mod tests {
         let path = dir.join("workload.json");
         let path_s = path.to_string_lossy().to_string();
 
-        export_workload(&[
-            "rfcth-standard".into(),
-            "16".into(),
-            path_s.clone(),
-        ])
-        .unwrap();
+        export_workload(&["rfcth-standard".into(), "16".into(), path_s.clone()]).unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
-        let workload: metasim_apps::workload::AppWorkload =
-            serde_json::from_str(&json).unwrap();
+        let workload: metasim_apps::workload::AppWorkload = serde_json::from_str(&json).unwrap();
         assert_eq!(workload.processes, 16);
         assert_eq!(workload.app, "RFCTH");
         std::fs::remove_file(&path).ok();

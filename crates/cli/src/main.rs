@@ -1,6 +1,8 @@
 //! `metasim` — regenerate every table and figure of the SC'05 study.
 //!
 //! ```text
+//! metasim audit [--json] [--deny-warnings] [--allow RULE[@subject]]...
+//!                            statically verify every study artifact
 //! metasim systems            Table 1/2: the study fleet
 //! metasim metrics            Table 3: the nine synthetic metrics
 //! metasim probes             probe summary for every machine

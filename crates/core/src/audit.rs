@@ -1,0 +1,251 @@
+//! Study-layer audit rules (`MS3xx`) and the preflight gate.
+//!
+//! [`preflight`] statically verifies every input artifact — the fleet
+//! configuration and each machine's probe curves — before the 150-observation
+//! grid runs; [`Study::run`] refuses to start when it reports errors.
+//! [`audit_study`] then checks the *outputs*: error accounting per
+//! Equation 2, strong-scaling sanity of the measured runtimes, the
+//! benchmark-dominance paradox of Tables 2/3, and the Metric #1 = #4
+//! identity of Equation 1.
+
+use metasim_apps::registry::all_test_cases;
+use metasim_apps::tracing::trace_workload;
+use metasim_audit::registry::{MS301, MS302, MS303, MS304, MS305};
+use metasim_audit::{audit_value, AuditPolicy, AuditReport, Auditor};
+use metasim_machines::{Fleet, MachineId};
+use metasim_probes::audit::audit_probes;
+use metasim_probes::suite::{MachineProbes, ProbeSuite};
+
+use crate::study::Study;
+
+/// Slack factor for [`MS302`]: adding processors may fail to help (Amdahl,
+/// communication), but runtime should not *grow* by more than this.
+const SCALING_TOLERANCE: f64 = 1.05;
+
+/// Audit every static input artifact relative to the auditor's current
+/// scope: the fleet (`MS00x`), the measured probe set of each machine
+/// (`MS10x`, `MS204`), and the fifteen (case, processor-count) workloads
+/// with their generated traces (`MS20x`).
+pub fn audit_inputs(fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
+    fleet.audit(a);
+    for m in fleet.all() {
+        let probes = suite.measure(m);
+        a.scope("probes", |a| {
+            a.scope(m.id.to_string(), |a| audit_probes(m, &probes, a));
+        });
+    }
+    for (case, cpus) in all_test_cases() {
+        let workload = case.workload(cpus);
+        a.scope(format!("workloads.{case}.{cpus}cpu"), |a| workload.audit(a));
+        let trace = trace_workload(&workload);
+        a.scope(format!("traces.{case}.{cpus}cpu"), |a| trace.audit(a));
+    }
+}
+
+/// Audit every static input artifact under the default policy.
+#[must_use]
+pub fn preflight(fleet: &Fleet, suite: &ProbeSuite) -> AuditReport {
+    preflight_with_policy(fleet, suite, AuditPolicy::default())
+}
+
+/// [`preflight`] under an explicit policy (allow-list, `--deny-warnings`).
+#[must_use]
+pub fn preflight_with_policy(
+    fleet: &Fleet,
+    suite: &ProbeSuite,
+    policy: AuditPolicy,
+) -> AuditReport {
+    let mut a = Auditor::with_policy(policy);
+    audit_inputs(fleet, suite, &mut a);
+    a.finish()
+}
+
+/// True when `a` beats or ties `b` on every headline benchmark score.
+fn dominates(a: &MachineProbes, b: &MachineProbes) -> bool {
+    a.hpl.rmax_gflops_per_proc >= b.hpl.rmax_gflops_per_proc
+        && a.stream.bandwidth >= b.stream.bandwidth
+        && a.gups.effective_bandwidth() >= b.gups.effective_bandwidth()
+        && a.netbench.latency <= b.netbench.latency
+        && a.netbench.bandwidth >= b.netbench.bandwidth
+}
+
+/// Audit a finished study under a `study` scope: [`MS301`] error
+/// accounting, [`MS302`] strong-scaling sanity, [`MS303`] the
+/// benchmark-dominance paradox, [`MS304`] finiteness, [`MS305`] the
+/// #1 = #4 identity.
+pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
+    a.scope("study", |a| {
+        // MS304 + MS305: per-observation invariants.
+        for o in &study.observations {
+            let subject = format!("{}.{}cpu.{}", o.case, o.cpus, o.machine);
+            let finite_positive = |x: f64| x.is_finite() && x > 0.0;
+            if !finite_positive(o.actual) || !finite_positive(o.base_actual) {
+                a.finding_at(
+                    &MS304,
+                    &subject,
+                    format!(
+                        "measured runtimes must be finite and positive (actual {}, base {})",
+                        o.actual, o.base_actual
+                    ),
+                );
+            }
+            for (i, p) in o.predictions.iter().enumerate() {
+                if !finite_positive(*p) {
+                    a.finding_at(
+                        &MS304,
+                        &subject,
+                        format!(
+                            "metric #{} prediction {p} must be finite and positive",
+                            i + 1
+                        ),
+                    );
+                }
+            }
+            if (o.predictions[0] - o.predictions[3]).abs() > 1e-9 * o.predictions[0].abs() {
+                a.finding_at(
+                    &MS305,
+                    &subject,
+                    format!(
+                        "metric #4 {} must equal metric #1 {} (Equation 1)",
+                        o.predictions[3], o.predictions[0]
+                    ),
+                );
+            }
+        }
+
+        // MS301: Table 4 accounting. The mean of |e| can never sit below
+        // |mean of e|, and both must be finite.
+        for row in study.table4() {
+            let subject = format!("table4.{}", row.metric);
+            if !(row.mean_absolute.is_finite()
+                && row.stddev.is_finite()
+                && row.mean_signed.is_finite())
+            {
+                a.finding_at(&MS301, &subject, "error statistics must be finite");
+            } else if row.mean_absolute + 1e-9 < row.mean_signed.abs() || row.stddev < 0.0 {
+                a.finding_at(
+                    &MS301,
+                    &subject,
+                    format!(
+                        "mean |error| {} below |mean signed error| {} (or stddev {} < 0)",
+                        row.mean_absolute, row.mean_signed, row.stddev
+                    ),
+                );
+            }
+        }
+
+        // MS302: for a fixed (case, machine), measured runtime should not
+        // grow with processor count.
+        for machine in MachineId::TARGETS {
+            let mut rows: Vec<_> = study
+                .observations
+                .iter()
+                .filter(|o| o.machine == machine)
+                .collect();
+            rows.sort_by_key(|o| (o.case, o.cpus));
+            for w in rows.windows(2) {
+                if w[0].case == w[1].case && w[1].actual > w[0].actual * SCALING_TOLERANCE {
+                    a.finding_at(
+                        &MS302,
+                        format!("{}.{}", w[0].case, machine),
+                        format!(
+                            "runtime grows {:.3}s@{} -> {:.3}s@{} processors",
+                            w[0].actual, w[0].cpus, w[1].actual, w[1].cpus
+                        ),
+                    );
+                }
+            }
+        }
+
+        // MS303: a machine that dominates another on every benchmark score
+        // yet measures slower on some observation — the paradox the paper
+        // opens with (Tables 2/3). Warn-level: the study data is expected
+        // to reproduce it.
+        let probes: Vec<_> = fleet.targets().map(|m| suite.measure(m)).collect();
+        for pa in &probes {
+            for pb in &probes {
+                if pa.id == pb.id || !dominates(pa, pb) || dominates(pb, pa) {
+                    continue;
+                }
+                let slower_somewhere = study.observations.iter().any(|oa| {
+                    oa.machine == pa.id
+                        && study.observations.iter().any(|ob| {
+                            ob.machine == pb.id
+                                && ob.case == oa.case
+                                && ob.cpus == oa.cpus
+                                && oa.actual > ob.actual * 1.001
+                        })
+                });
+                if slower_somewhere {
+                    a.finding_at(
+                        &MS303,
+                        format!("{}", pa.id),
+                        format!(
+                            "{} dominates {} on every benchmark yet measures slower somewhere",
+                            pa.id, pb.id
+                        ),
+                    );
+                }
+            }
+        }
+    });
+}
+
+impl Study {
+    /// Audit this study's outputs against the `MS3xx` rules.
+    #[must_use]
+    pub fn audit(&self, fleet: &Fleet, suite: &ProbeSuite) -> AuditReport {
+        audit_value(|a| audit_study(self, fleet, suite, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_machines::fleet;
+
+    #[test]
+    fn preflight_is_clean_on_the_shipped_fleet() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let report = preflight(&f, &suite);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn study_audit_has_no_errors_on_the_default_study() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let report = Study::run_default().audit(&f, &suite);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn doctored_study_fires_ms304_and_ms305() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let mut s = Study::run_default().clone();
+        s.observations[0].actual = f64::NAN;
+        s.observations[1].predictions[3] *= 2.0;
+        let report = s.audit(&f, &suite);
+        assert!(report.has_code("MS304"), "{report}");
+        assert!(report.has_code("MS305"), "{report}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn shrinking_runtimes_pass_ms302_and_growth_fires_it() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let mut s = Study::run_default().clone();
+        // Make one (case, machine) series grow dramatically with cpus.
+        let (case, machine) = (s.observations[0].case, s.observations[0].machine);
+        for o in &mut s.observations {
+            if o.case == case && o.machine == machine {
+                o.actual = o.cpus as f64;
+            }
+        }
+        let report = s.audit(&f, &suite);
+        assert!(report.has_code("MS302"), "{report}");
+    }
+}

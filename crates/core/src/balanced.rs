@@ -53,7 +53,9 @@ pub fn category_rates(probes: &MachineProbes) -> [f64; CATEGORIES] {
 /// Normalized 0–1 category scores across a machine set (IDC's "0% to 100%"
 /// normalization: each category divided by the best machine's rate).
 #[must_use]
-pub fn normalized_scores(rates: &[(MachineId, [f64; CATEGORIES])]) -> Vec<(MachineId, [f64; CATEGORIES])> {
+pub fn normalized_scores(
+    rates: &[(MachineId, [f64; CATEGORIES])],
+) -> Vec<(MachineId, [f64; CATEGORIES])> {
     let mut best = [0.0f64; CATEGORIES];
     for (_, r) in rates {
         for (b, v) in best.iter_mut().zip(r) {
@@ -306,7 +308,10 @@ mod tests {
             idc.mean_absolute_error,
             t4[5].mean_absolute
         );
-        assert!(idc.mean_absolute_error < t4[0].mean_absolute, "but better than raw HPL");
+        assert!(
+            idc.mean_absolute_error < t4[0].mean_absolute,
+            "but better than raw HPL"
+        );
     }
 
     #[test]
@@ -365,8 +370,11 @@ mod tests {
         // Held-out error is never dramatically better than the in-sample
         // fit — a fixed rating cannot specialize to an unseen workload.
         let fitted = fit_weights(study, &suite, &f);
-        let mean_heldout: f64 =
-            folds.iter().map(|(_, r)| r.mean_absolute_error).sum::<f64>() / folds.len() as f64;
+        let mean_heldout: f64 = folds
+            .iter()
+            .map(|(_, r)| r.mean_absolute_error)
+            .sum::<f64>()
+            / folds.len() as f64;
         assert!(
             mean_heldout > fitted.mean_absolute_error - 5.0,
             "held-out {mean_heldout:.1} vs in-sample {:.1}",

@@ -67,9 +67,7 @@ impl<'a> Convolver<'a> {
             MetricId::P5HplStream => self.cost_counters_stream(trace),
             MetricId::P6HplStreamGups => self.cost_stream_gups(trace),
             MetricId::P7HplMaps => self.cost_maps(trace, None),
-            MetricId::P8HplMapsNet => {
-                self.cost_maps(trace, None) + self.network_cost(&trace.mpi)
-            }
+            MetricId::P8HplMapsNet => self.cost_maps(trace, None) + self.network_cost(&trace.mpi),
             MetricId::P9HplMapsNetDep => {
                 self.cost_maps(trace, Some(dep_labels)) + self.network_cost(&trace.mpi)
             }
@@ -116,11 +114,7 @@ impl<'a> Convolver<'a> {
     /// #7 (plain MAPS) and the memory part of #9 (ENHANCED MAPS via
     /// dependency labels): per-block convolution against the bandwidth
     /// curves at the block's working set.
-    fn cost_maps(
-        &self,
-        trace: &ApplicationTrace,
-        dep_labels: Option<&[DependencyClass]>,
-    ) -> f64 {
+    fn cost_maps(&self, trace: &ApplicationTrace, dep_labels: Option<&[DependencyClass]>) -> f64 {
         if let Some(labels) = dep_labels {
             assert_eq!(
                 labels.len(),
@@ -170,7 +164,11 @@ impl<'a> Convolver<'a> {
     pub fn network_cost(&self, mpi: &MpiTrace) -> f64 {
         let nb = &self.probes.netbench;
         let p = mpi.processes;
-        let log_p = if p <= 1 { 0.0 } else { (p as f64).log2().ceil() };
+        let log_p = if p <= 1 {
+            0.0
+        } else {
+            (p as f64).log2().ceil()
+        };
         mpi.events
             .iter()
             .map(|e| {
@@ -216,10 +214,10 @@ mod tests {
         let (pb, _, _) = setup(MachineId::AscSc45);
         let ca = Convolver::new(&pa);
         let cb = Convolver::new(&pb);
-        let conv_ratio = ca.cost(MetricId::P4Hpl, &trace, &labels)
-            / cb.cost(MetricId::P4Hpl, &trace, &labels);
-        let hpl_ratio = ca.cost(MetricId::S1Hpl, &trace, &labels)
-            / cb.cost(MetricId::S1Hpl, &trace, &labels);
+        let conv_ratio =
+            ca.cost(MetricId::P4Hpl, &trace, &labels) / cb.cost(MetricId::P4Hpl, &trace, &labels);
+        let hpl_ratio =
+            ca.cost(MetricId::S1Hpl, &trace, &labels) / cb.cost(MetricId::S1Hpl, &trace, &labels);
         assert!(
             (conv_ratio - hpl_ratio).abs() / hpl_ratio < 1e-12,
             "{conv_ratio} vs {hpl_ratio}"

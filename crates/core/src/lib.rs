@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod audit;
 pub mod balanced;
 pub mod convolver;
 pub mod metric;
@@ -41,6 +42,7 @@ pub mod study;
 pub mod superlatives;
 pub mod verification;
 
+pub use audit::{audit_inputs, audit_study, preflight, preflight_with_policy};
 pub use convolver::Convolver;
 pub use metric::{MetricId, MetricKind};
 pub use prediction::predict_all;

@@ -103,9 +103,7 @@ impl MetricId {
                 "HPL for floating point work; STREAM for stride 1 memory access; \
                  GUPS for random stride memory access"
             }
-            MetricId::P7HplMaps => {
-                "HPL for floating point work; MEMBENCH MAPS for memory access"
-            }
+            MetricId::P7HplMaps => "HPL for floating point work; MEMBENCH MAPS for memory access",
             MetricId::P8HplMapsNet => {
                 "HPL for floating point work; MEMBENCH MAPS for memory access; \
                  NETBENCH for communications work"

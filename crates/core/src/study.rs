@@ -81,12 +81,20 @@ pub struct Study {
 impl Study {
     /// Run the full study on a fleet. Parallel over the 15 (case, CPU)
     /// groups; probes and ground truth memoize behind their caches.
+    ///
+    /// # Panics
+    /// Refuses to run — panicking with the rendered report — when the
+    /// [`crate::audit::preflight`] audit finds error-severity diagnostics
+    /// in the fleet configuration or the measured probe curves.
     #[must_use]
     pub fn run(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> Self {
-        // Warm every machine's probes first (each is internally parallel).
-        for m in fleet.all() {
-            let _ = suite.measure(m);
-        }
+        // Preflight: statically verify every input artifact. This also
+        // warms every machine's probes (each sweep is internally parallel).
+        let report = crate::audit::preflight(fleet, suite);
+        assert!(
+            !report.has_errors(),
+            "study preflight found error-severity diagnostics:\n{report}"
+        );
         let base_cfg = fleet.base();
         let base_probes = suite.measure(base_cfg);
 
@@ -104,13 +112,8 @@ impl Study {
                         let target_cfg = fleet.get(machine);
                         let actual = gt.run(case, cpus, target_cfg).seconds;
                         let target_probes = suite.measure(target_cfg);
-                        let predictions = predict_all(
-                            &trace,
-                            &labels,
-                            &target_probes,
-                            &base_probes,
-                            base_actual,
-                        );
+                        let predictions =
+                            predict_all(&trace, &labels, &target_probes, &base_probes, base_actual);
                         Observation {
                             case,
                             cpus,
@@ -178,7 +181,10 @@ impl Study {
                     }
                     per_metric[i] = acc.mean_absolute();
                 }
-                SystemErrorRow { machine, per_metric }
+                SystemErrorRow {
+                    machine,
+                    per_metric,
+                }
             })
             .collect()
     }
@@ -209,7 +215,9 @@ impl Study {
 
     /// Observations for one machine (Table 5 drill-down).
     pub fn for_machine(&self, machine: MachineId) -> impl Iterator<Item = &Observation> + '_ {
-        self.observations.iter().filter(move |o| o.machine == machine)
+        self.observations
+            .iter()
+            .filter(move |o| o.machine == machine)
     }
 
     /// Total prediction count (should be 1,350).
@@ -270,8 +278,14 @@ mod tests {
         let err = |m: MetricId| t4[m.number() - 1].mean_absolute;
 
         // (i) HPL is the worst simple metric; GUPS the best.
-        assert!(err(MetricId::S1Hpl) > err(MetricId::S2Stream), "HPL > STREAM");
-        assert!(err(MetricId::S2Stream) > err(MetricId::S3Gups), "STREAM > GUPS");
+        assert!(
+            err(MetricId::S1Hpl) > err(MetricId::S2Stream),
+            "HPL > STREAM"
+        );
+        assert!(
+            err(MetricId::S2Stream) > err(MetricId::S3Gups),
+            "STREAM > GUPS"
+        );
 
         // (ii) The convolution metrics #6-#9 all beat every simple metric.
         for conv in [

@@ -103,7 +103,10 @@ pub fn verify(study: &Study) -> Vec<Claim> {
         "eighty-percent",
         "Transfer-function prediction reaches ~80% accuracy",
         err(MetricId::P9HplMapsNetDep) < 25.0,
-        format!("metric #9: {:.1}% average absolute error", err(MetricId::P9HplMapsNetDep)),
+        format!(
+            "metric #9: {:.1}% average absolute error",
+            err(MetricId::P9HplMapsNetDep)
+        ),
     );
 
     claim(
@@ -134,7 +137,10 @@ pub fn verify(study: &Study) -> Vec<Claim> {
         MetricId::ALL
             .into_iter()
             .all(|m| err(MetricId::P9HplMapsNetDep) <= err(m)),
-        format!("#9 {:.1}% is the column minimum", err(MetricId::P9HplMapsNetDep)),
+        format!(
+            "#9 {:.1}% is the column minimum",
+            err(MetricId::P9HplMapsNetDep)
+        ),
     );
 
     claim(

@@ -89,7 +89,9 @@ impl MachineBuilder {
 
     /// Finish, validating the result.
     pub fn build(self) -> Result<MachineConfig, String> {
-        self.config.validate()?;
+        self.config
+            .validate()
+            .map_err(|report| report.to_string())?;
         Ok(self.config)
     }
 }
@@ -111,9 +113,7 @@ mod tests {
             .unwrap();
         assert!((fast.processor.clock_ghz - base.processor.clock_ghz * 1.5).abs() < 1e-12);
         assert!(
-            (fast.memory.memory.stream_bandwidth
-                - base.memory.memory.stream_bandwidth * 1.3)
-                .abs()
+            (fast.memory.memory.stream_bandwidth - base.memory.memory.stream_bandwidth * 1.3).abs()
                 < 1.0
         );
         assert!((fast.network.latency - base.network.latency * 0.5).abs() < 1e-15);
@@ -123,7 +123,9 @@ mod tests {
     fn invalid_perturbation_is_rejected() {
         let base = fleet().get(MachineId::ArlOpteron).clone();
         // Boost memory above L2 bandwidth: hierarchy monotonicity violated.
-        let result = MachineBuilder::from(base).scale_memory_bandwidth(100.0).build();
+        let result = MachineBuilder::from(base)
+            .scale_memory_bandwidth(100.0)
+            .build();
         assert!(result.is_err());
     }
 

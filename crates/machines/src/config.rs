@@ -1,6 +1,8 @@
 //! The [`MachineConfig`] type: everything the simulators need to "be" one
 //! of the study machines, plus the [`Fleet`] collection.
 
+use metasim_audit::registry::{MS001, MS002, MS007, MS008};
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 use metasim_memsim::spec::MemorySpec;
@@ -37,22 +39,56 @@ impl ProcessorSpec {
         self.peak_gflops() * 1e9
     }
 
-    /// Validate parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit diagnostics: [`MS001`] scalar sanity, [`MS002`] efficiency
+    /// ordering.
+    pub fn audit(&self, a: &mut Auditor) {
         let positive = |x: f64| x.is_finite() && x > 0.0;
         if !positive(self.clock_ghz) {
-            return Err("clock must be positive".into());
+            a.finding_at(
+                &MS001,
+                "clock_ghz",
+                format!("clock {} must be positive", self.clock_ghz),
+            );
         }
         if !positive(self.flops_per_cycle) {
-            return Err("flops/cycle must be positive".into());
+            a.finding_at(
+                &MS001,
+                "flops_per_cycle",
+                format!("flops/cycle {} must be positive", self.flops_per_cycle),
+            );
         }
         if !(0.0 < self.hpl_efficiency && self.hpl_efficiency <= 1.0) {
-            return Err("HPL efficiency must be in (0, 1]".into());
+            a.emit(
+                metasim_audit::Diagnostic::new(
+                    &MS002,
+                    a.subject_of("hpl_efficiency"),
+                    format!("HPL efficiency {} must be in (0, 1]", self.hpl_efficiency),
+                )
+                .with_help("HPL sustains a fraction of peak, never more (Table 1)"),
+            );
         }
         if !(0.0 < self.app_flop_efficiency && self.app_flop_efficiency <= self.hpl_efficiency) {
-            return Err("application flop efficiency must be in (0, hpl_efficiency]".into());
+            a.emit(
+                metasim_audit::Diagnostic::new(
+                    &MS002,
+                    a.subject_of("app_flop_efficiency"),
+                    format!(
+                        "application flop efficiency {} must be in (0, hpl_efficiency]",
+                        self.app_flop_efficiency
+                    ),
+                )
+                .with_note(format!("hpl_efficiency = {}", self.hpl_efficiency))
+                .with_help("real applications sustain less of peak than HPL (Metrics #1/#4)"),
+            );
         }
-        Ok(())
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 }
 
@@ -70,18 +106,71 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// Audit every component under this machine's subject scope, plus the
+    /// [`MS008`] 2005-era plausibility envelope.
+    pub fn audit(&self, a: &mut Auditor) {
+        a.scope(self.id.to_string(), |a| {
+            a.scope("processor", |a| self.processor.audit(a));
+            a.scope("memory", |a| self.memory.audit(a));
+            a.scope("network", |a| self.network.audit(a));
+            self.audit_era_envelope(a);
+        });
+    }
+
+    /// [`MS008`]: warn when a parameter leaves the envelope the 2005 HPCMP
+    /// fleet plausibly spans. These are warnings, not errors — a user
+    /// modelling a hypothetical machine may leave the envelope on purpose.
+    fn audit_era_envelope(&self, a: &mut Auditor) {
+        let clock = self.processor.clock_ghz;
+        if clock.is_finite() && !(0.1..=4.0).contains(&clock) {
+            a.finding_at(
+                &MS008,
+                "processor.clock_ghz",
+                format!("clock {clock} GHz is outside the 2005-era envelope [0.1, 4.0]"),
+            );
+        }
+        let lat_us = self.network.latency * 1e6;
+        if lat_us.is_finite() && lat_us > 0.0 && !(0.2..=200.0).contains(&lat_us) {
+            a.finding_at(
+                &MS008,
+                "network.latency",
+                format!("MPI latency {lat_us:.2} us is outside the era envelope [0.2, 200] us"),
+            );
+        }
+        let bw = self.memory.memory.stream_bandwidth;
+        if bw.is_finite() && bw > 0.0 && !(5e7..=1e11).contains(&bw) {
+            a.finding_at(
+                &MS008,
+                "memory.memory.stream_bandwidth",
+                format!("DRAM stream bandwidth {bw:.3e} B/s is outside [5e7, 1e11]"),
+            );
+        }
+    }
+
     /// Validate every component.
-    pub fn validate(&self) -> Result<(), String> {
-        self.processor
-            .validate()
-            .map_err(|e| format!("{}: processor: {e}", self.id))?;
-        self.memory
-            .validate()
-            .map_err(|e| format!("{}: memory: {e}", self.id))?;
-        self.network
-            .validate()
-            .map_err(|e| format!("{}: network: {e}", self.id))?;
-        Ok(())
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
+    }
+}
+
+/// [`MS007`] fleet completeness plus per-machine delegation, relative to
+/// the auditor's current scope. Exposed so `Fleet::new` can refuse bad
+/// input and `metasim audit` can report on a candidate machine list.
+pub fn audit_fleet_configs(machines: &[MachineConfig], a: &mut Auditor) {
+    for id in MachineId::ALL {
+        let count = machines.iter().filter(|m| m.id == id).count();
+        if count != 1 {
+            a.finding(
+                &MS007,
+                format!("fleet must contain exactly one {id}, found {count}"),
+            );
+        }
+    }
+    for m in machines {
+        m.audit(a);
     }
 }
 
@@ -99,14 +188,15 @@ impl Fleet {
     /// static study data, so construction errors are programming errors.
     #[must_use]
     pub fn new(machines: Vec<MachineConfig>) -> Self {
-        for id in MachineId::ALL {
-            let count = machines.iter().filter(|m| m.id == id).count();
-            assert_eq!(count, 1, "fleet must contain exactly one {id}");
-        }
-        for m in &machines {
-            m.validate().expect("invalid machine config");
-        }
+        let report = audit_value(|a| a.scope("fleet", |a| audit_fleet_configs(&machines, a)));
+        assert!(!report.has_errors(), "invalid fleet:\n{report}");
         Self { machines }
+    }
+
+    /// Audit the whole fleet: [`MS007`] completeness plus every machine's
+    /// own diagnostics, under a `fleet` scope.
+    pub fn audit(&self, a: &mut Auditor) {
+        a.scope("fleet", |a| audit_fleet_configs(&self.machines, a));
     }
 
     /// Config for one machine.
@@ -162,13 +252,44 @@ mod tests {
             app_flop_efficiency: 0.1,
         };
         p.hpl_efficiency = 1.5;
-        assert!(p.validate().is_err());
+        let report = p.validate().unwrap_err();
+        assert!(report.has_code("MS002"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "hpl_efficiency");
         p.hpl_efficiency = 0.6;
         p.app_flop_efficiency = 0.7; // above HPL efficiency
-        assert!(p.validate().is_err());
+        let report = p.validate().unwrap_err();
+        assert!(report.has_code("MS002"), "{report}");
         p.app_flop_efficiency = 0.1;
         p.clock_ghz = 0.0;
-        assert!(p.validate().is_err());
+        let report = p.validate().unwrap_err();
+        assert!(report.has_code("MS001"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "clock_ghz");
+    }
+
+    #[test]
+    fn fleet_audit_reports_duplicates_as_ms007() {
+        let f = fleet();
+        let mut machines: Vec<MachineConfig> = f.all().cloned().collect();
+        machines.push(f.base().clone());
+        let report = audit_value(|a| audit_fleet_configs(&machines, a));
+        assert!(report.has_code("MS007"), "{report}");
+    }
+
+    #[test]
+    fn era_envelope_warns_but_does_not_fail() {
+        let mut m = fleet().base().clone();
+        m.processor.clock_ghz = 50.0; // far beyond 2005
+        let report = audit_value(|a| m.audit(a));
+        assert!(report.has_code("MS008"), "{report}");
+        assert!(!report.has_errors(), "MS008 is a warning: {report}");
+        assert!(m.validate().is_ok(), "warnings do not fail validation");
+    }
+
+    #[test]
+    fn shipped_fleet_audit_is_clean() {
+        let f = fleet();
+        let report = audit_value(|a| f.audit(a));
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

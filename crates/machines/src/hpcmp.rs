@@ -421,7 +421,10 @@ mod tests {
             if id != MachineId::ArlAltix {
                 assert!(rmax(MachineId::ArlAltix) > rmax(id), "{id}");
             }
-            if !matches!(id, MachineId::MhpccP3 | MachineId::NavoP3 | MachineId::ErdcO3800) {
+            if !matches!(
+                id,
+                MachineId::MhpccP3 | MachineId::NavoP3 | MachineId::ErdcO3800
+            ) {
                 assert!(rmax(id) > rmax(MachineId::MhpccP3), "{id}");
             }
         }

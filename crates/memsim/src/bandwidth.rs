@@ -192,7 +192,11 @@ mod tests {
         let s = spec();
         let sample = measure_bandwidth(
             &s,
-            &Workload::new(64 << 20, AccessKind::Sequential, DependencyMode::Independent),
+            &Workload::new(
+                64 << 20,
+                AccessKind::Sequential,
+                DependencyMode::Independent,
+            ),
         );
         let mem = s.memory.stream_bandwidth;
         let bw = sample.bytes_per_second();
@@ -222,7 +226,11 @@ mod tests {
         let s = spec();
         let seq = measure_bandwidth(
             &s,
-            &Workload::new(64 << 20, AccessKind::Sequential, DependencyMode::Independent),
+            &Workload::new(
+                64 << 20,
+                AccessKind::Sequential,
+                DependencyMode::Independent,
+            ),
         );
         let rnd = measure_bandwidth(
             &s,

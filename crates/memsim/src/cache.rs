@@ -42,7 +42,13 @@ impl Cache {
         let sets = spec.sets();
         let assoc = spec.associativity as usize;
         Self {
-            ways: vec![Way { tag: EMPTY, stamp: 0 }; (sets as usize) * assoc],
+            ways: vec![
+                Way {
+                    tag: EMPTY,
+                    stamp: 0
+                };
+                (sets as usize) * assoc
+            ],
             assoc,
             set_mask: sets - 1,
             line_shift: spec.line_bytes.trailing_zeros(),
@@ -85,12 +91,17 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc].iter().any(|w| w.tag == line)
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.tag == line)
     }
 
     /// Invalidate all contents and reset statistics.
     pub fn reset(&mut self) {
-        self.ways.fill(Way { tag: EMPTY, stamp: 0 });
+        self.ways.fill(Way {
+            tag: EMPTY,
+            stamp: 0,
+        });
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
@@ -169,7 +180,7 @@ mod tests {
     #[test]
     fn set_indexing_separates_conflicting_lines() {
         let mut c = tiny(1, 2); // direct-mapped, 2 sets
-        // line 0 -> set 0, line 1 -> set 1, line 2 -> set 0
+                                // line 0 -> set 0, line 1 -> set 1, line 2 -> set 0
         assert!(!c.access(0));
         assert!(!c.access(64));
         assert!(c.access(0), "set 1 fill must not evict set 0");

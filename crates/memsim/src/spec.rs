@@ -6,6 +6,8 @@
 //! short-stride efficiency, dependency-chain and branch penalties). The
 //! `machines` crate instantiates these for the eleven HPCMP systems.
 
+use metasim_audit::registry::{MS003, MS004, MS005};
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 /// True when `x` is a finite, strictly positive number (NaN-rejecting).
@@ -36,35 +38,57 @@ pub struct LevelSpec {
 }
 
 impl LevelSpec {
-    /// Validate internal consistency; returns a human-readable complaint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit [`MS003`] cache-geometry diagnostics for this level.
+    pub fn audit(&self, a: &mut Auditor) {
         if self.capacity_bytes == 0 {
-            return Err("cache capacity must be nonzero".into());
+            a.finding_at(&MS003, "capacity_bytes", "cache capacity must be nonzero");
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} must be a power of two", self.line_bytes));
+            a.finding_at(
+                &MS003,
+                "line_bytes",
+                format!("line size {} must be a power of two", self.line_bytes),
+            );
         }
         if self.associativity == 0 {
-            return Err("associativity must be nonzero".into());
+            a.finding_at(&MS003, "associativity", "associativity must be nonzero");
         }
         let line_capacity = self.line_bytes * u64::from(self.associativity);
-        if !self.capacity_bytes.is_multiple_of(line_capacity) {
-            return Err(format!(
-                "capacity {} not divisible by line*assoc {}",
-                self.capacity_bytes, line_capacity
-            ));
-        }
-        let sets = self.capacity_bytes / line_capacity;
-        if !sets.is_power_of_two() {
-            return Err(format!("set count {sets} must be a power of two"));
+        if line_capacity > 0 {
+            if !self.capacity_bytes.is_multiple_of(line_capacity) {
+                a.finding_at(
+                    &MS003,
+                    "capacity_bytes",
+                    format!(
+                        "capacity {} not divisible by line*assoc {}",
+                        self.capacity_bytes, line_capacity
+                    ),
+                );
+            } else {
+                let sets = self.capacity_bytes / line_capacity;
+                if !sets.is_power_of_two() {
+                    a.finding_at(
+                        &MS003,
+                        "capacity_bytes",
+                        format!("set count {sets} must be a power of two"),
+                    );
+                }
+            }
         }
         if !positive(self.load_bandwidth) {
-            return Err("load bandwidth must be positive".into());
+            a.finding_at(&MS003, "load_bandwidth", "load bandwidth must be positive");
         }
         if !positive(self.latency) {
-            return Err("latency must be positive".into());
+            a.finding_at(&MS003, "latency", "latency must be positive");
         }
-        Ok(())
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 
     /// Number of sets implied by capacity/line/associativity.
@@ -86,14 +110,18 @@ pub struct MainMemorySpec {
 }
 
 impl MainMemorySpec {
-    fn validate(&self) -> Result<(), String> {
+    /// Emit [`MS005`] diagnostics for the DRAM parameters.
+    pub fn audit(&self, a: &mut Auditor) {
         if !positive(self.stream_bandwidth) {
-            return Err("memory stream bandwidth must be positive".into());
+            a.finding_at(
+                &MS005,
+                "stream_bandwidth",
+                "memory stream bandwidth must be positive",
+            );
         }
         if !positive(self.latency) {
-            return Err("memory latency must be positive".into());
+            a.finding_at(&MS005, "latency", "memory latency must be positive");
         }
-        Ok(())
     }
 }
 
@@ -146,50 +174,123 @@ pub struct MemorySpec {
 }
 
 impl MemorySpec {
-    /// Validate the full specification.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit diagnostics for the full specification: [`MS003`] per-level
+    /// geometry, [`MS004`] hierarchy monotonicity, [`MS005`]
+    /// microarchitecture parameter ranges.
+    pub fn audit(&self, a: &mut Auditor) {
         if self.levels.is_empty() || self.levels.len() > 3 {
-            return Err(format!("expected 1..=3 cache levels, got {}", self.levels.len()));
+            a.finding_at(
+                &MS003,
+                "levels",
+                format!("expected 1..=3 cache levels, got {}", self.levels.len()),
+            );
         }
         for (i, l) in self.levels.iter().enumerate() {
-            l.validate().map_err(|e| format!("L{}: {e}", i + 1))?;
+            a.scope(format!("levels[{i}]"), |a| l.audit(a));
         }
-        for pair in self.levels.windows(2) {
+        for (i, pair) in self.levels.windows(2).enumerate() {
+            let outer = format!("levels[{}]", i + 1);
             if pair[1].capacity_bytes <= pair[0].capacity_bytes {
-                return Err("cache levels must strictly grow in capacity".into());
+                a.finding_at(
+                    &MS004,
+                    &outer,
+                    format!(
+                        "cache levels must strictly grow in capacity ({} <= {})",
+                        pair[1].capacity_bytes, pair[0].capacity_bytes
+                    ),
+                );
             }
             if pair[1].line_bytes < pair[0].line_bytes {
-                return Err("cache line sizes must be non-decreasing outward".into());
+                a.finding_at(
+                    &MS004,
+                    &outer,
+                    "cache line sizes must be non-decreasing outward",
+                );
             }
             if pair[1].load_bandwidth > pair[0].load_bandwidth {
-                return Err("outer levels must not be faster than inner levels".into());
+                a.finding_at(
+                    &MS004,
+                    &outer,
+                    "outer levels must not be faster than inner levels",
+                );
             }
             if pair[1].latency < pair[0].latency {
-                return Err("outer levels must not have lower latency".into());
+                a.finding_at(&MS004, &outer, "outer levels must not have lower latency");
             }
         }
-        self.memory.validate()?;
+        a.scope("memory", |a| self.memory.audit(a));
         if let Some(last) = self.levels.last() {
             if self.memory.stream_bandwidth > last.load_bandwidth {
-                return Err("main memory must not out-stream the last cache level".into());
+                a.finding_at(
+                    &MS004,
+                    "memory.stream_bandwidth",
+                    "main memory must not out-stream the last cache level",
+                );
             }
             if self.memory.latency < last.latency {
-                return Err("main memory latency must exceed last cache level".into());
+                a.finding_at(
+                    &MS004,
+                    "memory.latency",
+                    "main memory latency must exceed last cache level",
+                );
             }
         }
         if !(self.mlp.is_finite() && self.mlp >= 1.0) {
-            return Err("mlp must be at least 1".into());
+            a.finding_at(
+                &MS005,
+                "mlp",
+                format!("mlp {} must be at least 1", self.mlp),
+            );
         }
         if !(0.0..=1.0).contains(&self.short_stride_prefetch) {
-            return Err("short_stride_prefetch must be in [0,1]".into());
+            a.finding_at(
+                &MS005,
+                "short_stride_prefetch",
+                format!(
+                    "short_stride_prefetch {} must be in [0,1]",
+                    self.short_stride_prefetch
+                ),
+            );
         }
         if !non_negative(self.dependency_chain_latency) {
-            return Err("dependency_chain_latency must be non-negative".into());
+            a.finding_at(
+                &MS005,
+                "dependency_chain_latency",
+                "dependency_chain_latency must be non-negative",
+            );
         }
         if !non_negative(self.branch_penalty) {
-            return Err("branch_penalty must be non-negative".into());
+            a.finding_at(
+                &MS005,
+                "branch_penalty",
+                "branch_penalty must be non-negative",
+            );
         }
-        Ok(())
+        if self.tlb.entries == 0 {
+            a.finding_at(&MS005, "tlb.entries", "TLB must have at least one entry");
+        }
+        if !self.tlb.page_bytes.is_power_of_two() {
+            a.finding_at(
+                &MS005,
+                "tlb.page_bytes",
+                format!("page size {} must be a power of two", self.tlb.page_bytes),
+            );
+        }
+        if !non_negative(self.tlb.miss_penalty) {
+            a.finding_at(
+                &MS005,
+                "tlb.miss_penalty",
+                "TLB miss penalty must be non-negative",
+            );
+        }
+    }
+
+    /// Validate the full specification.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 
     /// Innermost cache line size in bytes.
@@ -249,30 +350,43 @@ mod tests {
     #[test]
     fn example_spec_validates() {
         MemorySpec::example_two_level().validate().unwrap();
+        let report = audit_value(|a| MemorySpec::example_two_level().audit(a));
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]
     fn level_validation_catches_bad_geometry() {
+        good_level().validate().unwrap();
+
         let mut l = good_level();
         l.line_bytes = 48;
-        assert!(l.validate().unwrap_err().contains("power of two"));
+        let report = l.validate().unwrap_err();
+        assert!(report.has_code("MS003"), "{report}");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.message.contains("power of two")),
+            "{report}"
+        );
 
         let mut l = good_level();
         l.capacity_bytes = 0;
-        assert!(l.validate().is_err());
+        assert!(l.validate().unwrap_err().has_code("MS003"));
 
         let mut l = good_level();
         l.associativity = 0;
-        assert!(l.validate().is_err());
+        assert!(l.validate().unwrap_err().has_code("MS003"));
 
         let mut l = good_level();
         l.capacity_bytes = 100; // not divisible by 128
-        assert!(l.validate().unwrap_err().contains("divisible"));
+        let report = l.validate().unwrap_err();
+        assert!(report.diagnostics[0].message.contains("divisible"));
 
         let mut l = good_level();
         // capacity/(line*assoc) = 3 sets: not a power of two
         l.capacity_bytes = 64 * 2 * 3;
-        assert!(l.validate().unwrap_err().contains("power of two"));
+        assert!(l.validate().unwrap_err().has_code("MS003"));
     }
 
     #[test]
@@ -285,49 +399,58 @@ mod tests {
     fn spec_rejects_non_monotone_hierarchy() {
         let mut s = MemorySpec::example_two_level();
         s.levels[1].capacity_bytes = s.levels[0].capacity_bytes;
-        assert!(s.validate().unwrap_err().contains("grow"));
+        let report = s.validate().unwrap_err();
+        assert!(report.has_code("MS004"), "{report}");
+        assert!(report.diagnostics[0].message.contains("grow"));
+        assert_eq!(report.diagnostics[0].subject, "levels[1]");
 
         let mut s = MemorySpec::example_two_level();
         s.levels[1].load_bandwidth = s.levels[0].load_bandwidth * 2.0;
-        assert!(s.validate().unwrap_err().contains("faster"));
+        assert!(s.validate().unwrap_err().has_code("MS004"));
 
         let mut s = MemorySpec::example_two_level();
         s.levels[1].latency = s.levels[0].latency / 2.0;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS004"));
     }
 
     #[test]
     fn spec_rejects_memory_outpacing_cache() {
         let mut s = MemorySpec::example_two_level();
         s.memory.stream_bandwidth = 100e9;
-        assert!(s.validate().unwrap_err().contains("out-stream"));
+        let report = s.validate().unwrap_err();
+        assert!(report.has_code("MS004"));
+        assert!(report.diagnostics[0].message.contains("out-stream"));
 
         let mut s = MemorySpec::example_two_level();
         s.memory.latency = 1e-12;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS004"));
     }
 
     #[test]
     fn spec_rejects_bad_scalars() {
         let mut s = MemorySpec::example_two_level();
         s.mlp = 0.5;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS005"));
 
         let mut s = MemorySpec::example_two_level();
         s.short_stride_prefetch = 1.5;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS005"));
 
         let mut s = MemorySpec::example_two_level();
         s.levels.clear();
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS003"));
 
         let mut s = MemorySpec::example_two_level();
         s.dependency_chain_latency = -1.0;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS005"));
 
         let mut s = MemorySpec::example_two_level();
         s.branch_penalty = f64::NAN;
-        assert!(s.validate().is_err());
+        assert!(s.validate().unwrap_err().has_code("MS005"));
+
+        let mut s = MemorySpec::example_two_level();
+        s.tlb.page_bytes = 3000;
+        assert!(s.validate().unwrap_err().has_code("MS005"));
     }
 
     #[test]

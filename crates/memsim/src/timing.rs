@@ -214,7 +214,11 @@ mod tests {
     fn empty_profile_takes_no_time() {
         let m = model();
         assert_eq!(
-            m.time(&AccessProfile::default(), AccessKind::Sequential, DependencyMode::Independent),
+            m.time(
+                &AccessProfile::default(),
+                AccessKind::Sequential,
+                DependencyMode::Independent
+            ),
             0.0
         );
         assert_eq!(
@@ -279,7 +283,10 @@ mod tests {
         let t_s4 = m.time(&p, AccessKind::Strided(4), DependencyMode::Independent);
         let t_rand = m.time(&p, AccessKind::Random, DependencyMode::Independent);
         assert!(t_seq < t_s4, "stride-4 slower than unit: {t_seq} vs {t_s4}");
-        assert!(t_s4 < t_rand, "stride-4 faster than random: {t_s4} vs {t_rand}");
+        assert!(
+            t_s4 < t_rand,
+            "stride-4 faster than random: {t_s4} vs {t_rand}"
+        );
     }
 
     #[test]
@@ -290,7 +297,10 @@ mod tests {
         // exceed it but is capped.
         let t8 = m.time(&p, AccessKind::Strided(8), DependencyMode::Independent);
         let t100 = m.time(&p, AccessKind::Strided(100), DependencyMode::Independent);
-        assert!((t8 - t100).abs() < 1e-15, "line cap should equalize: {t8} vs {t100}");
+        assert!(
+            (t8 - t100).abs() < 1e-15,
+            "line cap should equalize: {t8} vs {t100}"
+        );
     }
 
     #[test]
@@ -334,9 +344,21 @@ mod tests {
     #[test]
     fn deeper_levels_are_slower_for_streams() {
         let m = model();
-        let t_l1 = m.time(&profile(1000, 0, 0), AccessKind::Sequential, DependencyMode::Independent);
-        let t_l2 = m.time(&profile(0, 1000, 0), AccessKind::Sequential, DependencyMode::Independent);
-        let t_mem = m.time(&profile(0, 0, 1000), AccessKind::Sequential, DependencyMode::Independent);
+        let t_l1 = m.time(
+            &profile(1000, 0, 0),
+            AccessKind::Sequential,
+            DependencyMode::Independent,
+        );
+        let t_l2 = m.time(
+            &profile(0, 1000, 0),
+            AccessKind::Sequential,
+            DependencyMode::Independent,
+        );
+        let t_mem = m.time(
+            &profile(0, 0, 1000),
+            AccessKind::Sequential,
+            DependencyMode::Independent,
+        );
         assert!(t_l1 < t_l2 && t_l2 < t_mem, "{t_l1} {t_l2} {t_mem}");
     }
 

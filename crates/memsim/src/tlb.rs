@@ -26,7 +26,10 @@ impl Tlb {
     #[must_use]
     pub fn new(spec: &TlbSpec) -> Self {
         assert!(spec.entries > 0, "TLB needs at least one entry");
-        assert!(spec.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            spec.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             entries: Vec::with_capacity(spec.entries),
             capacity: spec.entries,

@@ -49,7 +49,8 @@ pub fn broadcast_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
     }
     let tree = log2_ceil(p) as f64 * point_to_point_time(net, bytes);
     let chunk = bytes.div_ceil(p);
-    let scatter_allgather = (log2_ceil(p) as f64 + (p - 1) as f64) * point_to_point_time(net, chunk);
+    let scatter_allgather =
+        (log2_ceil(p) as f64 + (p - 1) as f64) * point_to_point_time(net, chunk);
     tree.min(scatter_allgather)
 }
 

@@ -163,8 +163,16 @@ mod tests {
     #[test]
     fn replay_scales_linearly_in_count() {
         let n = net();
-        let one = replay(&n, 8, &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 1)]);
-        let five = replay(&n, 8, &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 5)]);
+        let one = replay(
+            &n,
+            8,
+            &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 1)],
+        );
+        let five = replay(
+            &n,
+            8,
+            &[CommEvent::new(CommOp::AllReduce { bytes: 512 }, 5)],
+        );
         assert!((five - 5.0 * one).abs() < 1e-15);
     }
 }

@@ -1,5 +1,7 @@
 //! Network hardware description.
 
+use metasim_audit::registry::MS006;
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 /// True when `x` is a finite, strictly positive number (NaN-rejecting).
@@ -27,21 +29,39 @@ pub struct NetworkSpec {
 }
 
 impl NetworkSpec {
-    /// Validate parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit [`MS006`] network-sanity diagnostics.
+    pub fn audit(&self, a: &mut Auditor) {
         if !positive(self.latency) {
-            return Err("latency must be positive".into());
+            a.finding_at(&MS006, "latency", "latency must be positive");
         }
         if !positive(self.bandwidth) {
-            return Err("bandwidth must be positive".into());
+            a.finding_at(&MS006, "bandwidth", "bandwidth must be positive");
         }
         if !(self.per_message_overhead.is_finite() && self.per_message_overhead >= 0.0) {
-            return Err("per-message overhead must be non-negative".into());
+            a.finding_at(
+                &MS006,
+                "per_message_overhead",
+                "per-message overhead must be non-negative",
+            );
         }
         if !(self.bisection_factor > 0.0 && self.bisection_factor <= 1.0) {
-            return Err("bisection factor must be in (0, 1]".into());
+            a.finding_at(
+                &MS006,
+                "bisection_factor",
+                format!(
+                    "bisection factor {} must be in (0, 1]",
+                    self.bisection_factor
+                ),
+            );
         }
-        Ok(())
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 
     /// A generic early-2000s cluster interconnect used by tests and
@@ -71,22 +91,24 @@ mod tests {
     fn rejects_nonpositive_parameters() {
         let mut n = NetworkSpec::example_cluster();
         n.latency = 0.0;
-        assert!(n.validate().is_err());
+        let report = n.validate().unwrap_err();
+        assert!(report.has_code("MS006"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "latency");
 
         let mut n = NetworkSpec::example_cluster();
         n.bandwidth = -1.0;
-        assert!(n.validate().is_err());
+        assert!(n.validate().unwrap_err().has_code("MS006"));
 
         let mut n = NetworkSpec::example_cluster();
         n.per_message_overhead = -1e-9;
-        assert!(n.validate().is_err());
+        assert!(n.validate().unwrap_err().has_code("MS006"));
 
         let mut n = NetworkSpec::example_cluster();
         n.bisection_factor = 0.0;
-        assert!(n.validate().is_err());
+        assert!(n.validate().unwrap_err().has_code("MS006"));
 
         let mut n = NetworkSpec::example_cluster();
         n.bisection_factor = 1.5;
-        assert!(n.validate().is_err());
+        assert!(n.validate().unwrap_err().has_code("MS006"));
     }
 }

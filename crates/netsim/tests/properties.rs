@@ -8,11 +8,11 @@ use proptest::prelude::*;
 
 fn any_net() -> impl Strategy<Value = NetworkSpec> {
     (
-        1e-6f64..50e-6,   // latency
-        50e6f64..2e9,     // bandwidth
-        0.0f64..5e-6,     // overhead
-        1u64..20,         // rendezvous threshold in KiB
-        0.3f64..1.0,      // bisection
+        1e-6f64..50e-6, // latency
+        50e6f64..2e9,   // bandwidth
+        0.0f64..5e-6,   // overhead
+        1u64..20,       // rendezvous threshold in KiB
+        0.3f64..1.0,    // bisection
     )
         .prop_map(|(latency, bandwidth, ovh, rkib, bis)| NetworkSpec {
             latency,

@@ -160,7 +160,10 @@ mod tests {
         let a = measure_hpl(m, 16);
         let b = measure_hpl(m, 64);
         assert!(b.n > a.n);
-        assert!((b.n as f64 / a.n as f64 - 2.0).abs() < 0.01, "N scales as sqrt(p)");
+        assert!(
+            (b.n as f64 / a.n as f64 - 2.0).abs() < 0.01,
+            "N scales as sqrt(p)"
+        );
     }
 
     #[test]

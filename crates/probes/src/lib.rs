@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod audit;
 pub mod gups;
 pub mod hpl;
 pub mod maps;
@@ -44,6 +45,7 @@ pub mod netbench;
 pub mod stream;
 pub mod suite;
 
+pub use audit::{audit_curve, audit_probes};
 pub use gups::{measure_gups, GupsResult};
 pub use hpl::{measure_hpl, HplResult};
 pub use maps::{measure_maps, DependencyFlavor, MapsCurve, MapsSet};

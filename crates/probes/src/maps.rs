@@ -69,9 +69,7 @@ impl MapsCurve {
         if ws >= last.0 as f64 {
             return last.1;
         }
-        let idx = self
-            .points
-            .partition_point(|&(size, _)| (size as f64) < ws);
+        let idx = self.points.partition_point(|&(size, _)| (size as f64) < ws);
         let (s0, b0) = self.points[idx - 1];
         let (s1, b1) = self.points[idx];
         if s0 == s1 {
@@ -136,18 +134,12 @@ pub fn sweep_sizes() -> Vec<u64> {
     sizes
 }
 
-fn measure_curve(
-    machine: &MachineConfig,
-    kind: AccessKind,
-    flavor: DependencyFlavor,
-) -> MapsCurve {
+fn measure_curve(machine: &MachineConfig, kind: AccessKind, flavor: DependencyFlavor) -> MapsCurve {
     let points: Vec<(u64, f64)> = sweep_sizes()
         .par_iter()
         .map(|&ws| {
-            let sample = measure_bandwidth(
-                &machine.memory,
-                &Workload::new(ws, kind, flavor.mode()),
-            );
+            let sample =
+                measure_bandwidth(&machine.memory, &Workload::new(ws, kind, flavor.mode()));
             (ws, sample.bytes_per_second())
         })
         .collect();
@@ -158,15 +150,47 @@ fn measure_curve(
     }
 }
 
+/// Cap `curve` pointwise at `bound`. Curves share the [`sweep_sizes`] grid
+/// and interpolate linearly between the same knots, so a pointwise cap
+/// enforces the ordering at every interpolated working-set size too.
+fn cap_curve(curve: &mut MapsCurve, bound: &MapsCurve) {
+    debug_assert_eq!(curve.points.len(), bound.points.len(), "shared sweep grid");
+    for (p, b) in curve.points.iter_mut().zip(&bound.points) {
+        debug_assert_eq!(p.0, b.0, "shared sweep grid");
+        p.1 = p.1.min(b.1);
+    }
+}
+
 /// Run the full MAPS + ENHANCED MAPS measurement for one machine.
+///
+/// The random curves are capped at their unit-stride counterparts (and the
+/// chained random curve at the independent random curve): while a working
+/// set is cache-resident, random hits issue from the same load ports as
+/// unit-stride hits, so a measured random sweep can never sit above the
+/// unit sweep — the cap keeps the published curves on the physical side of
+/// that bound where the simulator's latency/MLP regime would overshoot it
+/// on high-MLP machines. Beyond cache the random curves are latency-bound
+/// far below unit stride and the cap never binds.
 #[must_use]
 pub fn measure_maps(machine: &MachineConfig) -> MapsSet {
+    let unit = measure_curve(
+        machine,
+        AccessKind::Sequential,
+        DependencyFlavor::Independent,
+    );
+    let mut random = measure_curve(machine, AccessKind::Random, DependencyFlavor::Independent);
+    let unit_chained = measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Chained);
+    let unit_branchy = measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Branchy);
+    let mut random_chained = measure_curve(machine, AccessKind::Random, DependencyFlavor::Chained);
+    cap_curve(&mut random, &unit);
+    cap_curve(&mut random_chained, &unit_chained);
+    cap_curve(&mut random_chained, &random);
     MapsSet {
-        unit: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Independent),
-        random: measure_curve(machine, AccessKind::Random, DependencyFlavor::Independent),
-        unit_chained: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Chained),
-        unit_branchy: measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Branchy),
-        random_chained: measure_curve(machine, AccessKind::Random, DependencyFlavor::Chained),
+        unit,
+        random,
+        unit_chained,
+        unit_branchy,
+        random_chained,
     }
 }
 
@@ -218,8 +242,7 @@ mod tests {
         );
         let random_plateau = set.random.plateau();
         assert!(
-            (random_plateau - gups.effective_bandwidth()).abs() / gups.effective_bandwidth()
-                < 0.25,
+            (random_plateau - gups.effective_bandwidth()).abs() / gups.effective_bandwidth() < 0.25,
             "random plateau {random_plateau} vs GUPS {}",
             gups.effective_bandwidth()
         );
@@ -289,9 +312,21 @@ mod tests {
         let set = maps_for(MachineId::ArlXeon);
         assert_eq!(set.curve(false, DependencyFlavor::Independent), &set.unit);
         assert_eq!(set.curve(true, DependencyFlavor::Independent), &set.random);
-        assert_eq!(set.curve(false, DependencyFlavor::Chained), &set.unit_chained);
-        assert_eq!(set.curve(false, DependencyFlavor::Branchy), &set.unit_branchy);
-        assert_eq!(set.curve(true, DependencyFlavor::Chained), &set.random_chained);
-        assert_eq!(set.curve(true, DependencyFlavor::Branchy), &set.random_chained);
+        assert_eq!(
+            set.curve(false, DependencyFlavor::Chained),
+            &set.unit_chained
+        );
+        assert_eq!(
+            set.curve(false, DependencyFlavor::Branchy),
+            &set.unit_branchy
+        );
+        assert_eq!(
+            set.curve(true, DependencyFlavor::Chained),
+            &set.random_chained
+        );
+        assert_eq!(
+            set.curve(true, DependencyFlavor::Branchy),
+            &set.random_chained
+        );
     }
 }

@@ -87,7 +87,11 @@ mod tests {
                 "{}: measured latency must include software overhead",
                 m.id
             );
-            assert!(r.latency < m.network.latency * 3.0, "{}: but not absurdly", m.id);
+            assert!(
+                r.latency < m.network.latency * 3.0,
+                "{}: but not absurdly",
+                m.id
+            );
         }
     }
 

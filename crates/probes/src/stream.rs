@@ -45,7 +45,11 @@ pub fn measure_stream(machine: &MachineConfig) -> StreamResult {
     let working_set = stream_working_set(machine);
     let sample = measure_bandwidth(
         &machine.memory,
-        &Workload::new(working_set, AccessKind::Sequential, DependencyMode::Independent),
+        &Workload::new(
+            working_set,
+            AccessKind::Sequential,
+            DependencyMode::Independent,
+        ),
     );
     StreamResult {
         working_set,

@@ -1,9 +1,9 @@
 //! Property-based tests for the probe layer.
 
 use metasim_machines::{fleet, MachineId};
+use metasim_memsim::timing::AccessKind;
 use metasim_probes::maps::{DependencyFlavor, MapsCurve};
 use metasim_probes::suite::ProbeSuite;
-use metasim_memsim::timing::AccessKind;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 

@@ -51,12 +51,7 @@ pub struct Series {
 /// Render a multi-series line chart on a character grid with log-x
 /// (message sizes) and linear-y axes. Each series plots with its own glyph.
 #[must_use]
-pub fn ascii_line_chart(
-    title: &str,
-    series: &[Series],
-    cols: usize,
-    rows: usize,
-) -> String {
+pub fn ascii_line_chart(title: &str, series: &[Series], cols: usize, rows: usize) -> String {
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '^', '~'];
     let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
     let mut y_hi = f64::NEG_INFINITY;

@@ -142,7 +142,10 @@ mod tests {
             pearson(&[1.0], &[1.0, 2.0]),
             Err(StatsError::LengthMismatch { .. })
         ));
-        assert!(matches!(pearson(&[1.0], &[1.0]), Err(StatsError::EmptyInput)));
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -106,10 +106,7 @@ impl ErrorAccumulator {
 }
 
 /// Mean absolute percent error of paired predictions/measurements.
-pub fn mean_absolute_percent_error(
-    predicted: &[f64],
-    actual: &[f64],
-) -> Result<f64, StatsError> {
+pub fn mean_absolute_percent_error(predicted: &[f64], actual: &[f64]) -> Result<f64, StatsError> {
     if predicted.len() != actual.len() {
         return Err(StatsError::LengthMismatch {
             left: predicted.len(),

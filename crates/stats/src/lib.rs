@@ -108,8 +108,14 @@ mod tests {
         assert_eq!(e.to_string(), "length mismatch: 3 vs 4");
         let e = StatsError::NonPositive { what: "runtime" };
         assert!(e.to_string().contains("runtime"));
-        assert_eq!(StatsError::EmptyInput.to_string(), "empty input where data is required");
-        let e = StatsError::Underdetermined { observations: 2, unknowns: 5 };
+        assert_eq!(
+            StatsError::EmptyInput.to_string(),
+            "empty input where data is required"
+        );
+        let e = StatsError::Underdetermined {
+            observations: 2,
+            unknowns: 5,
+        };
         assert!(e.to_string().contains("2 observations for 5 unknowns"));
         assert!(StatsError::SingularMatrix.to_string().contains("singular"));
     }

@@ -199,7 +199,11 @@ pub fn simplex_constrained_least_squares(
 
     // Lipschitz constant of the gradient is 2·λmax(XᵀX) ≤ 2·trace(XᵀX).
     let trace: f64 = rows.iter().flat_map(|r| r.iter().map(|x| x * x)).sum();
-    let step = if trace > 0.0 { 1.0 / (2.0 * trace) } else { 1.0 };
+    let step = if trace > 0.0 {
+        1.0 / (2.0 * trace)
+    } else {
+        1.0
+    };
 
     let mut w = vec![1.0 / p as f64; p];
     let mut grad = vec![0.0; p];
@@ -320,7 +324,11 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..30)
             .map(|i| {
                 let t = i as f64;
-                vec![(t * 0.37).sin().abs(), (t * 0.11).cos().abs(), (t * 0.77).sin().powi(2)]
+                vec![
+                    (t * 0.37).sin().abs(),
+                    (t * 0.11).cos().abs(),
+                    (t * 0.77).sin().powi(2),
+                ]
             })
             .collect();
         let y: Vec<f64> = rows

@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn label_separation_prevents_collisions() {
-        assert_ne!(seed_from_labels(&["ab", "c"]), seed_from_labels(&["a", "bc"]));
+        assert_ne!(
+            seed_from_labels(&["ab", "c"]),
+            seed_from_labels(&["a", "bc"])
+        );
         assert_ne!(seed_from_labels(&["a"]), seed_from_labels(&["a", ""]));
     }
 

@@ -7,6 +7,8 @@
 //! counts, the stride classification of its references, its working set, and
 //! its dependency class.
 
+use metasim_audit::registry::MS202;
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 /// Counts of memory references by stride class (the stride detector's
@@ -131,24 +133,39 @@ impl TracedBlock {
         self.mem_refs() * self.invocations
     }
 
-    /// Sanity-check internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit [`MS202`] block-consistency diagnostics.
+    pub fn audit(&self, a: &mut Auditor) {
         if self.name.is_empty() {
-            return Err("block name must not be empty".into());
+            a.finding_at(&MS202, "name", "block name must not be empty");
         }
         if self.invocations == 0 {
-            return Err(format!("block {}: zero invocations", self.name));
+            a.finding_at(
+                &MS202,
+                "invocations",
+                format!("block {}: zero invocations", self.name),
+            );
         }
         if self.flops == 0 && self.mem_refs() == 0 {
-            return Err(format!("block {}: no work at all", self.name));
+            a.finding(&MS202, format!("block {}: no work at all", self.name));
         }
         if self.mem_refs() > 0 && self.working_set == 0 {
-            return Err(format!(
-                "block {}: memory references but zero working set",
-                self.name
-            ));
+            a.finding_at(
+                &MS202,
+                "working_set",
+                format!(
+                    "block {}: memory references but zero working set",
+                    self.name
+                ),
+            );
         }
-        Ok(())
+    }
+
+    /// Sanity-check internal consistency.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 }
 
@@ -200,10 +217,21 @@ mod tests {
             random: 30,
         };
         let m = a.merged(&b);
-        assert_eq!(m, StrideBins { stride1: 11, short: 22, random: 33 });
+        assert_eq!(
+            m,
+            StrideBins {
+                stride1: 11,
+                short: 22,
+                random: 33
+            }
+        );
         assert_eq!(
             a.scaled(4),
-            StrideBins { stride1: 4, short: 8, random: 12 }
+            StrideBins {
+                stride1: 4,
+                short: 8,
+                random: 12
+            }
         );
     }
 
@@ -219,11 +247,13 @@ mod tests {
     fn validation_catches_degenerate_blocks() {
         let mut b = block();
         b.name.clear();
-        assert!(b.validate().is_err());
+        let report = b.validate().unwrap_err();
+        assert!(report.has_code("MS202"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "name");
 
         let mut b = block();
         b.invocations = 0;
-        assert!(b.validate().is_err());
+        assert!(b.validate().unwrap_err().has_code("MS202"));
 
         let mut b = block();
         b.flops = 0;

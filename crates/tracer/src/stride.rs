@@ -144,9 +144,15 @@ mod tests {
 
     #[test]
     fn backwards_and_unaligned_deltas_are_random() {
-        assert_eq!(StrideDetector::classify_delta(800, 792), StrideClass::Random);
+        assert_eq!(
+            StrideDetector::classify_delta(800, 792),
+            StrideClass::Random
+        );
         assert_eq!(StrideDetector::classify_delta(0, 12), StrideClass::Random);
-        assert_eq!(StrideDetector::classify_delta(100, 100), StrideClass::Random);
+        assert_eq!(
+            StrideDetector::classify_delta(100, 100),
+            StrideClass::Random
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The complete application trace: blocks plus communication.
 
+use metasim_audit::registry::MS201;
+use metasim_audit::{audit_value, AuditReport, Auditor};
 use serde::{Deserialize, Serialize};
 
 use crate::block::{StrideBins, TracedBlock};
@@ -53,24 +55,40 @@ impl ApplicationTrace {
         self.total_flops() as f64 / refs as f64
     }
 
-    /// Validate every block and the trace shape.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Emit [`MS201`] trace-shape diagnostics plus every block's
+    /// [`metasim_audit::registry::MS202`] findings, scoped by block name.
+    pub fn audit(&self, a: &mut Auditor) {
         if self.blocks.is_empty() {
-            return Err(format!("{}/{}: no blocks traced", self.app, self.case));
+            a.finding_at(
+                &MS201,
+                "blocks",
+                format!("{}/{}: no blocks traced", self.app, self.case),
+            );
         }
         if self.processes == 0 {
-            return Err("traced process count must be nonzero".into());
+            a.finding_at(&MS201, "processes", "traced process count must be nonzero");
         }
         if self.mpi.processes != self.processes {
-            return Err(format!(
-                "{}/{}: MPI trace processes {} != {}",
-                self.app, self.case, self.mpi.processes, self.processes
-            ));
+            a.finding_at(
+                &MS201,
+                "mpi.processes",
+                format!(
+                    "{}/{}: MPI trace processes {} != {}",
+                    self.app, self.case, self.mpi.processes, self.processes
+                ),
+            );
         }
-        for b in &self.blocks {
-            b.validate()?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            a.scope(format!("blocks[{i}]"), |a| b.audit(a));
         }
-        Ok(())
+    }
+
+    /// Validate every block and the trace shape.
+    ///
+    /// # Errors
+    /// The audit report, when any error-severity finding fires.
+    pub fn validate(&self) -> Result<(), AuditReport> {
+        audit_value(|a| self.audit(a)).into_result().map(|_| ())
     }
 }
 
@@ -137,15 +155,24 @@ mod tests {
         let mut t = sample();
         t.validate().unwrap();
         t.mpi.processes = 4;
-        assert!(t.validate().is_err());
+        let report = t.validate().unwrap_err();
+        assert!(report.has_code("MS201"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "mpi.processes");
 
         let mut t = sample();
         t.blocks.clear();
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().has_code("MS201"));
 
         let mut t = sample();
         t.processes = 0;
-        assert!(t.validate().is_err());
+        assert!(t.validate().unwrap_err().has_code("MS201"));
+
+        // Block-level findings surface through the trace audit, scoped.
+        let mut t = sample();
+        t.blocks[1].invocations = 0;
+        let report = t.validate().unwrap_err();
+        assert!(report.has_code("MS202"), "{report}");
+        assert_eq!(report.diagnostics[0].subject, "blocks[1].invocations");
     }
 
     #[test]

@@ -73,7 +73,11 @@ fn main() {
         println!("  {:>2}. {:<14} {:>8.0} s", rank + 1, id.label(), t);
     }
 
-    for (name, times) in [("HPL", &hpl_time), ("GUPS", &gups_time), ("Metric #9", &m9_time)] {
+    for (name, times) in [
+        ("HPL", &hpl_time),
+        ("GUPS", &gups_time),
+        ("Metric #9", &m9_time),
+    ] {
         let tau = kendall_tau(times, &true_time).expect("well-formed ranking data");
         println!("\nRanking by {name} (Kendall tau vs truth: {tau:+.3}):");
         for (rank, id) in order(times).iter().enumerate() {

@@ -51,6 +51,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`audit`] | `metasim-audit` | `MSxxx` diagnostics: rules, auditor, renderers |
 //! | [`stats`] | `metasim-stats` | statistics, regression, deterministic RNG |
 //! | [`memsim`] | `metasim-memsim` | cache-hierarchy simulator |
 //! | [`netsim`] | `metasim-netsim` | interconnect model |
@@ -65,6 +66,7 @@
 #![deny(unsafe_code)]
 
 pub use metasim_apps as apps;
+pub use metasim_audit as audit;
 pub use metasim_core as core;
 pub use metasim_machines as machines;
 pub use metasim_memsim as memsim;

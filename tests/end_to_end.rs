@@ -45,7 +45,11 @@ impl Pipeline {
 #[test]
 fn full_pipeline_produces_sane_predictions() {
     let p = Pipeline::new();
-    for target in [MachineId::ArlOpteron, MachineId::MhpccP3, MachineId::AscSc45] {
+    for target in [
+        MachineId::ArlOpteron,
+        MachineId::MhpccP3,
+        MachineId::AscSc45,
+    ] {
         let (predictions, actual) = p.predict(TestCase::HycomStandard, 96, target);
         assert!(actual > 0.0);
         for (m, pred) in MetricId::ALL.iter().zip(predictions) {
@@ -106,7 +110,10 @@ fn best_metric_beats_worst_metric_on_aggregate() {
         e9 < e1,
         "metric #9 ({e9:.1}%) must beat metric #1 ({e1:.1}%)"
     );
-    assert!(e9 < 30.0, "metric #9 should be in the ~80%-accuracy band: {e9:.1}%");
+    assert!(
+        e9 < 30.0,
+        "metric #9 should be in the ~80%-accuracy band: {e9:.1}%"
+    );
 }
 
 #[test]

@@ -41,10 +41,12 @@ fn simulated_runtimes_correlate_with_published_tables() {
 fn figure1_crossovers_match_the_paper() {
     let f = fleet();
     let suite = ProbeSuite::new();
-    let bw = |id: MachineId, ws: u64| {
-        suite.measure(f.get(id)).maps.unit.bandwidth_at(ws)
-    };
-    let trio = [MachineId::Navo655, MachineId::ArlAltix, MachineId::ArlOpteron];
+    let bw = |id: MachineId, ws: u64| suite.measure(f.get(id)).maps.unit.bandwidth_at(ws);
+    let trio = [
+        MachineId::Navo655,
+        MachineId::ArlAltix,
+        MachineId::ArlOpteron,
+    ];
 
     let leader = |ws: u64| {
         trio.iter()

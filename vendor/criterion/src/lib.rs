@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macro surface, the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` types, and `black_box`, backed by
+//! a simple wall-clock timer: each benchmark runs `sample_size` timed
+//! samples after a short warm-up and prints the median per-iteration time.
+//! There are no statistical comparisons or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement units used to annotate throughput (accepted, echoed in output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples after one warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_one(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let med = b.median();
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("bench {id:<40} median {med:>12.2?}  ({n} elements/iter)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("bench {id:<40} median {med:>12.2?}  ({n} bytes/iter)");
+        }
+        None => println!("bench {id:<40} median {med:>12.2?}"),
+    }
+}
+
+/// Top-level bench driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Print the trailing summary (no-op beyond a newline).
+    pub fn final_summary(&mut self) {
+        println!();
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Define a bench group: both the positional and struct-style forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(positional, work);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3);
+        targets = work, work
+    }
+
+    #[test]
+    fn groups_run() {
+        positional();
+        configured();
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(100))
+            .bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the `par_iter()` / `into_par_iter()` entry points the workspace uses and
+//! maps them onto plain sequential `std` iterators. Every adapter after the
+//! entry point (`map`, `flat_map`, `collect`, …) is then the ordinary
+//! `Iterator` machinery, so call sites compile unchanged and produce
+//! identical (deterministically ordered) results; they simply run on one
+//! thread. The hot paths that used rayon are all memoized behind caches, so
+//! the sequential fallback costs one warm-up pass, not steady-state
+//! throughput.
+
+pub mod prelude {
+    /// `rayon::prelude::IntoParallelIterator`, sequential edition: defers to
+    /// [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator over `self` (sequential in this shim).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `rayon::prelude::IntoParallelRefIterator`, sequential edition.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced by [`Self::par_iter`].
+        type Iter: Iterator;
+
+        /// "Parallel" iterator over `&self` (sequential in this shim).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `rayon::prelude::IntoParallelRefMutIterator`, sequential edition.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator produced by [`Self::par_iter_mut`].
+        type Iter: Iterator;
+
+        /// "Parallel" mutable iterator over `&mut self`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_like_std() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let flat: Vec<i32> = v.into_par_iter().flat_map(|x| vec![x, x]).collect();
+        assert_eq!(flat, vec![1, 1, 2, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based, see the sibling `serde` crate) for the item
+//! shapes this workspace actually derives:
+//!
+//! * structs with named fields (and unit structs),
+//! * enums whose variants are unit, tuple, or named-field.
+//!
+//! The input token stream is parsed directly with `proc_macro` — no `syn` /
+//! `quote`, since the build environment cannot fetch them. Unsupported
+//! shapes (generic parameters, tuple structs, `#[serde(...)]` attributes)
+//! panic at compile time with a clear message rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    /// `struct Name { field, ... }` (possibly empty) or `struct Name;`.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, Variant(T, ...), Variant { field, ... }, ... }`.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many elements.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip any `#[...]` attribute groups and visibility modifiers at the
+/// cursor, returning the next meaningful token.
+fn skip_meta(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let body = g.stream().to_string();
+                        assert!(
+                            !body.starts_with("serde"),
+                            "serde shim derive does not support #[serde(...)] attributes: {body}"
+                        );
+                    }
+                    other => panic!("malformed attribute after `#`: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse the comma-separated named fields of a brace group, returning the
+/// field names. Tracks `<`/`>` depth so commas inside generic arguments
+/// (e.g. `Vec<(u64, f64)>`) do not split fields; parenthesized and
+/// bracketed types arrive as single `Group` tokens and need no tracking.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_meta(&mut iter);
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            panic!("expected field name, found {tok:?}");
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name.to_string());
+        // Consume the type, up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count the comma-separated elements of a tuple-variant paren group.
+fn count_tuple_elements(group: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in group {
+        saw_token = true;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_token {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_meta(&mut iter);
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            panic!("expected enum variant name, found {tok:?}");
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                VariantKind::Tuple(count_tuple_elements(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                VariantKind::Named(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+        // Skip an optional explicit discriminant, then the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    skip_meta(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde shim derive does not support generic type `{name}`"
+        );
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+                name,
+                fields: Vec::new(),
+            },
+            other => panic!(
+                "serde shim derive supports only named-field structs; `{name}` has {other:?}"
+            ),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, found `{other}`"),
+    }
+}
+
+/// Derive the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                     (\"{vname}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![\
+                                     (\"{vname}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derive the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(pairs, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let pairs = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}\", v))?;\n\
+                         let _ = pairs;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"array\", \"{name}::{vname}\", inner))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::DeError(format!(\
+                                             \"expected {n} elements for {name}::{vname}, found {{}}\", items.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::field(pairs, \"{f}\", \"{name}::{vname}\")?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let pairs = inner.as_object().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"object\", \"{name}::{vname}\", inner))?;\n\
+                                     let _ = pairs;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError(format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"enum representation\", \"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
