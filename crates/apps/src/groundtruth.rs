@@ -21,11 +21,14 @@
 //!   keeps even the best metric near the paper's ≈18%.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use metasim_machines::MachineConfig;
+use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
+use metasim_machines::{MachineConfig, MachineId};
 use metasim_memsim::bandwidth::{measure_bandwidth, Workload as MemWorkload};
 use metasim_memsim::timing::{AccessKind, DependencyMode};
 use metasim_netsim::replay::replay;
@@ -154,10 +157,21 @@ pub fn execute(machine: &MachineConfig, workload: &AppWorkload) -> RunResult {
     }
 }
 
-/// Memoizing ground-truth runner for the study grid.
+/// Artifact-store kind directory for persisted ground-truth results.
+pub const GROUND_TRUTH_KIND: &str = "groundtruth";
+
+/// One memoization cell of the ground-truth grid, keyed by
+/// (case, processors, machine).
+type GroundTruthCells = HashMap<(TestCase, u64, MachineId), Arc<OnceLock<RunResult>>>;
+
+/// Memoizing ground-truth runner for the study grid, with single-flight
+/// semantics (concurrent cold callers on the same cell coalesce onto one
+/// full-detail execution) and an optional persistent backing store.
 #[derive(Debug, Default)]
 pub struct GroundTruth {
-    cache: RwLock<HashMap<(TestCase, u64, metasim_machines::MachineId), RunResult>>,
+    cells: RwLock<GroundTruthCells>,
+    store: Option<Arc<ArtifactStore>>,
+    executions: AtomicUsize,
 }
 
 impl GroundTruth {
@@ -167,17 +181,102 @@ impl GroundTruth {
         Self::default()
     }
 
+    /// Runner backed by a persistent artifact store: cell results load from
+    /// (and write back to) disk, surviving across processes.
+    #[must_use]
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The content key one cell's result is stored under: the full machine
+    /// configuration plus the (case, p) labels that deterministically define
+    /// the workload, so any spec or grid edit is a cache miss.
+    #[must_use]
+    pub fn store_key(case: TestCase, p: u64, machine: &MachineConfig) -> ArtifactKey {
+        content_key(
+            &[GROUND_TRUTH_KIND, &format!("{case:?}"), &p.to_string()],
+            machine,
+        )
+    }
+
     /// Observed time-to-solution for one (case, p, machine) cell.
     #[must_use]
     pub fn run(&self, case: TestCase, p: u64, machine: &MachineConfig) -> RunResult {
         let key = (case, p, machine.id);
-        if let Some(hit) = self.cache.read().get(&key) {
-            return *hit;
-        }
-        let workload = case.workload(p);
-        let result = execute(machine, &workload);
-        self.cache.write().insert(key, result);
-        result
+        let cell = {
+            let cells = self.cells.read();
+            match cells.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(cells);
+                    Arc::clone(self.cells.write().entry(key).or_default())
+                }
+            }
+        };
+        *cell.get_or_init(|| {
+            if let Some(cached) = self.load_cached(case, p, machine) {
+                return cached;
+            }
+            let workload = case.workload(p);
+            let result = execute(machine, &workload);
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.store {
+                let _ = store.store(
+                    GROUND_TRUTH_KIND,
+                    Self::store_key(case, p, machine),
+                    &result,
+                );
+            }
+            result
+        })
+    }
+
+    /// Audit-on-load: a persisted result must be finite, physically sensible
+    /// (positive total, non-negative components), and internally consistent
+    /// with its own idiosyncrasy factor. Anything else is evicted and the
+    /// cell re-executed.
+    fn load_cached(&self, case: TestCase, p: u64, machine: &MachineConfig) -> Option<RunResult> {
+        let store = self.store.as_ref()?;
+        store.load_validated(
+            GROUND_TRUTH_KIND,
+            Self::store_key(case, p, machine),
+            |r: &RunResult| {
+                let finite = r.seconds.is_finite()
+                    && r.compute_seconds.is_finite()
+                    && r.comm_seconds.is_finite()
+                    && r.idiosyncrasy.is_finite();
+                if !finite {
+                    return Err("non-finite field".to_string());
+                }
+                if !(r.seconds > 0.0 && r.idiosyncrasy > 0.0) {
+                    return Err(format!(
+                        "non-positive seconds {} or idiosyncrasy {}",
+                        r.seconds, r.idiosyncrasy
+                    ));
+                }
+                if r.compute_seconds < 0.0 || r.comm_seconds < 0.0 {
+                    return Err("negative component".to_string());
+                }
+                let expect = (r.compute_seconds + r.comm_seconds) * r.idiosyncrasy;
+                if (r.seconds - expect).abs() > 1e-9 * expect.max(1.0) {
+                    return Err(format!(
+                        "seconds {} inconsistent with components ({expect})",
+                        r.seconds
+                    ));
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Number of full-detail executions actually performed by this runner
+    /// (cache loads do not count).
+    #[must_use]
+    pub fn executions_performed(&self) -> usize {
+        self.executions.load(Ordering::Relaxed)
     }
 }
 
@@ -286,6 +385,70 @@ mod tests {
         let a = gt.run(TestCase::Overflow2Standard, 48, f.get(MachineId::ArlAltix));
         let b = gt.run(TestCase::Overflow2Standard, 48, f.get(MachineId::ArlAltix));
         assert_eq!(a, b);
+        assert_eq!(gt.executions_performed(), 1);
+    }
+
+    #[test]
+    fn concurrent_cold_cells_execute_exactly_once() {
+        let f = std::sync::Arc::new(fleet());
+        let gt = std::sync::Arc::new(GroundTruth::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = std::sync::Arc::clone(&f);
+                let gt = std::sync::Arc::clone(&gt);
+                std::thread::spawn(move || {
+                    gt.run(TestCase::HycomStandard, 64, f.get(MachineId::Mhpcc690_13))
+                })
+            })
+            .collect();
+        let results: Vec<RunResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            gt.executions_performed(),
+            1,
+            "racing cold callers must coalesce onto one execution"
+        );
+    }
+
+    #[test]
+    fn store_backed_ground_truth_round_trips_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("metasim-gt-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(ArtifactStore::open(&dir));
+        let f = fleet();
+        let m = f.get(MachineId::Navo655);
+        let (case, p) = (TestCase::AvusStandard, 32);
+
+        let cold = GroundTruth::with_store(std::sync::Arc::clone(&store));
+        let fresh = cold.run(case, p, m);
+        assert_eq!(cold.executions_performed(), 1);
+
+        let warm = GroundTruth::with_store(std::sync::Arc::clone(&store));
+        let loaded = warm.run(case, p, m);
+        assert_eq!(warm.executions_performed(), 0, "warm run must not execute");
+        // Bit-identical through the JSON round trip, not merely approximate.
+        assert_eq!(fresh.seconds.to_bits(), loaded.seconds.to_bits());
+        assert_eq!(fresh, loaded);
+
+        // A truncated entry is evicted and the cell re-executed.
+        let path = store.entry_path(GROUND_TRUTH_KIND, GroundTruth::store_key(case, p, m));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let repaired = GroundTruth::with_store(std::sync::Arc::clone(&store));
+        assert_eq!(repaired.run(case, p, m), fresh);
+        assert_eq!(repaired.executions_performed(), 1);
+
+        // A physically impossible entry (negative runtime) fails the
+        // audit-on-load and is likewise re-executed.
+        let mut bad = fresh;
+        bad.seconds = -1.0;
+        store
+            .store(GROUND_TRUTH_KIND, GroundTruth::store_key(case, p, m), &bad)
+            .unwrap();
+        let audited = GroundTruth::with_store(std::sync::Arc::clone(&store));
+        assert_eq!(audited.run(case, p, m), fresh);
+        assert_eq!(audited.executions_performed(), 1);
+        store.clear().unwrap();
     }
 
     #[test]

@@ -7,16 +7,18 @@ use std::hint::black_box;
 
 use metasim_apps::registry::TestCase;
 use metasim_apps::tracing::{sample_addresses, trace_workload};
-use metasim_bench::{shared_fleet, shared_probes};
+use metasim_bench::{shared_fleet, shared_probes, shared_study};
 use metasim_core::convolver::Convolver;
 use metasim_core::metric::MetricId;
 use metasim_machines::MachineId;
-use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
+use metasim_memsim::bandwidth::{drive, measure_bandwidth, Workload};
 use metasim_memsim::cache::Cache;
 use metasim_memsim::hierarchy::HierarchySim;
+use metasim_memsim::streams::StridedStream;
 use metasim_memsim::timing::{AccessKind, DependencyMode};
 use metasim_netsim::collectives::allreduce_time;
 use metasim_netsim::replay::replay;
+use metasim_probes::maps::{sweep_sizes, DependencyFlavor, MapsCurve};
 use metasim_stats::rng::SeededRng;
 use metasim_tracer::analysis::analyze_dependencies;
 use metasim_tracer::stride::StrideDetector;
@@ -64,6 +66,65 @@ fn bench_bandwidth(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// The batched stream driver: fills a `DRIVE_BATCH`-sized address buffer
+/// per iteration instead of interleaving one virtual call per access.
+fn bench_drive(c: &mut Criterion) {
+    let fleet = shared_fleet();
+    let spec = &fleet.get(MachineId::ArlOpteron).memory;
+    let n: u64 = 1 << 15;
+
+    let mut group = c.benchmark_group("drive");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("sequential_64MiB_batched", |b| {
+        b.iter(|| {
+            let mut sim = HierarchySim::new(spec);
+            let mut stream = StridedStream::new(0, 64 << 20, 8, 8);
+            drive(&mut sim, &mut stream, n);
+            black_box(sim.profile().total_accesses())
+        });
+    });
+    group.finish();
+}
+
+/// Curve interpolation with the precomputed log-size table — the inner
+/// loop of every MAPS-based convolution (called ~10^5 times per study).
+fn bench_bandwidth_at(c: &mut Criterion) {
+    let points: Vec<(u64, f64)> = sweep_sizes()
+        .iter()
+        .enumerate()
+        .map(|(i, &ws)| (ws, 8e9 / (1.0 + i as f64)))
+        .collect();
+    let curve = MapsCurve::new(
+        AccessKind::Sequential,
+        DependencyFlavor::Independent,
+        points,
+    );
+    let mut rng = SeededRng::new(7);
+    let queries: Vec<u64> = (0..4096).map(|_| 1 + rng.next_below(1 << 27)).collect();
+
+    let mut group = c.benchmark_group("maps_curve");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("bandwidth_at", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &ws in &queries {
+                acc += curve.bandwidth_at(ws);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+/// Table 4 aggregation: one pass over the 150 observations with nine
+/// running accumulators.
+fn bench_table4(c: &mut Criterion) {
+    let study = shared_study();
+    c.bench_function("table4_single_pass", |b| {
+        b.iter(|| black_box(study.table4()));
+    });
 }
 
 fn bench_tracer(c: &mut Criterion) {
@@ -121,6 +182,9 @@ criterion_group!(
     benches,
     bench_cache,
     bench_bandwidth,
+    bench_drive,
+    bench_bandwidth_at,
+    bench_table4,
     bench_tracer,
     bench_convolver,
     bench_netsim

@@ -1,9 +1,13 @@
 //! Subcommand implementations.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use metasim_apps::groundtruth::GroundTruth;
 use metasim_apps::paper_data;
 use metasim_apps::registry::TestCase;
 use metasim_apps::tracing::trace_workload;
+use metasim_cache::ArtifactStore;
 use metasim_core::balanced::{fit_weights, fit_weights_mae, idc_equal_weights, CATEGORY_NAMES};
 use metasim_core::metric::MetricId;
 use metasim_core::prediction::predict_all;
@@ -33,6 +37,8 @@ const PAPER_TABLE4: [(f64, f64); 9] = [
 pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "audit" => audit(rest),
+        "study" => study(rest),
+        "cache" => cache(rest),
         "systems" => systems(),
         "metrics" => metrics(),
         "probes" => probes(),
@@ -89,6 +95,13 @@ commands:
                      statically verify every study artifact (fleet, probe
                      curves, workloads, traces) against the MSxxx rules;
                      exits non-zero on error-severity findings
+  study [--timings] [--cache-dir DIR] [--no-cache] [--export FILE.csv]
+        [--bench-out FILE.json]
+                     run the full 1,350-prediction study; artifacts persist
+                     in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
+                     so warm re-runs load instead of re-measuring
+  cache stats|clear [--cache-dir DIR]
+                     inspect or delete the persistent artifact store
   systems            Table 1/2: the study fleet
   metrics            Table 3: the nine synthetic metrics
   probes             probe summary for every machine
@@ -152,6 +165,142 @@ fn audit(rest: &[String]) -> Result<(), String> {
         Err(report.summary_line())
     } else {
         Ok(())
+    }
+}
+
+/// The artifact-store location: `--cache-dir` beats `$METASIM_CACHE_DIR`
+/// beats `.metasim-cache` in the working directory.
+fn resolve_cache_dir(explicit: Option<PathBuf>) -> PathBuf {
+    explicit
+        .or_else(|| std::env::var_os("METASIM_CACHE_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from(".metasim-cache"))
+}
+
+fn study(rest: &[String]) -> Result<(), String> {
+    let mut timings_wanted = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut export_path: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--timings" => timings_wanted = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            "--export" => export_path = Some(args.next().ok_or("--export needs a path")?.clone()),
+            "--bench-out" => {
+                bench_out = Some(args.next().ok_or("--bench-out needs a path")?.clone());
+            }
+            other => return Err(format!("unknown study flag `{other}`")),
+        }
+    }
+
+    let store = if no_cache {
+        None
+    } else {
+        Some(Arc::new(ArtifactStore::open(resolve_cache_dir(cache_dir))))
+    };
+    let f = fleet();
+    let (suite, gt) = match &store {
+        Some(s) => (
+            ProbeSuite::with_store(Arc::clone(s)),
+            GroundTruth::with_store(Arc::clone(s)),
+        ),
+        None => (ProbeSuite::new(), GroundTruth::new()),
+    };
+    let (study, timings) = Study::run_with_store(&f, &suite, &gt, store.as_deref());
+
+    println!(
+        "study: {} observations, {} predictions ({})",
+        study.observations.len(),
+        study.prediction_count(),
+        if timings.loaded_from_cache {
+            "loaded from cache"
+        } else {
+            "computed"
+        }
+    );
+    let t4 = study.table4();
+    let best = t4
+        .iter()
+        .min_by(|a, b| a.mean_absolute.total_cmp(&b.mean_absolute))
+        .expect("nine metrics");
+    println!(
+        "best metric: {} at {:.1}% average absolute error",
+        best.metric, best.mean_absolute
+    );
+
+    if timings_wanted {
+        println!("\nphase                 wall time");
+        println!("preflight + probes    {:>9.3} s", timings.preflight_seconds);
+        println!(
+            "ground truth          {:>9.3} s",
+            timings.ground_truth_seconds
+        );
+        println!(
+            "trace + predictions   {:>9.3} s",
+            timings.prediction_seconds
+        );
+        println!("total                 {:>9.3} s", timings.total_seconds);
+        if timings.loaded_from_cache {
+            println!("(phases are zero: the result was one cache read)");
+        }
+    }
+
+    if let Some(path) = export_path {
+        export(&[path])?;
+    }
+    if let Some(path) = bench_out {
+        let json = serde_json::to_string_pretty(&timings).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote timings to {path}");
+    }
+    Ok(())
+}
+
+fn cache(rest: &[String]) -> Result<(), String> {
+    let action = rest.first().map(String::as_str);
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut args = rest.iter().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            other => return Err(format!("unknown cache flag `{other}`")),
+        }
+    }
+    let store = ArtifactStore::open(resolve_cache_dir(cache_dir));
+    match action {
+        Some("stats") => {
+            let stats = store.stats();
+            println!(
+                "cache at {} (schema v{}): {} entries, {} bytes",
+                store.root().display(),
+                store.schema(),
+                stats.entries,
+                stats.bytes
+            );
+            for (kind, count) in &stats.kinds {
+                println!("  {kind:<14} {count}");
+            }
+            Ok(())
+        }
+        Some("clear") => {
+            store
+                .clear()
+                .map_err(|e| format!("clearing {}: {e}", store.root().display()))?;
+            println!("cleared {}", store.root().display());
+            Ok(())
+        }
+        _ => Err("usage: cache stats|clear [--cache-dir DIR]".into()),
     }
 }
 
@@ -728,6 +877,36 @@ mod tests {
         assert!(dispatch("audit", &["--frobnicate".into()]).is_err());
         assert!(dispatch("audit", &["--allow".into()]).is_err());
         assert!(dispatch("audit", &["--allow".into(), "not-a-code".into()]).is_err());
+    }
+
+    #[test]
+    fn study_and_cache_reject_bad_flags() {
+        assert!(dispatch("study", &["--frobnicate".into()]).is_err());
+        assert!(dispatch("study", &["--cache-dir".into()]).is_err());
+        assert!(dispatch("study", &["--export".into()]).is_err());
+        assert!(dispatch("cache", &[]).is_err());
+        assert!(dispatch("cache", &["defrag".into()]).is_err());
+        assert!(dispatch("cache", &["stats".into(), "--frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn cache_stats_and_clear_work_on_an_empty_dir() {
+        let dir = std::env::temp_dir().join(format!("metasim-cli-cache-{}", std::process::id()));
+        let dir_s = dir.to_string_lossy().to_string();
+        dispatch(
+            "cache",
+            &["stats".into(), "--cache-dir".into(), dir_s.clone()],
+        )
+        .unwrap();
+        dispatch("cache", &["clear".into(), "--cache-dir".into(), dir_s]).unwrap();
+    }
+
+    #[test]
+    fn cache_dir_resolution_prefers_explicit() {
+        assert_eq!(
+            resolve_cache_dir(Some(PathBuf::from("/tmp/x"))),
+            PathBuf::from("/tmp/x")
+        );
     }
 
     #[test]

@@ -69,17 +69,23 @@ fn dominates(a: &MachineProbes, b: &MachineProbes) -> bool {
         && a.netbench.bandwidth >= b.netbench.bandwidth
 }
 
-/// Audit a finished study under a `study` scope: [`MS301`] error
-/// accounting, [`MS302`] strong-scaling sanity, [`MS303`] the
-/// benchmark-dominance paradox, [`MS304`] finiteness, [`MS305`] the
-/// #1 = #4 identity.
-pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
+/// Audit the *values* of a finished study under a `study` scope: [`MS301`]
+/// error accounting, [`MS302`] strong-scaling sanity, [`MS304`] finiteness,
+/// [`MS305`] the #1 = #4 identity.
+///
+/// This subset needs only the study data itself — no fleet, no probe
+/// measurements — which makes it cheap enough to run as the audit-on-load
+/// gate for persistently cached study results. The full [`audit_study`]
+/// adds the probe-dependent [`MS303`] dominance-paradox rule on top.
+pub fn audit_study_values(study: &Study, a: &mut Auditor) {
     a.scope("study", |a| {
         // MS304 + MS305: per-observation invariants.
+        let mut values_finite = true;
         for o in &study.observations {
             let subject = format!("{}.{}cpu.{}", o.case, o.cpus, o.machine);
             let finite_positive = |x: f64| x.is_finite() && x > 0.0;
             if !finite_positive(o.actual) || !finite_positive(o.base_actual) {
+                values_finite = false;
                 a.finding_at(
                     &MS304,
                     &subject,
@@ -91,6 +97,7 @@ pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Aud
             }
             for (i, p) in o.predictions.iter().enumerate() {
                 if !finite_positive(*p) {
+                    values_finite = false;
                     a.finding_at(
                         &MS304,
                         &subject,
@@ -114,8 +121,17 @@ pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Aud
         }
 
         // MS301: Table 4 accounting. The mean of |e| can never sit below
-        // |mean of e|, and both must be finite.
-        for row in study.table4() {
+        // |mean of e|, and both must be finite. Aggregating requires every
+        // runtime to be strictly positive (Equation 2 divides by it, and
+        // `percent_error` asserts as much in debug builds), so when MS304
+        // already fired the aggregate check is moot — skip it rather than
+        // panic on data a corrupted cache entry may have handed us.
+        let table4 = if values_finite {
+            study.table4()
+        } else {
+            Vec::new()
+        };
+        for row in table4 {
             let subject = format!("table4.{}", row.metric);
             if !(row.mean_absolute.is_finite()
                 && row.stddev.is_finite()
@@ -156,7 +172,15 @@ pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Aud
                 }
             }
         }
+    });
+}
 
+/// Audit a finished study under a `study` scope: the value-level rules of
+/// [`audit_study_values`] plus [`MS303`], the benchmark-dominance paradox,
+/// which needs the fleet's probe measurements.
+pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
+    audit_study_values(study, a);
+    a.scope("study", |a| {
         // MS303: a machine that dominates another on every benchmark score
         // yet measures slower on some observation — the paradox the paper
         // opens with (Tables 2/3). Warn-level: the study data is expected
@@ -196,6 +220,13 @@ impl Study {
     #[must_use]
     pub fn audit(&self, fleet: &Fleet, suite: &ProbeSuite) -> AuditReport {
         audit_value(|a| audit_study(self, fleet, suite, a))
+    }
+
+    /// Audit only the value-level `MS3xx` rules (no probe measurements
+    /// needed) — the audit-on-load gate for cached study results.
+    #[must_use]
+    pub fn audit_values(&self) -> AuditReport {
+        audit_value(|a| audit_study_values(self, a))
     }
 }
 

@@ -2,14 +2,16 @@
 //! systems × 9 metrics = 1,350 predictions against 150 observations,
 //! exactly the grid behind the paper's Table 4, Table 5, and Figures 2–7.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use metasim_apps::groundtruth::GroundTruth;
 use metasim_apps::registry::{all_test_cases, TestCase};
-use metasim_apps::tracing::trace_workload;
+use metasim_apps::tracing::TraceCache;
+use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
 use metasim_machines::{fleet, Fleet, MachineId};
 use metasim_probes::suite::ProbeSuite;
 use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
@@ -78,6 +80,26 @@ pub struct Study {
     pub observations: Vec<Observation>,
 }
 
+/// Per-phase wall time of one study run (what `metasim study --timings`
+/// prints). All values in seconds of host wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyTimings {
+    /// Preflight audit, including warming all 11 machines' probe sweeps.
+    pub preflight_seconds: f64,
+    /// Warming every ground-truth cell (150 target + 15 base executions).
+    pub ground_truth_seconds: f64,
+    /// Tracing, dependency analysis, and the 1,350 predictions.
+    pub prediction_seconds: f64,
+    /// End-to-end wall time (load time when served from cache).
+    pub total_seconds: f64,
+    /// Whether the result was loaded whole from a persistent store rather
+    /// than computed (in which case the phase fields are zero).
+    pub loaded_from_cache: bool,
+}
+
+/// Artifact-store kind directory for persisted whole-study results.
+pub const STUDY_KIND: &str = "study";
+
 impl Study {
     /// Run the full study on a fleet. Parallel over the 15 (case, CPU)
     /// groups; probes and ground truth memoize behind their caches.
@@ -88,6 +110,35 @@ impl Study {
     /// in the fleet configuration or the measured probe curves.
     #[must_use]
     pub fn run(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> Self {
+        Self::run_timed(fleet, suite, gt).0
+    }
+
+    /// [`run`](Self::run), reporting per-phase wall time.
+    ///
+    /// The phases are ordered so that no prediction cell ever blocks on
+    /// another cell's cold measurement: preflight warms every machine's
+    /// probes, a ground-truth phase warms every (case, cpus, machine) cell
+    /// including the base system, and only then does the prediction pass
+    /// run against purely warm caches.
+    ///
+    /// # Panics
+    /// As [`run`](Self::run), on preflight errors.
+    #[must_use]
+    pub fn run_timed(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> (Self, StudyTimings) {
+        Self::run_timed_with_traces(fleet, suite, gt, &TraceCache::new())
+    }
+
+    /// [`run_timed`](Self::run_timed) with an explicit trace cache, so a
+    /// store-backed run can reuse persisted application traces
+    /// (`metasim_apps::tracing::TRACE_KIND` entries) even when the
+    /// whole-study entry itself missed.
+    fn run_timed_with_traces(
+        fleet: &Fleet,
+        suite: &ProbeSuite,
+        gt: &GroundTruth,
+        traces: &TraceCache,
+    ) -> (Self, StudyTimings) {
+        let start = Instant::now();
         // Preflight: statically verify every input artifact. This also
         // warms every machine's probes (each sweep is internally parallel).
         let report = crate::audit::preflight(fleet, suite);
@@ -97,12 +148,23 @@ impl Study {
         );
         let base_cfg = fleet.base();
         let base_probes = suite.measure(base_cfg);
+        let preflight_done = Instant::now();
+
+        // Warm every ground-truth cell — base system first (every cell
+        // scales from it), then the full target grid.
+        all_test_cases().into_par_iter().for_each(|(case, cpus)| {
+            let _ = gt.run(case, cpus, base_cfg);
+            MachineId::TARGETS.into_par_iter().for_each(|machine| {
+                let _ = gt.run(case, cpus, fleet.get(machine));
+            });
+        });
+        let ground_truth_done = Instant::now();
 
         let observations: Vec<Observation> = all_test_cases()
             .into_par_iter()
             .flat_map(|(case, cpus)| {
                 let workload = case.workload(cpus);
-                let trace = trace_workload(&workload);
+                let trace = traces.trace(&workload);
                 let labels = analyze_dependencies(&trace.blocks);
                 let base_actual = gt.run(case, cpus, base_cfg).seconds;
 
@@ -132,7 +194,77 @@ impl Study {
         study
             .observations
             .sort_by_key(|o| (o.case, o.cpus, o.machine));
-        study
+        let done = Instant::now();
+        let timings = StudyTimings {
+            preflight_seconds: (preflight_done - start).as_secs_f64(),
+            ground_truth_seconds: (ground_truth_done - preflight_done).as_secs_f64(),
+            prediction_seconds: (done - ground_truth_done).as_secs_f64(),
+            total_seconds: (done - start).as_secs_f64(),
+            loaded_from_cache: false,
+        };
+        (study, timings)
+    }
+
+    /// The content key a whole-study result is stored under: the full
+    /// serialized fleet, so editing any machine spec re-runs the study.
+    #[must_use]
+    pub fn store_key(fleet: &Fleet) -> ArtifactKey {
+        content_key(&[STUDY_KIND], fleet)
+    }
+
+    /// Run the study against an optional persistent store.
+    ///
+    /// On a warm store the whole result set loads in one read — validated
+    /// on load by the value-level `MS3xx` audit rules plus a grid-shape
+    /// check; any error-severity diagnostic evicts the entry and the study
+    /// recomputes (and rewrites it). Serde round-trips are bit-identical,
+    /// so a loaded study compares equal to a freshly computed one.
+    ///
+    /// # Panics
+    /// As [`run`](Self::run), on preflight errors (compute path only).
+    #[must_use]
+    pub fn run_with_store(
+        fleet: &Fleet,
+        suite: &ProbeSuite,
+        gt: &GroundTruth,
+        store: Option<&ArtifactStore>,
+    ) -> (Self, StudyTimings) {
+        if let Some(store) = store {
+            let load_start = Instant::now();
+            let expected = all_test_cases().len() * MachineId::TARGETS.len();
+            let loaded = store.load_validated(STUDY_KIND, Self::store_key(fleet), |s: &Study| {
+                if s.observations.len() != expected {
+                    return Err(format!(
+                        "grid holds {} observations, expected {expected}",
+                        s.observations.len()
+                    ));
+                }
+                let report = s.audit_values();
+                if report.has_errors() {
+                    return Err(format!("audit-on-load failed: {}", report.summary_line()));
+                }
+                Ok(())
+            });
+            if let Some(study) = loaded {
+                let timings = StudyTimings {
+                    preflight_seconds: 0.0,
+                    ground_truth_seconds: 0.0,
+                    prediction_seconds: 0.0,
+                    total_seconds: load_start.elapsed().as_secs_f64(),
+                    loaded_from_cache: true,
+                };
+                return (study, timings);
+            }
+        }
+        let traces = match store {
+            Some(store) => TraceCache::with_store(Arc::new(store.clone())),
+            None => TraceCache::new(),
+        };
+        let (study, timings) = Self::run_timed_with_traces(fleet, suite, gt, &traces);
+        if let Some(store) = store {
+            let _ = store.store(STUDY_KIND, Self::store_key(fleet), &study);
+        }
+        (study, timings)
     }
 
     /// Run (once per process) on the default HPCMP fleet; later calls
@@ -148,68 +280,81 @@ impl Study {
     }
 
     /// Table 4: per-metric average absolute error and standard deviation.
+    ///
+    /// One pass over the observations with nine running accumulators
+    /// (instead of nine full scans); each accumulator sees the same error
+    /// sequence in the same order as the multi-scan version, so the
+    /// statistics are bit-identical.
     #[must_use]
     pub fn table4(&self) -> Vec<MetricErrorRow> {
+        let mut accs: [ErrorAccumulator; 9] = std::array::from_fn(|_| ErrorAccumulator::new());
+        for o in &self.observations {
+            for (acc, metric) in accs.iter_mut().zip(MetricId::ALL) {
+                acc.record_signed_error(o.signed_error(metric));
+            }
+        }
         MetricId::ALL
             .into_iter()
-            .map(|metric| {
-                let mut acc = ErrorAccumulator::new();
-                for o in &self.observations {
-                    acc.record_signed_error(o.signed_error(metric));
-                }
-                MetricErrorRow {
-                    metric,
-                    mean_absolute: acc.mean_absolute(),
-                    stddev: acc.stddev_absolute(),
-                    mean_signed: acc.mean_signed(),
-                }
+            .zip(accs)
+            .map(|(metric, acc)| MetricErrorRow {
+                metric,
+                mean_absolute: acc.mean_absolute(),
+                stddev: acc.stddev_absolute(),
+                mean_signed: acc.mean_signed(),
             })
             .collect()
     }
 
     /// Table 5: per-system rows plus the overall row is `table4`.
+    ///
+    /// Single pass: a (system × metric) accumulator grid replaces the 90
+    /// filtered re-scans of the observation list.
     #[must_use]
     pub fn table5(&self) -> Vec<SystemErrorRow> {
+        let mut accs: Vec<[ErrorAccumulator; 9]> = MachineId::TARGETS
+            .iter()
+            .map(|_| std::array::from_fn(|_| ErrorAccumulator::new()))
+            .collect();
+        for o in &self.observations {
+            let Some(row) = MachineId::TARGETS.iter().position(|&m| m == o.machine) else {
+                continue;
+            };
+            for (acc, metric) in accs[row].iter_mut().zip(MetricId::ALL) {
+                acc.record_signed_error(o.signed_error(metric));
+            }
+        }
         MachineId::TARGETS
             .into_iter()
-            .map(|machine| {
-                let mut per_metric = [0.0; 9];
-                for (i, metric) in MetricId::ALL.into_iter().enumerate() {
-                    let mut acc = ErrorAccumulator::new();
-                    for o in self.observations.iter().filter(|o| o.machine == machine) {
-                        acc.record_signed_error(o.signed_error(metric));
-                    }
-                    per_metric[i] = acc.mean_absolute();
-                }
-                SystemErrorRow {
-                    machine,
-                    per_metric,
-                }
+            .zip(accs)
+            .map(|(machine, accs)| SystemErrorRow {
+                machine,
+                per_metric: std::array::from_fn(|i| accs[i].mean_absolute()),
             })
             .collect()
     }
 
     /// Figure 3–7 data: for one test case, average absolute error per
-    /// (processor count, metric) across the ten systems.
+    /// (processor count, metric) across the ten systems. Single filtered
+    /// pass, accumulating all (count, metric) rows at once.
     #[must_use]
     pub fn errors_by_app(&self, case: TestCase) -> Vec<(u64, [f64; 9])> {
-        case.cpu_counts()
+        let counts = case.cpu_counts();
+        let mut accs: Vec<[ErrorAccumulator; 9]> = counts
+            .iter()
+            .map(|_| std::array::from_fn(|_| ErrorAccumulator::new()))
+            .collect();
+        for o in self.observations.iter().filter(|o| o.case == case) {
+            let Some(row) = counts.iter().position(|&c| c == o.cpus) else {
+                continue;
+            };
+            for (acc, metric) in accs[row].iter_mut().zip(MetricId::ALL) {
+                acc.record_signed_error(o.signed_error(metric));
+            }
+        }
+        counts
             .into_iter()
-            .map(|cpus| {
-                let mut row = [0.0; 9];
-                for (i, metric) in MetricId::ALL.into_iter().enumerate() {
-                    let mut acc = ErrorAccumulator::new();
-                    for o in self
-                        .observations
-                        .iter()
-                        .filter(|o| o.case == case && o.cpus == cpus)
-                    {
-                        acc.record_signed_error(o.signed_error(metric));
-                    }
-                    row[i] = acc.mean_absolute();
-                }
-                (cpus, row)
-            })
+            .zip(accs)
+            .map(|(cpus, accs)| (cpus, std::array::from_fn(|i| accs[i].mean_absolute())))
             .collect()
     }
 
@@ -382,5 +527,68 @@ mod tests {
         let s = study();
         let count = s.for_machine(MachineId::ArlAltix).count();
         assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn cached_study_loads_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("metasim-study-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir);
+        let f = fleet();
+        let fresh = study();
+        store
+            .store(STUDY_KIND, Study::store_key(&f), fresh)
+            .unwrap();
+
+        let (loaded, timings) =
+            Study::run_with_store(&f, &ProbeSuite::new(), &GroundTruth::new(), Some(&store));
+        assert!(timings.loaded_from_cache, "warm store must serve the load");
+        assert_eq!(fresh, &loaded, "cached study must equal the fresh study");
+        // Bit-for-bit, not merely PartialEq: identical serialized text.
+        assert_eq!(
+            serde_json::to_string(fresh).unwrap(),
+            serde_json::to_string(&loaded).unwrap()
+        );
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn doctored_store_entry_is_rejected_and_recomputed() {
+        let dir =
+            std::env::temp_dir().join(format!("metasim-study-badstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir);
+        let f = fleet();
+        let mut doctored = study().clone();
+        doctored.observations[0].actual = f64::NAN;
+        // NaN cannot survive the JSON layer; smuggle the corruption in as a
+        // negative runtime instead, which the MS304 audit-on-load catches.
+        doctored.observations[0].actual = -5.0;
+        store
+            .store(STUDY_KIND, Study::store_key(&f), &doctored)
+            .unwrap();
+
+        let (recomputed, timings) =
+            Study::run_with_store(&f, &ProbeSuite::new(), &GroundTruth::new(), Some(&store));
+        assert!(
+            !timings.loaded_from_cache,
+            "audit-on-load must reject the doctored entry"
+        );
+        assert_eq!(&recomputed, study(), "fallback recomputes the true study");
+        // Phase timings cover the compute path and add up.
+        assert!(timings.preflight_seconds >= 0.0);
+        let phase_sum =
+            timings.preflight_seconds + timings.ground_truth_seconds + timings.prediction_seconds;
+        assert!(
+            (phase_sum - timings.total_seconds).abs() <= 0.05 * timings.total_seconds + 1e-6,
+            "phases {phase_sum} vs total {}",
+            timings.total_seconds
+        );
+        // The recompute rewrote a good entry over the doctored one.
+        let (reloaded, reload_timings) =
+            Study::run_with_store(&f, &ProbeSuite::new(), &GroundTruth::new(), Some(&store));
+        assert!(reload_timings.loaded_from_cache);
+        assert_eq!(reloaded, recomputed);
+        store.clear().unwrap();
     }
 }

@@ -15,6 +15,18 @@ pub trait AddressStream {
     fn next_addr(&mut self) -> u64;
     /// Bytes requested per access.
     fn element_bytes(&self) -> u64;
+
+    /// Fill `buf` with the next `buf.len()` addresses. Semantically exactly
+    /// `buf.len()` calls to [`next_addr`](Self::next_addr); the batch form
+    /// lets hot drivers generate addresses in one tight loop per block
+    /// instead of interleaving stream dispatch with hierarchy simulation.
+    /// Implementors may override with a fused loop; the stream must end in
+    /// the same state either way.
+    fn fill(&mut self, buf: &mut [u64]) {
+        for slot in buf.iter_mut() {
+            *slot = self.next_addr();
+        }
+    }
 }
 
 /// Cyclic constant-stride sweep over a working set.

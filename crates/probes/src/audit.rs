@@ -222,11 +222,11 @@ mod tests {
     use metasim_machines::{fleet, MachineId};
 
     fn curve(points: Vec<(u64, f64)>) -> MapsCurve {
-        MapsCurve {
-            kind: AccessKind::Sequential,
-            flavor: DependencyFlavor::Independent,
+        MapsCurve::new(
+            AccessKind::Sequential,
+            DependencyFlavor::Independent,
             points,
-        }
+        )
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! for the delivered bandwidth at any application working-set size —
 //! exactly how the paper's Metrics #7–#9 consume the curves.
 
+use std::sync::OnceLock;
+
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use metasim_machines::MachineConfig;
 use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
@@ -41,17 +43,75 @@ impl DependencyFlavor {
 }
 
 /// One measured bandwidth-versus-size curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Interpolation happens in log-size space; the knot logarithms are computed
+/// once per curve (lazily, in a [`OnceLock`]) rather than on every
+/// [`bandwidth_at`](MapsCurve::bandwidth_at) call — the convolver performs
+/// two lookups per work block per curve-based metric, thousands per study.
+/// Equality and serialization cover only the measured data (`kind`,
+/// `flavor`, `points`); the log table is a derived cache.
+#[derive(Debug, Clone)]
 pub struct MapsCurve {
     /// Access pattern the curve was measured with.
     pub kind: AccessKind,
     /// Dependency flavour.
     pub flavor: DependencyFlavor,
     /// `(working_set_bytes, bytes_per_second)` points, ascending in size.
+    /// Bandwidths may be adjusted in place (curve capping); sizes must not
+    /// change after the first `bandwidth_at` call on a clone of the curve —
+    /// [`MapsCurve::new`] a fresh curve instead.
     pub points: Vec<(u64, f64)>,
+    /// Lazily built `ln(size)` per knot, index-aligned with `points`.
+    log_sizes: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for MapsCurve {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.flavor == other.flavor && self.points == other.points
+    }
+}
+
+impl Serialize for MapsCurve {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("flavor".to_string(), self.flavor.to_value()),
+            ("points".to_string(), self.points.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MapsCurve {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(pairs) = v else {
+            return Err(DeError("MapsCurve expects an object".to_string()));
+        };
+        Ok(Self::new(
+            serde::field(pairs, "kind", "MapsCurve")?,
+            serde::field(pairs, "flavor", "MapsCurve")?,
+            serde::field(pairs, "points", "MapsCurve")?,
+        ))
+    }
 }
 
 impl MapsCurve {
+    /// A curve from measured points (ascending in working-set size).
+    #[must_use]
+    pub fn new(kind: AccessKind, flavor: DependencyFlavor, points: Vec<(u64, f64)>) -> Self {
+        Self {
+            kind,
+            flavor,
+            points,
+            log_sizes: OnceLock::new(),
+        }
+    }
+
+    /// The `ln(size)` table, built on first use.
+    fn log_sizes(&self) -> &[f64] {
+        self.log_sizes
+            .get_or_init(|| self.points.iter().map(|&(s, _)| (s as f64).ln()).collect())
+    }
+
     /// Delivered bandwidth at an arbitrary working-set size, by log-linear
     /// interpolation; clamps to the measured range.
     ///
@@ -75,7 +135,8 @@ impl MapsCurve {
         if s0 == s1 {
             return b0;
         }
-        let t = (ws.ln() - (s0 as f64).ln()) / ((s1 as f64).ln() - (s0 as f64).ln());
+        let logs = self.log_sizes();
+        let t = (ws.ln() - logs[idx - 1]) / (logs[idx] - logs[idx - 1]);
         b0 + t * (b1 - b0)
     }
 
@@ -120,18 +181,23 @@ impl MapsSet {
 }
 
 /// The working-set sizes MAPS sweeps: 4 KiB → 128 MiB at half-octave steps.
+/// Computed once per process — every one of the 55 per-machine curve sweeps
+/// shares this slice instead of rebuilding the grid.
 #[must_use]
-pub fn sweep_sizes() -> Vec<u64> {
-    let mut sizes = Vec::new();
-    let mut s: u64 = 4 << 10;
-    while s <= 128 << 20 {
-        sizes.push(s);
-        let next = s * 3 / 2;
-        sizes.push(next.min(128 << 20));
-        s *= 2;
-    }
-    sizes.dedup();
-    sizes
+pub fn sweep_sizes() -> &'static [u64] {
+    static SIZES: OnceLock<Vec<u64>> = OnceLock::new();
+    SIZES.get_or_init(|| {
+        let mut sizes = Vec::new();
+        let mut s: u64 = 4 << 10;
+        while s <= 128 << 20 {
+            sizes.push(s);
+            let next = s * 3 / 2;
+            sizes.push(next.min(128 << 20));
+            s *= 2;
+        }
+        sizes.dedup();
+        sizes
+    })
 }
 
 fn measure_curve(machine: &MachineConfig, kind: AccessKind, flavor: DependencyFlavor) -> MapsCurve {
@@ -143,11 +209,7 @@ fn measure_curve(machine: &MachineConfig, kind: AccessKind, flavor: DependencyFl
             (ws, sample.bytes_per_second())
         })
         .collect();
-    MapsCurve {
-        kind,
-        flavor,
-        points,
-    }
+    MapsCurve::new(kind, flavor, points)
 }
 
 /// Cap `curve` pointwise at `bound`. Curves share the [`sweep_sizes`] grid
@@ -250,11 +312,11 @@ mod tests {
 
     #[test]
     fn interpolation_is_sane() {
-        let curve = MapsCurve {
-            kind: AccessKind::Sequential,
-            flavor: DependencyFlavor::Independent,
-            points: vec![(1024, 10e9), (4096, 2e9)],
-        };
+        let curve = MapsCurve::new(
+            AccessKind::Sequential,
+            DependencyFlavor::Independent,
+            vec![(1024, 10e9), (4096, 2e9)],
+        );
         // Clamps at the ends.
         assert_eq!(curve.bandwidth_at(1), 10e9);
         assert_eq!(curve.bandwidth_at(1 << 30), 2e9);
@@ -268,11 +330,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty MAPS curve")]
     fn empty_curve_panics() {
-        let curve = MapsCurve {
-            kind: AccessKind::Sequential,
-            flavor: DependencyFlavor::Independent,
-            points: vec![],
-        };
+        let curve = MapsCurve::new(
+            AccessKind::Sequential,
+            DependencyFlavor::Independent,
+            vec![],
+        );
         let _ = curve.bandwidth_at(1024);
     }
 

@@ -1,17 +1,28 @@
 //! The full probe suite for a machine, measured once and memoized.
 //!
 //! The study needs every probe result for every machine (Tables 4/5 convolve
-//! 1,350 predictions); [`ProbeSuite`] caches per-machine measurements behind
-//! a `parking_lot::RwLock` so parallel study drivers measure each machine at
-//! most once.
+//! 1,350 predictions); [`ProbeSuite`] memoizes per-machine measurements with
+//! *single-flight* semantics: each machine gets one once-cell, so concurrent
+//! cold callers run exactly one sweep (the rest block on the winner instead
+//! of burning a duplicate 5-curve MAPS measurement and discarding it).
+//!
+//! Optionally the suite is backed by a persistent [`ArtifactStore`]: probe
+//! sets load from disk when a valid entry exists (validated on load against
+//! the `metasim-audit` MS1xx rules — a corrupt or physically impossible
+//! entry is evicted and re-measured) and are written back after measurement.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use metasim_audit::audit_value;
+use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
 use metasim_machines::{MachineConfig, MachineId};
+
+use crate::audit::audit_probes;
 
 use crate::gups::{measure_gups, GupsResult};
 use crate::hpl::{measure_hpl, HplResult};
@@ -54,34 +65,113 @@ impl MachineProbes {
     }
 }
 
-/// Memoizing probe runner.
+/// Artifact-store kind directory for persisted probe sets.
+pub const PROBES_KIND: &str = "probes";
+
+/// Memoizing probe runner with single-flight semantics and an optional
+/// persistent backing store.
 #[derive(Debug, Default)]
 pub struct ProbeSuite {
-    cache: RwLock<HashMap<MachineId, Arc<MachineProbes>>>,
+    cells: RwLock<HashMap<MachineId, Arc<OnceLock<Arc<MachineProbes>>>>>,
+    store: Option<Arc<ArtifactStore>>,
+    measurements: AtomicUsize,
 }
 
 impl ProbeSuite {
-    /// Fresh suite with an empty cache.
+    /// Fresh suite with an empty in-process cache and no backing store.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Probe results for `machine`, measuring on first request.
+    /// Suite backed by a persistent artifact store: probe sets are loaded
+    /// from (and written back to) disk, surviving across processes.
     #[must_use]
-    pub fn measure(&self, machine: &MachineConfig) -> Arc<MachineProbes> {
-        if let Some(hit) = self.cache.read().get(&machine.id) {
-            return Arc::clone(hit);
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        Self {
+            store: Some(store),
+            ..Self::default()
         }
-        let probes = Arc::new(MachineProbes::measure(machine));
-        let mut guard = self.cache.write();
-        Arc::clone(guard.entry(machine.id).or_insert(probes))
     }
 
-    /// Number of machines measured so far.
+    /// The content key a machine's probe set is stored under: the full
+    /// serialized machine configuration, so any spec edit is a cache miss.
+    #[must_use]
+    pub fn store_key(machine: &MachineConfig) -> ArtifactKey {
+        content_key(&[PROBES_KIND], machine)
+    }
+
+    /// Probe results for `machine`, measuring on first request.
+    ///
+    /// Concurrent callers on a cold machine coalesce onto one measurement:
+    /// the first caller runs the sweep inside the machine's once-cell while
+    /// the rest wait for that same result.
+    #[must_use]
+    pub fn measure(&self, machine: &MachineConfig) -> Arc<MachineProbes> {
+        let cell = {
+            let cells = self.cells.read();
+            match cells.get(&machine.id) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(cells);
+                    Arc::clone(self.cells.write().entry(machine.id).or_default())
+                }
+            }
+        };
+        Arc::clone(cell.get_or_init(|| {
+            if let Some(cached) = self.load_cached(machine) {
+                return Arc::new(cached);
+            }
+            let probes = MachineProbes::measure(machine);
+            self.measurements.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.store {
+                let _ = store.store(PROBES_KIND, Self::store_key(machine), &probes);
+            }
+            Arc::new(probes)
+        }))
+    }
+
+    /// Audit-on-load: a persisted probe set is trusted only if it claims the
+    /// right machine identity and passes the MS1xx physics rules with no
+    /// error-severity findings. Anything else is evicted (by the store) and
+    /// re-measured.
+    fn load_cached(&self, machine: &MachineConfig) -> Option<MachineProbes> {
+        let store = self.store.as_ref()?;
+        store.load_validated(
+            PROBES_KIND,
+            Self::store_key(machine),
+            |probes: &MachineProbes| {
+                if probes.id != machine.id {
+                    return Err(format!(
+                        "entry claims machine {} but key belongs to {}",
+                        probes.id, machine.id
+                    ));
+                }
+                let report = audit_value(|a| audit_probes(machine, probes, a));
+                if report.has_errors() {
+                    return Err(format!("audit-on-load failed: {}", report.summary_line()));
+                }
+                Ok(())
+            },
+        )
+    }
+
+    /// Number of machines whose probes are available (measured or loaded).
     #[must_use]
     pub fn measured_count(&self) -> usize {
-        self.cache.read().len()
+        self.cells
+            .read()
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// Number of full probe sweeps actually executed by this suite (cache
+    /// loads do not count). The single-flight guarantee is that this never
+    /// exceeds the number of distinct machines requested.
+    #[must_use]
+    pub fn measurements_performed(&self) -> usize {
+        self.measurements.load(Ordering::Relaxed)
     }
 }
 
@@ -126,5 +216,61 @@ mod tests {
         let values: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(values.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(suite.measured_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_cold_callers_run_exactly_one_sweep() {
+        // Single-flight: four threads racing on a cold machine must coalesce
+        // onto ONE full MAPS sweep, not run four and discard three.
+        let f = Arc::new(fleet());
+        let suite = Arc::new(ProbeSuite::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&f);
+                let suite = Arc::clone(&suite);
+                std::thread::spawn(move || suite.measure(f.get(MachineId::ArlOpteron)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            suite.measurements_performed(),
+            1,
+            "cold concurrent callers must share a single measurement"
+        );
+        assert_eq!(suite.measured_count(), 1);
+    }
+
+    #[test]
+    fn store_backed_suite_round_trips_and_skips_the_sweep() {
+        let dir = std::env::temp_dir().join(format!("metasim-probe-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(metasim_cache::ArtifactStore::open(&dir));
+        let f = fleet();
+        let m = f.get(MachineId::ArlXeon);
+
+        let cold = ProbeSuite::with_store(Arc::clone(&store));
+        let fresh = cold.measure(m);
+        assert_eq!(cold.measurements_performed(), 1);
+        assert!(store.contains(PROBES_KIND, ProbeSuite::store_key(m)));
+
+        // A new suite (fresh process, same store) loads instead of sweeping.
+        let warm = ProbeSuite::with_store(Arc::clone(&store));
+        let loaded = warm.measure(m);
+        assert_eq!(warm.measurements_performed(), 0, "warm run must not sweep");
+        assert_eq!(*fresh, *loaded, "cached probes must equal fresh probes");
+
+        // A corrupted entry is evicted and silently re-measured.
+        std::fs::write(
+            store.entry_path(PROBES_KIND, ProbeSuite::store_key(m)),
+            "junk",
+        )
+        .unwrap();
+        let repaired = ProbeSuite::with_store(Arc::clone(&store));
+        let again = repaired.measure(m);
+        assert_eq!(repaired.measurements_performed(), 1);
+        assert_eq!(*fresh, *again);
+        store.clear().unwrap();
     }
 }

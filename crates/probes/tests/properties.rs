@@ -56,11 +56,11 @@ proptest! {
 
 #[test]
 fn curve_interpolation_is_continuous_at_knots() {
-    let curve = MapsCurve {
-        kind: AccessKind::Sequential,
-        flavor: DependencyFlavor::Independent,
-        points: vec![(1 << 12, 8e9), (1 << 14, 4e9), (1 << 18, 1e9)],
-    };
+    let curve = MapsCurve::new(
+        AccessKind::Sequential,
+        DependencyFlavor::Independent,
+        vec![(1 << 12, 8e9), (1 << 14, 4e9), (1 << 18, 1e9)],
+    );
     for &(ws, bw) in &curve.points {
         assert!((curve.bandwidth_at(ws) - bw).abs() / bw < 1e-9);
         // One byte either side is close.
