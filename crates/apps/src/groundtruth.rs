@@ -220,9 +220,12 @@ impl GroundTruth {
             if let Some(cached) = self.load_cached(case, p, machine) {
                 return cached;
             }
+            let _span = metasim_obs::recording()
+                .then(|| metasim_obs::span(format!("execute:{case}@{p}:{}", machine.id)));
             let workload = case.workload(p);
             let result = execute(machine, &workload);
             self.executions.fetch_add(1, Ordering::Relaxed);
+            metasim_obs::counter_add("groundtruth.executions", 1);
             if let Some(store) = &self.store {
                 let _ = store.store(
                     GROUND_TRUTH_KIND,

@@ -178,8 +178,15 @@ impl TraceCache {
             if let Some(cached) = self.load_cached(key, workload) {
                 return Arc::new(cached);
             }
+            let _span = metasim_obs::recording().then(|| {
+                metasim_obs::span(format!(
+                    "trace:{}/{}@{}",
+                    workload.app, workload.case, workload.processes
+                ))
+            });
             let trace = trace_workload(workload);
             self.traces.fetch_add(1, Ordering::Relaxed);
+            metasim_obs::counter_add("traces.performed", 1);
             if let Some(store) = &self.store {
                 let _ = store.store(TRACE_KIND, key, &trace);
             }

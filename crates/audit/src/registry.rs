@@ -210,6 +210,27 @@ rules! {
         summary: "Metric #4 predictions must equal metric #1 (same ratio, per Equation 1)",
         paper: "Metrics #1 and #4 share the HPL ratio in Equation 1",
     };
+    MS401 = {
+        code: "MS401",
+        name: "manifest-schema",
+        severity: Error,
+        summary: "A run manifest's schema version must match the version this build reads",
+        paper: "Provenance records are only comparable within one schema",
+    };
+    MS402 = {
+        code: "MS402",
+        name: "manifest-durations",
+        severity: Error,
+        summary: "Every span, phase, and total wall time in a manifest must be finite and non-negative",
+        paper: "Cold/warm manifest comparisons break on impossible timings",
+    };
+    MS403 = {
+        code: "MS403",
+        name: "manifest-metrics",
+        severity: Error,
+        summary: "Manifest metric snapshots need coherent histogram shapes and finite values",
+        paper: "The signed-error distribution backs the Table 4 error accounting",
+    };
 }
 
 /// Look up a rule by its stable code (`"MS002"`).

@@ -38,6 +38,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -103,16 +104,56 @@ pub struct StoreStats {
     pub kinds: Vec<(String, usize)>,
 }
 
+/// Session traffic through one store (and its clones): how many loads hit,
+/// missed, or evicted a bad entry, and how many entries were written.
+///
+/// `metasim cache stats` prints this next to the on-disk totals, and the
+/// run manifest's cache summary carries it — it is the number CI checks to
+/// prove a warm run actually served from cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreTraffic {
+    /// Loads served from a valid on-disk entry.
+    pub hits: u64,
+    /// Loads that found no entry (including after an eviction).
+    pub misses: u64,
+    /// Corrupt or invalid entries deleted during load.
+    pub evictions: u64,
+    /// Entries persisted.
+    pub writes: u64,
+}
+
+/// Shared mutable counters behind [`StoreTraffic`].
+#[derive(Debug, Default)]
+struct Traffic {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writes: AtomicU64,
+}
+
 /// The on-disk artifact store.
 ///
 /// Layout: `<root>/v<schema>/<kind>/<key>.json`. Every operation is safe to
 /// call concurrently from multiple threads and processes: reads never see
 /// partial writes (atomic rename) and a lost write race simply rewrites the
 /// same bytes (entries are deterministic functions of their key).
+///
+/// Cloning shares the session traffic counters, so the per-layer caches
+/// (probes, ground truth, traces) that each hold a clone all account into
+/// one [`StoreTraffic`].
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     root: PathBuf,
     schema: u32,
+    traffic: Arc<Traffic>,
+}
+
+/// Bump one `cache.<outcome>.<kind>` observability counter. The name is
+/// only formatted when a recorder is live.
+fn obs_bump(outcome: &str, kind: &str) {
+    if metasim_obs::recording() {
+        metasim_obs::counter_add(&format!("cache.{outcome}.{kind}"), 1);
+    }
 }
 
 /// Monotone counter making temp-file names unique within a process.
@@ -133,6 +174,18 @@ impl ArtifactStore {
         Self {
             root: root.into(),
             schema,
+            traffic: Arc::new(Traffic::default()),
+        }
+    }
+
+    /// Snapshot of this store's session traffic (shared with every clone).
+    #[must_use]
+    pub fn traffic(&self) -> StoreTraffic {
+        StoreTraffic {
+            hits: self.traffic.hits.load(Ordering::Relaxed),
+            misses: self.traffic.misses.load(Ordering::Relaxed),
+            evictions: self.traffic.evictions.load(Ordering::Relaxed),
+            writes: self.traffic.writes.load(Ordering::Relaxed),
         }
     }
 
@@ -176,13 +229,25 @@ impl ArtifactStore {
         validate: impl FnOnce(&T) -> Result<(), String>,
     ) -> Option<T> {
         let path = self.entry_path(kind, key);
-        let text = fs::read_to_string(&path).ok()?;
+        let Ok(text) = fs::read_to_string(&path) else {
+            self.traffic.misses.fetch_add(1, Ordering::Relaxed);
+            obs_bump("miss", kind);
+            return None;
+        };
         let decoded: Result<T, _> = serde_json::from_str(&text);
         match decoded {
-            Ok(value) if validate(&value).is_ok() => Some(value),
+            Ok(value) if validate(&value).is_ok() => {
+                self.traffic.hits.fetch_add(1, Ordering::Relaxed);
+                obs_bump("hit", kind);
+                Some(value)
+            }
             _ => {
                 // Corrupt or invalid: evict so the next write replaces it.
                 let _ = fs::remove_file(&path);
+                self.traffic.evictions.fetch_add(1, Ordering::Relaxed);
+                self.traffic.misses.fetch_add(1, Ordering::Relaxed);
+                obs_bump("evict", kind);
+                obs_bump("miss", kind);
                 None
             }
         }
@@ -208,7 +273,11 @@ impl ArtifactStore {
         ));
         fs::write(&tmp, &json)?;
         match fs::rename(&tmp, &path) {
-            Ok(()) => Ok(path),
+            Ok(()) => {
+                self.traffic.writes.fetch_add(1, Ordering::Relaxed);
+                obs_bump("write", kind);
+                Ok(path)
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
                 Err(e)
@@ -363,6 +432,56 @@ mod tests {
         // FNV-1a of the empty string is the published offset basis.
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(format!("{a}"), format!("{:016x}", a.0));
+    }
+
+    #[test]
+    fn traffic_counts_hits_misses_evictions_and_writes() {
+        let store = temp_store("traffic");
+        let key = content_key(&["x"], &11u64);
+        assert_eq!(store.traffic(), StoreTraffic::default());
+
+        assert!(store.load::<u64>("nums", key).is_none()); // cold miss
+        store.store("nums", key, &11u64).unwrap(); // write
+        assert_eq!(store.load::<u64>("nums", key), Some(11)); // hit
+        fs::write(store.entry_path("nums", key), "{corrupt").unwrap();
+        assert!(store.load::<u64>("nums", key).is_none()); // evict + miss
+
+        let t = store.traffic();
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 2, "cold miss plus post-eviction miss");
+        assert_eq!(t.evictions, 1);
+        assert_eq!(t.writes, 1);
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn clones_share_one_traffic_ledger() {
+        let store = temp_store("traffic-clone");
+        let clone = store.clone();
+        let key = content_key(&["x"], &3u64);
+        clone.store("nums", key, &3u64).unwrap();
+        assert_eq!(store.load::<u64>("nums", key), Some(3));
+        let t = clone.traffic();
+        assert_eq!((t.writes, t.hits), (1, 1), "both sides see both events");
+        assert_eq!(store.traffic(), clone.traffic());
+        store.clear().unwrap();
+    }
+
+    #[test]
+    fn traffic_flows_into_obs_counters() {
+        let rec = std::sync::Arc::new(metasim_obs::InMemoryRecorder::new());
+        let store = temp_store("traffic-obs");
+        let key = content_key(&["x"], &9u64);
+        metasim_obs::with_recorder(rec.clone(), || {
+            assert!(store.load::<u64>("nums", key).is_none());
+            store.store("nums", key, &9u64).unwrap();
+            assert_eq!(store.load::<u64>("nums", key), Some(9));
+        });
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("cache.miss.nums"), 1);
+        assert_eq!(snap.counter("cache.write.nums"), 1);
+        assert_eq!(snap.counter("cache.hit.nums"), 1);
+        store.clear().unwrap();
     }
 
     #[test]

@@ -12,8 +12,10 @@ use metasim_core::balanced::{fit_weights, fit_weights_mae, idc_equal_weights, CA
 use metasim_core::metric::MetricId;
 use metasim_core::prediction::predict_all;
 use metasim_core::ranking::rank_correlations;
-use metasim_core::study::Study;
+use metasim_core::study::{Study, StudyTimings};
 use metasim_machines::{fleet, MachineId};
+use metasim_obs::manifest::{CacheSummary, ManifestMeta, RunManifest};
+use metasim_obs::{InMemoryRecorder, Recorder};
 use metasim_probes::suite::ProbeSuite;
 use metasim_report::chart::{ascii_bar_chart, ascii_line_chart, BarGroup, Series};
 use metasim_report::svg::line_chart_svg;
@@ -39,6 +41,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "audit" => audit(rest),
         "study" => study(rest),
         "cache" => cache(rest),
+        "obs" => obs(rest),
         "systems" => systems(),
         "metrics" => metrics(),
         "probes" => probes(),
@@ -92,14 +95,20 @@ HPC Applications?' (SC 2005)
 
 commands:
   audit [--json] [--deny-warnings] [--allow RULE[@subject]]...
+        [--manifest FILE.json]
                      statically verify every study artifact (fleet, probe
                      curves, workloads, traces) against the MSxxx rules;
-                     exits non-zero on error-severity findings
+                     with --manifest, also check a run manifest against the
+                     MS4xx rules; exits non-zero on error-severity findings
   study [--timings] [--cache-dir DIR] [--no-cache] [--export FILE.csv]
-        [--bench-out FILE.json]
+        [--bench-out FILE.json] [--obs-out FILE.json] [--obs-format json|pretty]
                      run the full 1,350-prediction study; artifacts persist
                      in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
-                     so warm re-runs load instead of re-measuring
+                     so warm re-runs load instead of re-measuring; --obs-out
+                     records spans + metrics and writes a run manifest
+  obs summarize FILE.json
+                     render a run manifest (phases, span tree, slowest
+                     spans, counters) written by study --obs-out
   cache stats|clear [--cache-dir DIR]
                      inspect or delete the persistent artifact store
   systems            Table 1/2: the study fleet
@@ -130,6 +139,7 @@ fn audit(rest: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut deny_warnings = false;
     let mut allow = Vec::new();
+    let mut manifest_path: Option<String> = None;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -141,13 +151,16 @@ fn audit(rest: &[String]) -> Result<(), String> {
                     .ok_or("--allow needs RULE or RULE@subject-prefix")?;
                 allow.push(AllowRule::parse(spec)?);
             }
+            "--manifest" => {
+                manifest_path = Some(args.next().ok_or("--manifest needs a path")?.clone());
+            }
             other => return Err(format!("unknown audit flag `{other}`")),
         }
     }
 
     let f = fleet();
     let suite = ProbeSuite::new();
-    let report = metasim_core::preflight_with_policy(
+    let mut report = metasim_core::preflight_with_policy(
         &f,
         &suite,
         AuditPolicy {
@@ -155,6 +168,11 @@ fn audit(rest: &[String]) -> Result<(), String> {
             deny_warnings,
         },
     );
+    if let Some(path) = &manifest_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let manifest = RunManifest::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        report.diagnostics.extend(manifest.audit().diagnostics);
+    }
 
     if json {
         print!("{}", render::jsonl(&report));
@@ -182,6 +200,8 @@ fn study(rest: &[String]) -> Result<(), String> {
     let mut cache_dir: Option<PathBuf> = None;
     let mut export_path: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut obs_pretty = false;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -195,6 +215,16 @@ fn study(rest: &[String]) -> Result<(), String> {
             "--export" => export_path = Some(args.next().ok_or("--export needs a path")?.clone()),
             "--bench-out" => {
                 bench_out = Some(args.next().ok_or("--bench-out needs a path")?.clone());
+            }
+            "--obs-out" => {
+                obs_out = Some(args.next().ok_or("--obs-out needs a path")?.clone());
+            }
+            "--obs-format" => {
+                obs_pretty = match args.next().map(String::as_str) {
+                    Some("json") => false,
+                    Some("pretty") => true,
+                    _ => return Err("--obs-format must be json or pretty".into()),
+                };
             }
             other => return Err(format!("unknown study flag `{other}`")),
         }
@@ -213,7 +243,43 @@ fn study(rest: &[String]) -> Result<(), String> {
         ),
         None => (ProbeSuite::new(), GroundTruth::new()),
     };
+
+    // Recording is opt-in: only pay for span bookkeeping when something
+    // downstream (a manifest or the benchmark file) will consume it.
+    let recorder =
+        (obs_out.is_some() || bench_out.is_some()).then(|| Arc::new(InMemoryRecorder::new()));
+    if let Some(rec) = &recorder {
+        metasim_obs::install(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
     let (study, timings) = Study::run_with_store(&f, &suite, &gt, store.as_deref());
+    if recorder.is_some() {
+        metasim_obs::uninstall();
+    }
+    let manifest = recorder.as_ref().map(|rec| {
+        let cache = store.as_ref().map(|s| {
+            let stats = s.stats();
+            let traffic = s.traffic();
+            CacheSummary {
+                root: s.root().display().to_string(),
+                schema: s.schema(),
+                entries: stats.entries,
+                bytes: stats.bytes,
+                kinds: stats.kinds,
+                session_hits: traffic.hits,
+                session_misses: traffic.misses,
+                session_evictions: traffic.evictions,
+            }
+        });
+        RunManifest::build(
+            rec,
+            ManifestMeta {
+                tool: format!("metasim {}", env!("CARGO_PKG_VERSION")),
+                config_digest: Study::store_key(&f).to_string(),
+                loaded_from_cache: timings.loaded_from_cache,
+                cache,
+            },
+        )
+    });
 
     println!(
         "study: {} observations, {} predictions ({})",
@@ -255,12 +321,60 @@ fn study(rest: &[String]) -> Result<(), String> {
     if let Some(path) = export_path {
         export(&[path])?;
     }
+    if let Some(path) = obs_out {
+        let m = manifest
+            .as_ref()
+            .expect("recorder runs when --obs-out is set");
+        let json = if obs_pretty {
+            m.to_json_pretty()?
+        } else {
+            m.to_json()?
+        };
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote run manifest to {path}");
+    }
     if let Some(path) = bench_out {
-        let json = serde_json::to_string_pretty(&timings).map_err(|e| e.to_string())?;
+        // The benchmark file keeps its historical shape (StudyTimings keys)
+        // but the numbers come from the manifest's span tree, so there is
+        // exactly one timing source of truth.
+        let m = manifest
+            .as_ref()
+            .expect("recorder runs when --bench-out is set");
+        let bench = StudyTimings {
+            preflight_seconds: m.phase_seconds("preflight").unwrap_or(0.0),
+            ground_truth_seconds: m.phase_seconds("ground-truth").unwrap_or(0.0),
+            prediction_seconds: m.phase_seconds("predictions").unwrap_or(0.0),
+            total_seconds: m.total_seconds,
+            loaded_from_cache: m.loaded_from_cache,
+        };
+        let json = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote timings to {path}");
     }
     Ok(())
+}
+
+/// `obs summarize MANIFEST.json`: parse, audit (MS4xx), and render a run
+/// manifest written by `study --obs-out`.
+fn obs(rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("summarize") => {
+            let [_, path] = rest else {
+                return Err("usage: obs summarize MANIFEST.json".into());
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let manifest =
+                RunManifest::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            let report = manifest.audit();
+            if report.has_errors() {
+                print!("{}", metasim_audit::render::human(&report));
+                return Err(report.summary_line());
+            }
+            print!("{}", metasim_obs::summarize::render(&manifest));
+            Ok(())
+        }
+        _ => Err("usage: obs summarize MANIFEST.json".into()),
+    }
 }
 
 fn cache(rest: &[String]) -> Result<(), String> {
@@ -291,6 +405,11 @@ fn cache(rest: &[String]) -> Result<(), String> {
             for (kind, count) in &stats.kinds {
                 println!("  {kind:<14} {count}");
             }
+            let t = store.traffic();
+            println!(
+                "session traffic: {} hits, {} misses, {} evictions, {} writes",
+                t.hits, t.misses, t.evictions, t.writes
+            );
             Ok(())
         }
         Some("clear") => {
@@ -887,6 +1006,43 @@ mod tests {
         assert!(dispatch("cache", &[]).is_err());
         assert!(dispatch("cache", &["defrag".into()]).is_err());
         assert!(dispatch("cache", &["stats".into(), "--frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn obs_rejects_bad_args() {
+        assert!(dispatch("obs", &[]).is_err());
+        assert!(dispatch("obs", &["summarize".into()]).is_err());
+        assert!(dispatch("obs", &["summarize".into(), "/nonexistent/m.json".into()]).is_err());
+        assert!(dispatch("study", &["--obs-out".into()]).is_err());
+        assert!(dispatch("study", &["--obs-format".into(), "yaml".into()]).is_err());
+        assert!(dispatch("audit", &["--manifest".into()]).is_err());
+    }
+
+    #[test]
+    fn obs_summarize_renders_a_written_manifest() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        metasim_obs::with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, || {
+            let study = metasim_obs::span("study");
+            let _pre = study.ctx().span("phase:preflight");
+        });
+        let manifest = RunManifest::build(&rec, ManifestMeta::default());
+        let dir = std::env::temp_dir().join(format!("metasim-obs-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, manifest.to_json().unwrap()).unwrap();
+        dispatch(
+            "obs",
+            &["summarize".into(), path.to_string_lossy().to_string()],
+        )
+        .unwrap();
+        // The same file satisfies `audit --manifest` (clean fleet + clean
+        // manifest -> no error findings).
+        dispatch(
+            "audit",
+            &["--manifest".into(), path.to_string_lossy().to_string()],
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

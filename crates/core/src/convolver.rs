@@ -59,6 +59,20 @@ impl<'a> Convolver<'a> {
         trace: &ApplicationTrace,
         dep_labels: &[DependencyClass],
     ) -> f64 {
+        // Transfer-function size: one term per summed cost contribution
+        // (benchmark rates, counter totals, per-block convolutions, MPI
+        // census entries). Counted only when a recorder is live.
+        if metasim_obs::recording() {
+            let terms = match metric {
+                MetricId::S1Hpl | MetricId::S2Stream | MetricId::S3Gups | MetricId::P4Hpl => 1,
+                MetricId::P5HplStream | MetricId::P6HplStreamGups => 2,
+                MetricId::P7HplMaps => trace.blocks.len(),
+                MetricId::P8HplMapsNet | MetricId::P9HplMapsNetDep => {
+                    trace.blocks.len() + trace.mpi.events.len()
+                }
+            };
+            metasim_obs::counter_add("convolver.terms", terms as u64);
+        }
         match metric {
             MetricId::S1Hpl => 1.0 / self.rmax_flops(),
             MetricId::S2Stream => 1.0 / self.probes.stream.bandwidth,

@@ -40,6 +40,8 @@ pub fn predict_all(
     let cb = Convolver::new(base);
     let mut out = [0.0; 9];
     for (i, metric) in MetricId::ALL.into_iter().enumerate() {
+        let _span = metasim_obs::recording()
+            .then(|| metasim_obs::span(format!("metric:{}", metric.short_label())));
         let cost_target = ct.cost(metric, trace, dep_labels);
         let cost_base = cb.cost(metric, trace, dep_labels);
         debug_assert!(cost_base > 0.0, "{metric}: zero base cost");

@@ -13,6 +13,7 @@ use metasim_apps::registry::{all_test_cases, TestCase};
 use metasim_apps::tracing::TraceCache;
 use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
 use metasim_machines::{fleet, Fleet, MachineId};
+use metasim_obs::SpanCtx;
 use metasim_probes::suite::ProbeSuite;
 use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
 use metasim_tracer::analysis::analyze_dependencies;
@@ -125,14 +126,21 @@ impl Study {
     /// As [`run`](Self::run), on preflight errors.
     #[must_use]
     pub fn run_timed(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> (Self, StudyTimings) {
-        Self::run_timed_with_traces(fleet, suite, gt, &TraceCache::new())
+        let root = metasim_obs::span("study");
+        Self::run_timed_with_traces(root.ctx(), fleet, suite, gt, &TraceCache::new())
     }
 
     /// [`run_timed`](Self::run_timed) with an explicit trace cache, so a
     /// store-backed run can reuse persisted application traces
     /// (`metasim_apps::tracing::TRACE_KIND` entries) even when the
-    /// whole-study entry itself missed.
+    /// whole-study entry itself missed. All spans nest under `ctx` (the
+    /// caller's root `study` span).
+    ///
+    /// The obs spans are the *only* timing source: each `StudyTimings`
+    /// field is the `finish()` value of the corresponding phase span, so
+    /// the manifest's span tree and the reported timings cannot disagree.
     fn run_timed_with_traces(
+        ctx: SpanCtx,
         fleet: &Fleet,
         suite: &ProbeSuite,
         gt: &GroundTruth,
@@ -141,36 +149,52 @@ impl Study {
         let start = Instant::now();
         // Preflight: statically verify every input artifact. This also
         // warms every machine's probes (each sweep is internally parallel).
+        // The phase span closes *before* the error gate below so a failed
+        // preflight still shows up — with its wall time — in the recorder.
+        let pre = ctx.span("phase:preflight");
         let report = crate::audit::preflight(fleet, suite);
+        metasim_obs::counter_add("audit.findings", report.diagnostics.len() as u64);
+        let base_cfg = fleet.base();
+        let base_probes = suite.measure(base_cfg);
+        let preflight_seconds = pre.finish();
         assert!(
             !report.has_errors(),
             "study preflight found error-severity diagnostics:\n{report}"
         );
-        let base_cfg = fleet.base();
-        let base_probes = suite.measure(base_cfg);
-        let preflight_done = Instant::now();
 
         // Warm every ground-truth cell — base system first (every cell
         // scales from it), then the full target grid.
+        let gt_span = ctx.span("phase:ground-truth");
+        let gt_ctx = gt_span.ctx();
         all_test_cases().into_par_iter().for_each(|(case, cpus)| {
+            let app = gt_ctx.span(format!("app:{case}"));
+            let cpu = app.ctx().span(format!("cpus:{cpus}"));
             let _ = gt.run(case, cpus, base_cfg);
+            let cpu_ctx = cpu.ctx();
             MachineId::TARGETS.into_par_iter().for_each(|machine| {
+                let _m = cpu_ctx.span(format!("machine:{machine}"));
                 let _ = gt.run(case, cpus, fleet.get(machine));
             });
         });
-        let ground_truth_done = Instant::now();
+        let ground_truth_seconds = gt_span.finish();
 
+        let pred_span = ctx.span("phase:predictions");
+        let pred_ctx = pred_span.ctx();
         let observations: Vec<Observation> = all_test_cases()
             .into_par_iter()
             .flat_map(|(case, cpus)| {
+                let app = pred_ctx.span(format!("app:{case}"));
+                let cpu = app.ctx().span(format!("cpus:{cpus}"));
                 let workload = case.workload(cpus);
                 let trace = traces.trace(&workload);
                 let labels = analyze_dependencies(&trace.blocks);
                 let base_actual = gt.run(case, cpus, base_cfg).seconds;
 
+                let cpu_ctx = cpu.ctx();
                 MachineId::TARGETS
                     .into_par_iter()
                     .map(|machine| {
+                        let _m = cpu_ctx.span(format!("machine:{machine}"));
                         let target_cfg = fleet.get(machine);
                         let actual = gt.run(case, cpus, target_cfg).seconds;
                         let target_probes = suite.measure(target_cfg);
@@ -194,15 +218,35 @@ impl Study {
         study
             .observations
             .sort_by_key(|o| (o.case, o.cpus, o.machine));
-        let done = Instant::now();
+        study.record_obs_metrics();
+        let prediction_seconds = pred_span.finish();
         let timings = StudyTimings {
-            preflight_seconds: (preflight_done - start).as_secs_f64(),
-            ground_truth_seconds: (ground_truth_done - preflight_done).as_secs_f64(),
-            prediction_seconds: (done - ground_truth_done).as_secs_f64(),
-            total_seconds: (done - start).as_secs_f64(),
+            preflight_seconds,
+            ground_truth_seconds,
+            prediction_seconds,
+            total_seconds: start.elapsed().as_secs_f64(),
             loaded_from_cache: false,
         };
         (study, timings)
+    }
+
+    /// Feed the finished grid into the metrics registry: the signed-error
+    /// distribution across all 1,350 predictions plus grid-shape gauges.
+    /// No-op without a recorder.
+    fn record_obs_metrics(&self) {
+        if !metasim_obs::recording() {
+            return;
+        }
+        for o in &self.observations {
+            for metric in MetricId::ALL {
+                metasim_obs::observe(
+                    metasim_obs::recorder::SIGNED_ERROR_HISTOGRAM,
+                    o.signed_error(metric),
+                );
+            }
+        }
+        metasim_obs::gauge_set("study.observations", self.observations.len() as f64);
+        metasim_obs::gauge_set("study.predictions", self.prediction_count() as f64);
     }
 
     /// The content key a whole-study result is stored under: the full
@@ -229,8 +273,10 @@ impl Study {
         gt: &GroundTruth,
         store: Option<&ArtifactStore>,
     ) -> (Self, StudyTimings) {
+        let root = metasim_obs::span("study");
+        let ctx = root.ctx();
         if let Some(store) = store {
-            let load_start = Instant::now();
+            let load = ctx.span("phase:load");
             let expected = all_test_cases().len() * MachineId::TARGETS.len();
             let loaded = store.load_validated(STUDY_KIND, Self::store_key(fleet), |s: &Study| {
                 if s.observations.len() != expected {
@@ -245,12 +291,14 @@ impl Study {
                 }
                 Ok(())
             });
+            let load_seconds = load.finish();
             if let Some(study) = loaded {
+                study.record_obs_metrics();
                 let timings = StudyTimings {
                     preflight_seconds: 0.0,
                     ground_truth_seconds: 0.0,
                     prediction_seconds: 0.0,
-                    total_seconds: load_start.elapsed().as_secs_f64(),
+                    total_seconds: load_seconds,
                     loaded_from_cache: true,
                 };
                 return (study, timings);
@@ -260,8 +308,9 @@ impl Study {
             Some(store) => TraceCache::with_store(Arc::new(store.clone())),
             None => TraceCache::new(),
         };
-        let (study, timings) = Self::run_timed_with_traces(fleet, suite, gt, &traces);
+        let (study, timings) = Self::run_timed_with_traces(ctx, fleet, suite, gt, &traces);
         if let Some(store) = store {
+            let _write = ctx.span("store-write");
             let _ = store.store(STUDY_KIND, Self::store_key(fleet), &study);
         }
         (study, timings)
@@ -516,10 +565,104 @@ mod tests {
 
     #[test]
     fn study_is_deterministic() {
-        // Two independent runs (fresh caches) must agree bit-for-bit.
+        // Two independent runs (fresh caches) must agree bit-for-bit. One
+        // of them runs under a recorder, which doubles as the proof that
+        // instrumentation changes no study output — and lets us check the
+        // span tree covers every phase and all nine metric spans.
         let f = fleet();
-        let a = Study::run(&f, &ProbeSuite::new(), &GroundTruth::new());
+        let rec = Arc::new(metasim_obs::InMemoryRecorder::new());
+        let a =
+            metasim_obs::with_recorder(Arc::clone(&rec) as Arc<dyn metasim_obs::Recorder>, || {
+                Study::run(&f, &ProbeSuite::new(), &GroundTruth::new())
+            });
         assert_eq!(&a, Study::run_default());
+
+        let names: Vec<String> = rec.span_records().into_iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n == "study"), "root span missing");
+        for phase in ["phase:preflight", "phase:ground-truth", "phase:predictions"] {
+            assert!(names.iter().any(|n| n == phase), "missing {phase}");
+        }
+        for metric in MetricId::ALL {
+            let label = format!("metric:{}", metric.short_label());
+            assert!(names.contains(&label), "missing {label}");
+        }
+
+        let snap = rec.metrics_snapshot();
+        let hist = snap
+            .histogram(metasim_obs::recorder::SIGNED_ERROR_HISTOGRAM)
+            .expect("signed-error histogram");
+        assert_eq!(hist.count(), 1350, "one signed error per prediction");
+        assert_eq!(snap.gauge("study.predictions"), Some(1350.0));
+        assert!(snap.counter("probes.sweeps") >= 11, "11 machines sweep");
+        assert!(
+            snap.counter("groundtruth.executions") >= 165,
+            "150 + 15 base"
+        );
+        assert!(snap.counter("traces.performed") >= 15, "15 (case, cpus)");
+        assert!(snap.counter("convolver.terms") > 0);
+        assert!(snap.counter("memsim.addresses") > 0);
+    }
+
+    #[test]
+    fn failed_preflight_still_records_the_phase_span() {
+        use serde::{Deserialize as _, Serialize as _, Value};
+
+        // Doctor one machine's app efficiency above its HPL efficiency
+        // (an MS002 error) through the serde value tree — the round trip
+        // bypasses Fleet::new's constructor gate exactly like a hand-edited
+        // config file would.
+        fn first_machine_app_eff(v: &mut Value) -> Option<&mut Value> {
+            let Value::Object(fields) = v else {
+                return None;
+            };
+            let machines = &mut fields.iter_mut().find(|(k, _)| k == "machines")?.1;
+            let Value::Array(items) = machines else {
+                return None;
+            };
+            let Value::Object(machine) = items.first_mut()? else {
+                return None;
+            };
+            let proc_spec = &mut machine.iter_mut().find(|(k, _)| k == "processor")?.1;
+            let Value::Object(proc_fields) = proc_spec else {
+                return None;
+            };
+            Some(
+                &mut proc_fields
+                    .iter_mut()
+                    .find(|(k, _)| k == "app_flop_efficiency")?
+                    .1,
+            )
+        }
+        let mut v = fleet().to_value();
+        let eff = first_machine_app_eff(&mut v).expect("fleet JSON shape");
+        *eff = Value::F64(5.0);
+        let bad = Fleet::from_value(&v).expect("doctored fleet still parses");
+
+        let rec = Arc::new(metasim_obs::InMemoryRecorder::new());
+        let result =
+            metasim_obs::with_recorder(Arc::clone(&rec) as Arc<dyn metasim_obs::Recorder>, || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    Study::run_timed(&bad, &ProbeSuite::new(), &GroundTruth::new())
+                }))
+            });
+        assert!(result.is_err(), "doctored fleet must fail preflight");
+
+        // The satellite guarantee: the preflight phase is reported — with a
+        // wall time — even though preflight itself aborted the study.
+        let spans = rec.span_records();
+        let pre = spans
+            .iter()
+            .find(|s| s.name == "phase:preflight")
+            .expect("failed preflight must still record its span");
+        assert!(pre.dur_ns.is_some(), "the span must close with a duration");
+        assert!(
+            spans.iter().all(|s| s.name != "phase:ground-truth"),
+            "no later phase may run after a failed preflight"
+        );
+        assert!(
+            rec.metrics_snapshot().counter("audit.findings") > 0,
+            "the findings counter must reflect the failure"
+        );
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl HierarchySim {
             self.profile.tlb_misses += 1;
         }
         self.profile.requested_bytes += bytes;
+        metasim_obs::counter_add("memsim.addresses", 1);
 
         let mut served = LevelHit::Memory;
         let mut found = false;
@@ -164,6 +165,7 @@ impl HierarchySim {
         self.profile.tlb_misses += tlb_misses;
         self.profile.memory_hits += memory_hits;
         self.profile.requested_bytes += bytes * addrs.len() as u64;
+        metasim_obs::counter_add("memsim.addresses", addrs.len() as u64);
         for (total, batch) in self.profile.level_hits.iter_mut().zip(&level_hits) {
             *total += batch;
         }

@@ -1,0 +1,328 @@
+//! Named counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is write-hot and read-once: instrumented code bumps atomics
+//! from many threads during a study, then the manifest builder takes one
+//! [`MetricsSnapshot`] at the end. Names are created on first touch, so
+//! instrumented crates never need to pre-declare anything; histograms may
+//! optionally be registered up front to pin their bucket bounds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Default histogram bounds (seconds-flavoured, log-spaced): instrumented
+/// code that observes into an unregistered name gets these.
+pub const DEFAULT_BOUNDS: &[f64] = &[
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 100.0,
+];
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`;
+/// the final bucket (index `bounds.len()`) is the overflow bucket.
+#[derive(Debug)]
+struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    /// Running sum of observed values, stored as `f64` bits and updated via
+    /// compare-and-swap so `mean()` stays exact under concurrency.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite histogram bounds"));
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| value > b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram: `counts.len() == bounds.len() + 1`,
+/// the last slot being the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (inclusive).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; one longer than `bounds`.
+    pub counts: Vec<u64>,
+    /// Sum of every observed value.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observed value, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum / n as f64)
+    }
+}
+
+/// Deterministic point-in-time copy of the whole registry: every list is
+/// sorted by name, so equal registry contents snapshot to equal values —
+/// the property the manifest round-trip test leans on.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of the named gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if any observations were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — how the cache
+    /// summary totals `cache.hit.<kind>` across artifact kinds.
+    #[must_use]
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// The live registry: name → atomic cell, created on first touch.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64` bits.
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(map: &RwLock<HashMap<String, Arc<AtomicU64>>>, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = map.read().expect("metrics lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = map.write().expect("metrics lock");
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        Self::cell(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        Self::cell(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Pin the bucket bounds of the named histogram before any
+    /// observations; later `observe` calls reuse them. Re-registering an
+    /// existing name keeps the original bounds.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let mut w = self.histograms.write().expect("metrics lock");
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+    }
+
+    /// Record one observation into the named histogram, creating it with
+    /// [`DEFAULT_BOUNDS`] if unregistered.
+    pub fn observe(&self, name: &str, value: f64) {
+        // The read guard must be fully dropped before falling back to the
+        // write lock: an `if let` scrutinee's temporary lives to the end of
+        // the whole if/else, which would self-deadlock the slow path.
+        let existing = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .get(name)
+            .map(Arc::clone);
+        let hist = match existing {
+            Some(h) => h,
+            None => {
+                let mut w = self.histograms.write().expect("metrics lock");
+                Arc::clone(
+                    w.entry(name.to_string())
+                        .or_insert_with(|| Arc::new(Histogram::new(DEFAULT_BOUNDS))),
+                )
+            }
+        };
+        hist.observe(value);
+    }
+
+    /// Deterministic snapshot: all three maps, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("a", 2);
+        reg.counter_add("a", 3);
+        reg.counter_add("b", 1);
+        reg.gauge_set("g", 1.5);
+        reg.gauge_set("g", 2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("g"), Some(2.5));
+        assert_eq!(snap.counters, vec![("a".into(), 5), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("h", &[1.0, 2.0, 4.0]);
+        // On-boundary values land in the bucket they bound; beyond-last
+        // goes to overflow.
+        for v in [0.5, 1.0, 1.0001, 2.0, 3.9, 4.0, 4.0001, 100.0] {
+            reg.observe("h", v);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.bounds, vec![1.0, 2.0, 4.0]);
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        let expected: f64 = 0.5 + 1.0 + 1.0001 + 2.0 + 3.9 + 4.0 + 4.0001 + 100.0;
+        assert!((h.sum - expected).abs() < 1e-12);
+        assert!((h.mean().unwrap() - expected / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unregistered_histogram_uses_default_bounds() {
+        let reg = MetricsRegistry::new();
+        reg.observe("lazy", 0.25);
+        let snap = reg.snapshot();
+        let h = snap.histogram("lazy").unwrap();
+        assert_eq!(h.bounds, DEFAULT_BOUNDS.to_vec());
+        assert_eq!(h.counts.len(), DEFAULT_BOUNDS.len() + 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn register_keeps_first_bounds_and_dedups() {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("h", &[2.0, 1.0, 2.0]);
+        reg.register_histogram("h", &[99.0]);
+        reg.observe("h", 1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("h").unwrap().bounds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn prefix_sum_totals_counter_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("cache.hit.probes", 2);
+        reg.counter_add("cache.hit.trace", 3);
+        reg.counter_add("cache.miss.trace", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_prefix_sum("cache.hit."), 5);
+        assert_eq!(snap.counter_prefix_sum("cache.miss."), 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mean() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+        };
+        assert_eq!(h.mean(), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! The [`Recorder`] sink trait and its in-memory implementation.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Identifies a span within one recorder. `0` is reserved for "no span"
+/// (the root context); real ids start at 1.
+pub type SpanId = u64;
+
+/// One recorded span: who opened it, under what, when, and for how long.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id (index into the recorder's log, starting at 1).
+    pub id: SpanId,
+    /// Parent span id, or 0 for a tree root.
+    pub parent: SpanId,
+    /// Hierarchical name, e.g. `phase:ground-truth` or `metric:#7`.
+    pub name: String,
+    /// Nanoseconds since the recorder's epoch at span entry.
+    pub start_ns: u64,
+    /// Wall time in nanoseconds; `None` while the span is still open.
+    pub dur_ns: Option<u64>,
+}
+
+/// Where instrumentation events land. Implementations must be thread-safe:
+/// the study's parallel loops record from whatever thread runs them.
+pub trait Recorder: Send + Sync {
+    /// Open a span under `parent` (0 = root) and return its id.
+    fn span_enter(&self, parent: SpanId, name: String) -> SpanId;
+    /// Close the span, recording its wall time.
+    fn span_exit(&self, id: SpanId, dur_ns: u64);
+    /// Add `delta` to a named counter.
+    fn counter_add(&self, name: &str, delta: u64);
+    /// Set a named gauge.
+    fn gauge_set(&self, name: &str, value: f64);
+    /// Record a histogram observation.
+    fn observe(&self, name: &str, value: f64);
+}
+
+/// Signed-error buckets (percent) for the per-prediction distribution —
+/// asymmetric because the paper's Table 4 errors skew positive (predictions
+/// overshooting measured runtime) and under-predictions bottom out at -100%.
+pub const SIGNED_ERROR_BOUNDS: &[f64] = &[
+    -80.0, -60.0, -40.0, -20.0, -10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 120.0, 200.0,
+];
+
+/// Name of the pre-registered signed-error histogram.
+pub const SIGNED_ERROR_HISTOGRAM: &str = "study.signed_error_pct";
+
+/// Collects every span and metric in memory; the manifest builder reads it
+/// back at study end. Span ids are 1-based indices into an append-only log,
+/// so entry order (= id order) is also chronological order.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    metrics: MetricsRegistry,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// Fresh recorder whose epoch is "now", with the study's signed-error
+    /// histogram pre-registered on its paper-calibrated buckets.
+    #[must_use]
+    pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        metrics.register_histogram(SIGNED_ERROR_HISTOGRAM, SIGNED_ERROR_BOUNDS);
+        InMemoryRecorder {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            metrics,
+        }
+    }
+
+    /// Copy of the span log, in entry (chronological) order.
+    #[must_use]
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("span log lock").clone()
+    }
+
+    /// Deterministic snapshot of all metrics.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The underlying registry, for pre-registering extra histograms.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn span_enter(&self, parent: SpanId, name: String) -> SpanId {
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut log = self.spans.lock().expect("span log lock");
+        let id = log.len() as SpanId + 1;
+        log.push(SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns: None,
+        });
+        id
+    }
+
+    fn span_exit(&self, id: SpanId, dur_ns: u64) {
+        let mut log = self.spans.lock().expect("span log lock");
+        if let Some(rec) = id
+            .checked_sub(1)
+            .and_then(|i| log.get_mut(usize::try_from(i).unwrap_or(usize::MAX)))
+        {
+            rec.dur_ns = Some(dur_ns);
+        }
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_sequential_and_exit_fills_duration() {
+        let rec = InMemoryRecorder::new();
+        let a = rec.span_enter(0, "a".into());
+        let b = rec.span_enter(a, "b".into());
+        assert_eq!((a, b), (1, 2));
+        rec.span_exit(b, 50);
+        rec.span_exit(a, 100);
+        let log = rec.span_records();
+        assert_eq!(log[0].name, "a");
+        assert_eq!(log[0].dur_ns, Some(100));
+        assert_eq!(log[1].parent, a);
+        assert_eq!(log[1].dur_ns, Some(50));
+        assert!(
+            log[1].start_ns >= log[0].start_ns,
+            "entry order is time order"
+        );
+    }
+
+    #[test]
+    fn exit_on_unknown_id_is_ignored() {
+        let rec = InMemoryRecorder::new();
+        rec.span_exit(0, 1);
+        rec.span_exit(99, 1);
+        assert!(rec.span_records().is_empty());
+    }
+
+    #[test]
+    fn signed_error_histogram_is_preregistered() {
+        let rec = InMemoryRecorder::new();
+        rec.observe(SIGNED_ERROR_HISTOGRAM, -3.0);
+        let snap = rec.metrics_snapshot();
+        let h = snap.histogram(SIGNED_ERROR_HISTOGRAM).unwrap();
+        assert_eq!(h.bounds, SIGNED_ERROR_BOUNDS.to_vec());
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -122,8 +122,11 @@ impl ProbeSuite {
             if let Some(cached) = self.load_cached(machine) {
                 return Arc::new(cached);
             }
+            let _span = metasim_obs::recording()
+                .then(|| metasim_obs::span(format!("probe-sweep:{}", machine.id)));
             let probes = MachineProbes::measure(machine);
             self.measurements.fetch_add(1, Ordering::Relaxed);
+            metasim_obs::counter_add("probes.sweeps", 1);
             if let Some(store) = &self.store {
                 let _ = store.store(PROBES_KIND, Self::store_key(machine), &probes);
             }
