@@ -92,7 +92,7 @@ fn block_memory_seconds(machine: &MachineConfig, block: &WorkBlock) -> f64 {
         let bw = sample.bytes_per_second();
         debug_assert!(bw > 0.0, "zero bandwidth for {kind:?}");
         let bytes = refs as f64 * 8.0 * block.invocations as f64;
-        seconds += bytes / bw;
+        seconds += (metasim_units::Bytes::new(bytes) / bw).get();
     }
     seconds
 }
@@ -145,8 +145,8 @@ pub fn execute(machine: &MachineConfig, workload: &AppWorkload) -> RunResult {
     }
 
     let raw_comm = replay(&machine.network, workload.processes, &workload.comm.events);
-    let comm =
-        raw_comm * imbalance_factor(&workload.app, &workload.case, machine, workload.processes);
+    let comm = raw_comm.get()
+        * imbalance_factor(&workload.app, &workload.case, machine, workload.processes);
 
     let idio = idiosyncrasy_factor(&workload.app, &workload.case, machine, workload.processes);
     RunResult {

@@ -29,9 +29,6 @@
 //! * [`paper_data`] embeds the paper's published Appendix Tables 6–10 so
 //!   reports can show paper-vs-reproduction side by side.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod avus;
 pub mod groundtruth;
 pub mod hycom;

@@ -231,6 +231,41 @@ rules! {
         summary: "Manifest metric snapshots need coherent histogram shapes and finite values",
         paper: "The signed-error distribution backs the Table 4 error accounting",
     };
+    MS501 = {
+        code: "MS501",
+        name: "formula-dimension",
+        severity: Error,
+        summary: "Every metric's prediction formula must reduce dimensionally to seconds",
+        paper: "Equation 1: predicted time is a dimensionless cost ratio times a measured time",
+    };
+    MS502 = {
+        code: "MS502",
+        name: "unmeasured-quantity",
+        severity: Error,
+        summary: "A metric formula may only reference quantities some probe actually measures",
+        paper: "Table 3: each transfer function convolves benchmark-measured rates",
+    };
+    MS503 = {
+        code: "MS503",
+        name: "unconsumed-measurement",
+        severity: Warn,
+        summary: "Every measured probe quantity should feed at least one metric formula",
+        paper: "Table 3: the probes exist to parameterize the metrics' transfer functions",
+    };
+    MS504 = {
+        code: "MS504",
+        name: "unused-machine",
+        severity: Warn,
+        summary: "Every fleet machine should appear in the study's observation plan",
+        paper: "Tables 4-5 span the base system plus all ten targets",
+    };
+    MS505 = {
+        code: "MS505",
+        name: "unreachable-branch",
+        severity: Warn,
+        summary: "Every transfer-function branch (ENHANCED MAPS curve flavor) must be reachable from some dependency class",
+        paper: "Metric #9's curves exist per dependency class the analyzer can emit",
+    };
 }
 
 /// Look up a rule by its stable code (`"MS002"`).
@@ -264,5 +299,61 @@ mod tests {
             assert!(r.code.starts_with("MS") && r.code.len() == 5, "{}", r.code);
             assert!(!r.name.is_empty() && !r.summary.is_empty() && !r.paper.is_empty());
         }
+    }
+
+    /// Extract every `MSxxx` code the README's rule table covers, expanding
+    /// `MS001–MS005`-style ranges (en dash or hyphen).
+    fn readme_codes(readme: &str) -> std::collections::BTreeSet<u32> {
+        let mut covered = std::collections::BTreeSet::new();
+        let digits = |s: &str| -> Option<u32> {
+            let d = s.get(..3)?;
+            if d.bytes().all(|b| b.is_ascii_digit()) {
+                d.parse().ok()
+            } else {
+                None
+            }
+        };
+        let mut rest = readme;
+        while let Some(pos) = rest.find("MS") {
+            rest = &rest[pos + 2..];
+            let Some(start) = digits(rest) else { continue };
+            rest = &rest[3..];
+            // A range like `MS001–MS005` (or with `-`): expand it.
+            let tail = rest
+                .strip_prefix('\u{2013}')
+                .or_else(|| rest.strip_prefix('-'));
+            let end = tail
+                .and_then(|t| t.strip_prefix("MS"))
+                .and_then(digits)
+                .unwrap_or(start);
+            covered.extend(start..=end.max(start));
+        }
+        covered
+    }
+
+    #[test]
+    fn every_code_is_documented_in_the_readme() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("repo README.md must be readable from crates/audit");
+        let covered = readme_codes(&readme);
+        for r in ALL {
+            let n: u32 = r.code[2..].parse().unwrap();
+            assert!(
+                covered.contains(&n),
+                "{} ({}) is not documented in the README rule table",
+                r.code,
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn readme_range_expansion_parses() {
+        let covered = readme_codes("| MS001–MS003 | x | MS105 | MS201-MS202 |");
+        assert_eq!(
+            covered.into_iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 105, 201, 202]
+        );
     }
 }

@@ -11,6 +11,8 @@
 //!
 //! Benchmarks the label-ablation evaluation loop.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -23,6 +25,7 @@ use metasim_machines::MachineId;
 use metasim_stats::error_metrics::ErrorAccumulator;
 use metasim_tracer::analysis::analyze_dependencies;
 use metasim_tracer::block::DependencyClass;
+use metasim_units::Seconds;
 
 /// Mean absolute error of Metric #9 across the full grid under a label
 /// policy.
@@ -41,7 +44,7 @@ fn metric9_error_with_labels(policy: &str) -> f64 {
             "oracle" => trace.blocks.iter().map(|b| b.dependency).collect(),
             _ => unreachable!("unknown policy"),
         };
-        let t_base = gt.run(case, cpus, fleet.base()).seconds;
+        let t_base = Seconds::new(gt.run(case, cpus, fleet.base()).seconds);
         for id in MachineId::TARGETS {
             let probes = suite.measure(fleet.get(id));
             let pred = predict_one(
@@ -52,10 +55,13 @@ fn metric9_error_with_labels(policy: &str) -> f64 {
                 &base_probes,
                 t_base,
             );
-            acc.record(pred, gt.run(case, cpus, fleet.get(id)).seconds);
+            acc.record(
+                pred,
+                Seconds::new(gt.run(case, cpus, fleet.get(id)).seconds),
+            );
         }
     }
-    acc.mean_absolute()
+    acc.mean_absolute().get()
 }
 
 /// Mean absolute error of Metric #9 when `base` plays the base system.
@@ -69,7 +75,7 @@ fn metric9_error_with_base(base: MachineId) -> f64 {
         let workload = case.workload(cpus);
         let trace = trace_workload(&workload);
         let labels = analyze_dependencies(&trace.blocks);
-        let t_base = gt.run(case, cpus, fleet.get(base)).seconds;
+        let t_base = Seconds::new(gt.run(case, cpus, fleet.get(base)).seconds);
         for id in MachineId::TARGETS {
             if id == base {
                 continue; // self-prediction is exact by construction
@@ -83,10 +89,13 @@ fn metric9_error_with_base(base: MachineId) -> f64 {
                 &base_probes,
                 t_base,
             );
-            acc.record(pred, gt.run(case, cpus, fleet.get(id)).seconds);
+            acc.record(
+                pred,
+                Seconds::new(gt.run(case, cpus, fleet.get(id)).seconds),
+            );
         }
     }
-    acc.mean_absolute()
+    acc.mean_absolute().get()
 }
 
 fn bench_ablations(c: &mut Criterion) {
@@ -129,7 +138,7 @@ fn bench_ablations(c: &mut Criterion) {
 
     println!(
         "\nTest case order (for reference): {:?}\n",
-        TestCase::ALL.map(|c| c.label())
+        TestCase::ALL.map(TestCase::label)
     );
 }
 

@@ -2,6 +2,8 @@
 //! every (application, machine, CPU count) cell next to the paper's
 //! published measurements; benchmarks one full ground-truth execution.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

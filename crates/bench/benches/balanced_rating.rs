@@ -2,6 +2,8 @@
 //! the regression-fitted weights, and the oracle MAE-fitted mixture, versus
 //! the convolution metrics; benchmarks the regression fit.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

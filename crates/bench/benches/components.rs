@@ -2,6 +2,8 @@
 //! (cache access, stride detection, bandwidth measurement, probes,
 //! convolution, prediction, network replay).
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -110,7 +112,7 @@ fn bench_bandwidth_at(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &ws in &queries {
-                acc += curve.bandwidth_at(ws);
+                acc += curve.bandwidth_at(ws).get();
             }
             black_box(acc)
         });

@@ -2,6 +2,8 @@
 //! for the three systems the paper plots (p655, Altix, Opteron); benchmarks
 //! one full MAPS measurement.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -52,7 +54,12 @@ fn bench_fig1(c: &mut Criterion) {
     ] {
         let mut best = ("", 0.0f64);
         for &id in &plotted {
-            let bw = suite.measure(fleet.get(id)).maps.unit.bandwidth_at(ws);
+            let bw = suite
+                .measure(fleet.get(id))
+                .maps
+                .unit
+                .bandwidth_at(ws)
+                .get();
             if bw > best.1 {
                 best = (id.label(), bw);
             }

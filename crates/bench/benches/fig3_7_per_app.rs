@@ -2,6 +2,8 @@
 //! the three processor counts for all nine metrics; benchmarks the per-app
 //! aggregation.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -22,7 +24,7 @@ fn bench_figs(c: &mut Criterion) {
                 bars: MetricId::ALL
                     .iter()
                     .zip(errors)
-                    .map(|(m, e)| (format!("#{}", m.number()), e))
+                    .map(|(m, e)| (format!("#{}", m.number()), e.get()))
                     .collect(),
             })
             .collect();

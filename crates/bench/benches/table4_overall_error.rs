@@ -2,6 +2,8 @@
 //! deviation per metric over all 150 observations, printed next to the
 //! paper's published values; benchmarks the aggregation step.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

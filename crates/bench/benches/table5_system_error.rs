@@ -2,6 +2,8 @@
 //! for every (system, metric) pair, plus the overall row; benchmarks the
 //! per-system aggregation.
 
+#![allow(missing_docs)] // criterion_group!/criterion_main! emit undocumented fns
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -5,9 +5,6 @@
 //! `cargo bench` run measures regeneration cost, not redundant setup, and
 //! prints the same rows/series the paper reports.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 use std::sync::OnceLock;
 
 use metasim_apps::groundtruth::GroundTruth;

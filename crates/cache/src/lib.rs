@@ -31,9 +31,6 @@
 //! bit for bit — to a freshly computed one, and determinism tests hold with
 //! the cache on or off.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};

@@ -20,7 +20,9 @@ use metasim_probes::suite::ProbeSuite;
 use metasim_report::chart::{ascii_bar_chart, ascii_line_chart, BarGroup, Series};
 use metasim_report::svg::line_chart_svg;
 use metasim_report::table::{f0, f1, Table};
+use metasim_stats::error_metrics::percent_error;
 use metasim_tracer::analysis::analyze_dependencies;
+use metasim_units::Seconds;
 
 /// The paper's Table 4 values for side-by-side printing.
 const PAPER_TABLE4: [(f64, f64); 9] = [
@@ -39,6 +41,7 @@ const PAPER_TABLE4: [(f64, f64); 9] = [
 pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "audit" => audit(rest),
+        "lint" => lint(rest),
         "study" => study(rest),
         "cache" => cache(rest),
         "obs" => obs(rest),
@@ -82,7 +85,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
             ranking()
         }
         "help" | "--help" | "-h" => {
-            println!("{}", HELP);
+            println!("{HELP}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
@@ -100,6 +103,14 @@ commands:
                      curves, workloads, traces) against the MSxxx rules;
                      with --manifest, also check a run manifest against the
                      MS4xx rules; exits non-zero on error-severity findings
+  lint [--json] [--deny-warnings] [--allow RULE[@subject]]... [--mutate NAME]
+                     statically analyze the nine metric formulas and the
+                     study dataflow (MS5xx rules): prove every prediction
+                     reduces to seconds, and flag unmeasured quantities,
+                     unread measurements, unused machines, and unreachable
+                     ENHANCED MAPS branches; --mutate seeds a named defect
+                     (eq1-multiply, drop-maps, drop-network-terms,
+                     drop-target, single-dep-class) to show the rule fire
   study [--timings] [--cache-dir DIR] [--no-cache] [--export FILE.csv]
         [--bench-out FILE.json] [--obs-out FILE.json] [--obs-format json|pretty]
                      run the full 1,350-prediction study; artifacts persist
@@ -177,6 +188,83 @@ fn audit(rest: &[String]) -> Result<(), String> {
     if json {
         print!("{}", render::jsonl(&report));
     } else {
+        print!("{}", render::human(&report));
+    }
+    if report.has_errors() {
+        Err(report.summary_line())
+    } else {
+        Ok(())
+    }
+}
+
+fn lint(rest: &[String]) -> Result<(), String> {
+    use metasim_audit::{render, AllowRule, AuditPolicy};
+    use metasim_core::formula::cost_expr;
+    use metasim_core::lint::{lint_with_policy, LintModel, Mutation};
+
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut allow = Vec::new();
+    let mut mutation: Option<Mutation> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--allow" => {
+                let spec = args
+                    .next()
+                    .ok_or("--allow needs RULE or RULE@subject-prefix")?;
+                allow.push(AllowRule::parse(spec)?);
+            }
+            "--mutate" => {
+                let name = args.next().ok_or("--mutate needs a mutation name")?;
+                mutation = Some(Mutation::parse(name)?);
+            }
+            other => return Err(format!("unknown lint flag `{other}`")),
+        }
+    }
+
+    let model = match mutation {
+        None => LintModel::shipped(),
+        Some(m) => {
+            println!(
+                "seeding mutation `{}` (expect {})\n",
+                m.name(),
+                m.expected_code()
+            );
+            LintModel::mutated(m)
+        }
+    };
+    let report = lint_with_policy(
+        &model,
+        AuditPolicy {
+            allow,
+            deny_warnings,
+        },
+    );
+
+    if json {
+        print!("{}", render::jsonl(&report));
+    } else {
+        // The dimensional reduction per metric — the statically proven part.
+        println!("formula dimensions (cost -> base-calibrated prediction):");
+        for (metric, expr) in &model.formulas {
+            let cost = cost_expr(*metric);
+            let cost_dim = cost
+                .dim()
+                .map_or_else(|e| format!("inconsistent ({e})"), |d| d.to_string());
+            let pred_dim = expr
+                .dim()
+                .map_or_else(|e| format!("inconsistent ({e})"), |d| d.to_string());
+            println!(
+                "  {:<28} cost [{:>9}]  prediction [{}]",
+                metric.to_string(),
+                cost_dim,
+                pred_dim,
+            );
+        }
+        println!();
         print!("{}", render::human(&report));
     }
     if report.has_errors() {
@@ -569,7 +657,7 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
             .map(|r| {
                 (
                     format!("#{} {}", r.metric.number(), r.metric.name()),
-                    r.mean_absolute,
+                    r.mean_absolute.get(),
                 )
             })
             .collect(),
@@ -589,7 +677,7 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
             .map(|r| {
                 (
                     format!("#{} {}", r.metric.number(), r.metric.name()),
-                    r.mean_absolute,
+                    r.mean_absolute.get(),
                 )
             })
             .collect();
@@ -642,7 +730,7 @@ fn figure(n: usize) -> Result<(), String> {
             bars: MetricId::ALL
                 .iter()
                 .zip(errors)
-                .map(|(m, e)| (format!("#{}", m.number()), e))
+                .map(|(m, e)| (format!("#{}", m.number()), e.get()))
                 .collect(),
         })
         .collect();
@@ -886,7 +974,7 @@ fn predict_custom(rest: &[String]) -> Result<(), String> {
         &labels,
         &suite.measure(f.get(machine)),
         &suite.measure(f.base()),
-        base_run.seconds,
+        Seconds::new(base_run.seconds),
     );
     println!(
         "custom workload {}/{} @ {} processes; base system: {:.0} s",
@@ -940,8 +1028,14 @@ fn predict(rest: &[String]) -> Result<(), String> {
     let base_actual = gt.run(case, cpus, f.base()).seconds;
     let target_probes = suite.measure(f.get(machine));
     let base_probes = suite.measure(f.base());
-    let predictions = predict_all(&trace, &labels, &target_probes, &base_probes, base_actual);
-    let actual = gt.run(case, cpus, f.get(machine)).seconds;
+    let predictions = predict_all(
+        &trace,
+        &labels,
+        &target_probes,
+        &base_probes,
+        Seconds::new(base_actual),
+    );
+    let actual = Seconds::new(gt.run(case, cpus, f.get(machine)).seconds);
 
     println!(
         "{} @ {cpus} CPUs on {}: base ({}) ran {:.0} s; target actually ran {:.0} s\n",
@@ -956,7 +1050,7 @@ fn predict(rest: &[String]) -> Result<(), String> {
         t.push_row(vec![
             m.to_string(),
             f0(p),
-            format!("{:+.1}", (p - actual) / actual * 100.0),
+            percent_error(p, actual).signed_one_decimal(),
         ]);
     }
     println!("{}", t.render());
@@ -996,6 +1090,37 @@ mod tests {
         assert!(dispatch("audit", &["--frobnicate".into()]).is_err());
         assert!(dispatch("audit", &["--allow".into()]).is_err());
         assert!(dispatch("audit", &["--allow".into(), "not-a-code".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_rejects_bad_flags() {
+        assert!(dispatch("lint", &["--frobnicate".into()]).is_err());
+        assert!(dispatch("lint", &["--mutate".into()]).is_err());
+        assert!(dispatch("lint", &["--mutate".into(), "no-such-defect".into()]).is_err());
+        assert!(dispatch("lint", &["--allow".into(), "not-a-code".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_passes_clean_and_catches_the_seeded_dimension_bug() {
+        // The shipped formulas lint clean even under --deny-warnings...
+        assert!(dispatch("lint", &["--deny-warnings".into()]).is_ok());
+        // ...and the wrong-unit Equation 1 exits non-zero with MS501.
+        let err = dispatch("lint", &["--mutate".into(), "eq1-multiply".into()]).unwrap_err();
+        assert!(err.contains("error"), "{err}");
+    }
+
+    #[test]
+    fn lint_warn_mutations_fail_only_under_deny_warnings() {
+        assert!(dispatch("lint", &["--mutate".into(), "single-dep-class".into()]).is_ok());
+        assert!(dispatch(
+            "lint",
+            &[
+                "--mutate".into(),
+                "single-dep-class".into(),
+                "--deny-warnings".into()
+            ]
+        )
+        .is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let cmd = args.first().map_or("help", String::as_str);
     let rest = &args[1.min(args.len())..];
     match commands::dispatch(cmd, rest) {
         Ok(()) => ExitCode::SUCCESS,

@@ -83,7 +83,7 @@ pub fn audit_study_values(study: &Study, a: &mut Auditor) {
         let mut values_finite = true;
         for o in &study.observations {
             let subject = format!("{}.{}cpu.{}", o.case, o.cpus, o.machine);
-            let finite_positive = |x: f64| x.is_finite() && x > 0.0;
+            let finite_positive = |x: metasim_units::Seconds| x.is_finite() && x > 0.0;
             if !finite_positive(o.actual) || !finite_positive(o.base_actual) {
                 values_finite = false;
                 a.finding_at(
@@ -108,7 +108,7 @@ pub fn audit_study_values(study: &Study, a: &mut Auditor) {
                     );
                 }
             }
-            if (o.predictions[0] - o.predictions[3]).abs() > 1e-9 * o.predictions[0].abs() {
+            if (o.predictions[0] - o.predictions[3]).abs() > (1e-9 * o.predictions[0]).abs() {
                 a.finding_at(
                     &MS305,
                     &subject,
@@ -256,8 +256,8 @@ mod tests {
         let f = fleet();
         let suite = ProbeSuite::new();
         let mut s = Study::run_default().clone();
-        s.observations[0].actual = f64::NAN;
-        s.observations[1].predictions[3] *= 2.0;
+        s.observations[0].actual = metasim_units::Seconds::new(f64::NAN);
+        s.observations[1].predictions[3] = s.observations[1].predictions[3] * 2.0;
         let report = s.audit(&f, &suite);
         assert!(report.has_code("MS304"), "{report}");
         assert!(report.has_code("MS305"), "{report}");
@@ -273,7 +273,7 @@ mod tests {
         let (case, machine) = (s.observations[0].case, s.observations[0].machine);
         for o in &mut s.observations {
             if o.case == case && o.machine == machine {
-                o.actual = o.cpus as f64;
+                o.actual = metasim_units::Seconds::new(o.cpus as f64);
             }
         }
         let report = s.audit(&f, &suite);

@@ -13,6 +13,7 @@
 //! (memory), and the *reciprocal* of the NETBENCH 8-byte `all_reduce` time
 //! (interconnect — a rate, so bigger is better like the others).
 
+use metasim_units::Percent;
 use serde::{Deserialize, Serialize};
 
 use metasim_machines::MachineId;
@@ -35,18 +36,18 @@ pub struct BalancedRatingResult {
     pub weights: [f64; CATEGORIES],
     /// Average absolute percent error of the composite's Equation 1
     /// predictions over all observations.
-    pub mean_absolute_error: f64,
+    pub mean_absolute_error: Percent,
     /// Standard deviation of the absolute errors.
-    pub stddev: f64,
+    pub stddev: Percent,
 }
 
 /// Raw category rates for one machine (higher = better in every category).
 #[must_use]
 pub fn category_rates(probes: &MachineProbes) -> [f64; CATEGORIES] {
     [
-        probes.hpl.rmax_flops_per_proc(),
-        probes.stream.bandwidth,
-        1.0 / probes.netbench.allreduce_64p,
+        probes.hpl.rmax_flops_per_proc().get(),
+        probes.stream.bandwidth.get(),
+        1.0 / probes.netbench.allreduce_64p.get(),
     ]
 }
 
@@ -195,7 +196,7 @@ pub fn fit_weights(
     let mut y = Vec::with_capacity(study.observations.len());
     for o in &study.observations {
         rows.push(score_row(o.machine).to_vec());
-        y.push(base_equal * o.base_actual / o.actual);
+        y.push((base_equal * o.base_actual / o.actual).get());
     }
     let w = simplex_constrained_least_squares(&rows, &y, 30_000)
         .expect("regression over a full study cannot be degenerate");
@@ -238,7 +239,7 @@ pub fn fit_weights_loocv(
             let mut y = Vec::new();
             for o in study.observations.iter().filter(|o| o.case != held_out) {
                 rows.push(score_row(o.machine).to_vec());
-                y.push(base_equal * o.base_actual / o.actual);
+                y.push((base_equal * o.base_actual / o.actual).get());
             }
             let w = simplex_constrained_least_squares(&rows, &y, 30_000)
                 .expect("4 test cases of observations suffice");
@@ -372,11 +373,11 @@ mod tests {
         let fitted = fit_weights(study, &suite, &f);
         let mean_heldout: f64 = folds
             .iter()
-            .map(|(_, r)| r.mean_absolute_error)
+            .map(|(_, r)| r.mean_absolute_error.get())
             .sum::<f64>()
             / folds.len() as f64;
         assert!(
-            mean_heldout > fitted.mean_absolute_error - 5.0,
+            mean_heldout > fitted.mean_absolute_error.get() - 5.0,
             "held-out {mean_heldout:.1} vs in-sample {:.1}",
             fitted.mean_absolute_error
         );

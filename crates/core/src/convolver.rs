@@ -23,6 +23,7 @@ use metasim_tracer::block::{DependencyClass, TracedBlock};
 use metasim_tracer::counters::HardwareCounters;
 use metasim_tracer::mpi::MpiTrace;
 use metasim_tracer::trace::ApplicationTrace;
+use metasim_units::Seconds;
 
 use metasim_netsim::replay::CommOp;
 
@@ -75,22 +76,24 @@ impl<'a> Convolver<'a> {
         }
         match metric {
             MetricId::S1Hpl => 1.0 / self.rmax_flops(),
-            MetricId::S2Stream => 1.0 / self.probes.stream.bandwidth,
-            MetricId::S3Gups => 1.0 / self.probes.gups.updates_per_second,
+            MetricId::S2Stream => 1.0 / self.probes.stream.bandwidth.get(),
+            MetricId::S3Gups => 1.0 / self.probes.gups.updates_per_second.get(),
             MetricId::P4Hpl => self.cost_flops_only(trace),
             MetricId::P5HplStream => self.cost_counters_stream(trace),
             MetricId::P6HplStreamGups => self.cost_stream_gups(trace),
             MetricId::P7HplMaps => self.cost_maps(trace, None),
-            MetricId::P8HplMapsNet => self.cost_maps(trace, None) + self.network_cost(&trace.mpi),
+            MetricId::P8HplMapsNet => {
+                self.cost_maps(trace, None) + self.network_cost(&trace.mpi).get()
+            }
             MetricId::P9HplMapsNetDep => {
-                self.cost_maps(trace, Some(dep_labels)) + self.network_cost(&trace.mpi)
+                self.cost_maps(trace, Some(dep_labels)) + self.network_cost(&trace.mpi).get()
             }
         }
     }
 
     /// Per-processor Rmax in FLOP/s from the HPL probe.
     fn rmax_flops(&self) -> f64 {
-        self.probes.hpl.rmax_flops_per_proc()
+        self.probes.hpl.rmax_flops_per_proc().get()
     }
 
     /// #4: floating-point work only, at the HPL rate.
@@ -109,7 +112,7 @@ impl<'a> Convolver<'a> {
     fn cost_counters_stream(&self, trace: &ApplicationTrace) -> f64 {
         let counters = HardwareCounters::from_trace(trace);
         let flop_t = counters.flops as f64 / self.rmax_flops();
-        let mem_t = counters.mem_refs as f64 * REF_BYTES / self.probes.stream.bandwidth;
+        let mem_t = counters.mem_refs as f64 * REF_BYTES / self.probes.stream.bandwidth.get();
         flop_t + mem_t
     }
 
@@ -120,8 +123,8 @@ impl<'a> Convolver<'a> {
         let flop_t = trace.total_flops() as f64 / self.rmax_flops();
         let strided_bytes = (bins.stride1 + bins.short) as f64 * REF_BYTES;
         let random_bytes = bins.random as f64 * REF_BYTES;
-        let mem_t = strided_bytes / self.probes.stream.bandwidth
-            + random_bytes / self.probes.gups.effective_bandwidth();
+        let mem_t = strided_bytes / self.probes.stream.bandwidth.get()
+            + random_bytes / self.probes.gups.effective_bandwidth().get();
         flop_t.max(mem_t)
     }
 
@@ -158,12 +161,14 @@ impl<'a> Convolver<'a> {
             .probes
             .maps
             .curve(false, flavor)
-            .bandwidth_at(block.working_set.max(1));
+            .bandwidth_at(block.working_set.max(1))
+            .get();
         let random_bw = self
             .probes
             .maps
             .curve(true, flavor)
-            .bandwidth_at(block.working_set.max(1));
+            .bandwidth_at(block.working_set.max(1))
+            .get();
         let strided_bytes = (block.bins.stride1 + block.bins.short) as f64 * REF_BYTES;
         let random_bytes = block.bins.random as f64 * REF_BYTES;
         let mem_t = strided_bytes / unit_bw + random_bytes / random_bw;
@@ -175,7 +180,7 @@ impl<'a> Convolver<'a> {
     /// *measured* latency/bandwidth (coarser than the machine's true
     /// network behaviour — an honest modelling gap).
     #[must_use]
-    pub fn network_cost(&self, mpi: &MpiTrace) -> f64 {
+    pub fn network_cost(&self, mpi: &MpiTrace) -> Seconds {
         let nb = &self.probes.netbench;
         let p = mpi.processes;
         let log_p = if p <= 1 {
@@ -287,7 +292,7 @@ mod tests {
         let c8 = c.cost(MetricId::P8HplMapsNet, &trace, &labels);
         assert!(c8 > c7);
         let net = c.network_cost(&trace.mpi);
-        assert!((c8 - c7 - net).abs() / net < 1e-9);
+        assert!((c8 - c7 - net.get()).abs() / net.get() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,1051 @@
+//! A symbolic IR for the nine metric transfer functions.
+//!
+//! Every metric the convolver implements is also written down here as an
+//! expression tree over *dimensioned* leaves: probe-measured rates
+//! (FLOP/s, bytes/s, updates/s), trace-derived operation counts (FLOPs,
+//! bytes), piecewise MAPS curve lookups, and time sums over basic blocks
+//! and MPI census entries. The tree supports two static analyses that run
+//! without measuring or convolving anything:
+//!
+//! * **Dimension checking** ([`Expr::dim`]) — folds the exponent vector of
+//!   every node and rejects sums, overlaps (`max`), or comm-op switches
+//!   whose arms disagree. `metasim lint` uses this to prove that each
+//!   metric's base-calibrated prediction (Equation 1 applied to the cost
+//!   ratio) reduces to exactly seconds, and that a seeded wrong-unit
+//!   formula (multiply instead of divide in Equation 1) cannot.
+//! * **Dataflow extraction** ([`Expr::probe_quantities`]) — which probe
+//!   measurements a formula actually consumes, so the lint can flag
+//!   metrics referencing unmeasured quantities and measurements no metric
+//!   reads.
+//!
+//! The IR is kept honest by evaluation: [`eval_cost`] interprets the tree
+//! with the same operation order the convolver uses, and a test pins the
+//! result **bit-for-bit** against [`Convolver::cost`] for all nine metrics.
+//! If the convolver's math drifts from the formulas the lint reasons
+//! about, that test fails.
+
+use std::fmt;
+
+use metasim_probes::maps::DependencyFlavor;
+use metasim_probes::suite::MachineProbes;
+use metasim_tracer::block::DependencyClass;
+use metasim_tracer::counters::HardwareCounters;
+use metasim_tracer::trace::ApplicationTrace;
+use metasim_units::Seconds;
+
+use metasim_netsim::replay::{CommEvent, CommOp};
+
+use crate::metric::MetricId;
+
+/// Bytes per memory reference (double precision) — mirrors the convolver.
+const REF_BYTES: f64 = 8.0;
+
+// ---------------------------------------------------------------------------
+// Dimensions
+// ---------------------------------------------------------------------------
+
+/// Exponent vector over the study's base dimensions.
+///
+/// A quantity's dimension is `s^time · flop^flop · B^byte · up^update`.
+/// Rates carry negative time exponents: STREAM bandwidth is
+/// `{ time: -1, byte: 1 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dim {
+    /// Exponent of seconds.
+    pub time: i8,
+    /// Exponent of floating-point operations.
+    pub flop: i8,
+    /// Exponent of bytes.
+    pub byte: i8,
+    /// Exponent of GUPS-style memory updates.
+    pub update: i8,
+}
+
+impl Dim {
+    /// Dimensionless.
+    pub const NONE: Dim = Dim::new(0, 0, 0, 0);
+    /// Seconds — what every prediction must reduce to.
+    pub const TIME: Dim = Dim::new(1, 0, 0, 0);
+    /// Floating-point operations.
+    pub const FLOPS: Dim = Dim::new(0, 1, 0, 0);
+    /// Bytes.
+    pub const BYTES: Dim = Dim::new(0, 0, 1, 0);
+    /// FLOP/s (HPL Rmax).
+    pub const FLOP_RATE: Dim = Dim::new(-1, 1, 0, 0);
+    /// Bytes/s (STREAM, MAPS, NETBENCH bandwidth).
+    pub const BYTE_RATE: Dim = Dim::new(-1, 0, 1, 0);
+    /// Updates/s (GUPS).
+    pub const UPDATE_RATE: Dim = Dim::new(-1, 0, 0, 1);
+
+    const fn new(time: i8, flop: i8, byte: i8, update: i8) -> Self {
+        Dim {
+            time,
+            flop,
+            byte,
+            update,
+        }
+    }
+
+    /// Dimension of a reciprocal.
+    #[must_use]
+    pub fn recip(self) -> Dim {
+        Dim::new(-self.time, -self.flop, -self.byte, -self.update)
+    }
+}
+
+/// Dimension of a product.
+impl std::ops::Mul for Dim {
+    type Output = Dim;
+    fn mul(self, rhs: Dim) -> Dim {
+        Dim::new(
+            self.time + rhs.time,
+            self.flop + rhs.flop,
+            self.byte + rhs.byte,
+            self.update + rhs.update,
+        )
+    }
+}
+
+/// Dimension of a quotient.
+impl std::ops::Div for Dim {
+    type Output = Dim;
+    fn div(self, rhs: Dim) -> Dim {
+        Dim::new(
+            self.time - rhs.time,
+            self.flop - rhs.flop,
+            self.byte - rhs.byte,
+            self.update - rhs.update,
+        )
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let units = [
+            ("s", self.time),
+            ("flop", self.flop),
+            ("B", self.byte),
+            ("up", self.update),
+        ];
+        let num: Vec<String> = units
+            .iter()
+            .filter(|(_, e)| *e > 0)
+            .map(|(u, e)| {
+                if *e == 1 {
+                    (*u).to_string()
+                } else {
+                    format!("{u}^{e}")
+                }
+            })
+            .collect();
+        let den: Vec<String> = units
+            .iter()
+            .filter(|(_, e)| *e < 0)
+            .map(|(u, e)| {
+                if *e == -1 {
+                    (*u).to_string()
+                } else {
+                    format!("{u}^{}", -e)
+                }
+            })
+            .collect();
+        match (num.is_empty(), den.is_empty()) {
+            (true, true) => write!(f, "1"),
+            (false, true) => write!(f, "{}", num.join("·")),
+            (true, false) => write!(f, "1/{}", den.join("·")),
+            (false, false) => write!(f, "{}/{}", num.join("·"), den.join("·")),
+        }
+    }
+}
+
+/// A dimension-checking failure, with a human-readable explanation of which
+/// node disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimError(pub String);
+
+impl fmt::Display for DimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+// ---------------------------------------------------------------------------
+
+/// A probe-measured rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RateSource {
+    /// HPL per-processor Rmax, FLOP/s.
+    HplRmax,
+    /// STREAM triad bandwidth, bytes/s.
+    StreamBandwidth,
+    /// GUPS update rate, updates/s.
+    GupsUpdateRate,
+    /// GUPS effective bandwidth, bytes/s.
+    GupsEffectiveBandwidth,
+    /// NETBENCH delivered bandwidth, bytes/s.
+    NetBandwidth,
+}
+
+/// A probe-measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeSource {
+    /// NETBENCH one-way small-message latency, seconds.
+    NetLatency,
+    /// NETBENCH 8-byte 64-process `all_reduce` score, seconds.
+    NetAllreduce64,
+    /// The measured base-system runtime (Equation 1's `T(X₀)`).
+    BaseRuntime,
+}
+
+/// A trace-derived operation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CountSource {
+    /// Whole-trace FLOPs (basic-block structure visible).
+    TracedFlops,
+    /// Whole-run FLOPs as a hardware counter total (no block structure).
+    CounterFlops,
+    /// Whole-run memory traffic from counters: references × 8 bytes.
+    CounterBytes,
+    /// Whole-trace strided (unit + short) bytes from the stride bins.
+    StridedBytes,
+    /// Whole-trace random bytes from the stride bins.
+    RandomBytes,
+    /// Current block's FLOPs.
+    BlockFlops,
+    /// Current block's strided bytes.
+    BlockStridedBytes,
+    /// Current block's random bytes.
+    BlockRandomBytes,
+    /// Current block's invocation count (dimensionless weight).
+    BlockInvocations,
+    /// Current MPI census entry's occurrence count (dimensionless).
+    EventCount,
+    /// Current MPI census entry's payload bytes.
+    EventBytes,
+    /// `all_reduce` payload beyond the measured 8 bytes, scaled by the
+    /// doubling-stage count — a byte total moved at NETBENCH bandwidth.
+    AllreduceExtraBytes,
+}
+
+/// A dimensionless runtime scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleSource {
+    /// `ceil(log2 p)` (0 when `p ≤ 1`): collective tree depth.
+    LogProcs,
+    /// `p − 1`: all-to-all fan-out.
+    ProcsMinusOne,
+    /// `max(log2(p)/6, 0.17)`: `all_reduce` score scaling from the measured
+    /// 64-process configuration.
+    AllreduceLogScale,
+}
+
+/// Which MPI operation an [`Expr::OpSwitch`] arm models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOpKind {
+    /// Send/recv pair.
+    PointToPoint,
+    /// Barrier.
+    Barrier,
+    /// All-reduce.
+    AllReduce,
+    /// Broadcast or reduce (same tree-of-p2p model).
+    BroadcastOrReduce,
+    /// All-to-all.
+    AllToAll,
+}
+
+impl CommOpKind {
+    fn matches(self, op: CommOp) -> bool {
+        matches!(
+            (self, op),
+            (CommOpKind::PointToPoint, CommOp::PointToPoint { .. })
+                | (CommOpKind::Barrier, CommOp::Barrier)
+                | (CommOpKind::AllReduce, CommOp::AllReduce { .. })
+                | (
+                    CommOpKind::BroadcastOrReduce,
+                    CommOp::Broadcast { .. } | CommOp::Reduce { .. }
+                )
+                | (CommOpKind::AllToAll, CommOp::AllToAll { .. })
+        )
+    }
+}
+
+/// A probe quantity a formula can reference — the dataflow-graph node the
+/// lint reasons about. Coarser than the leaf enums: the five MAPS /
+/// ENHANCED MAPS curves count as one measured artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeQuantity {
+    /// HPL Rmax.
+    HplRmax,
+    /// STREAM bandwidth.
+    StreamBandwidth,
+    /// GUPS update rate.
+    GupsUpdateRate,
+    /// GUPS effective bandwidth.
+    GupsEffectiveBandwidth,
+    /// The MAPS / ENHANCED MAPS bandwidth curve set.
+    MapsCurves,
+    /// NETBENCH latency.
+    NetLatency,
+    /// NETBENCH bandwidth.
+    NetBandwidth,
+    /// NETBENCH 64-process `all_reduce` score.
+    NetAllreduce64,
+}
+
+impl ProbeQuantity {
+    /// Every quantity the shipped probe suite measures.
+    pub const ALL: [ProbeQuantity; 8] = [
+        ProbeQuantity::HplRmax,
+        ProbeQuantity::StreamBandwidth,
+        ProbeQuantity::GupsUpdateRate,
+        ProbeQuantity::GupsEffectiveBandwidth,
+        ProbeQuantity::MapsCurves,
+        ProbeQuantity::NetLatency,
+        ProbeQuantity::NetBandwidth,
+        ProbeQuantity::NetAllreduce64,
+    ];
+
+    /// The probe that measures this quantity — used in lint messages.
+    #[must_use]
+    pub fn probe(self) -> &'static str {
+        match self {
+            ProbeQuantity::HplRmax => "HPL",
+            ProbeQuantity::StreamBandwidth => "STREAM",
+            ProbeQuantity::GupsUpdateRate | ProbeQuantity::GupsEffectiveBandwidth => "GUPS",
+            ProbeQuantity::MapsCurves => "MAPS/ENHANCED MAPS",
+            ProbeQuantity::NetLatency
+            | ProbeQuantity::NetBandwidth
+            | ProbeQuantity::NetAllreduce64 => "NETBENCH",
+        }
+    }
+}
+
+impl fmt::Display for ProbeQuantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProbeQuantity::HplRmax => "hpl-rmax",
+            ProbeQuantity::StreamBandwidth => "stream-bandwidth",
+            ProbeQuantity::GupsUpdateRate => "gups-update-rate",
+            ProbeQuantity::GupsEffectiveBandwidth => "gups-effective-bandwidth",
+            ProbeQuantity::MapsCurves => "maps-curves",
+            ProbeQuantity::NetLatency => "net-latency",
+            ProbeQuantity::NetBandwidth => "net-bandwidth",
+            ProbeQuantity::NetAllreduce64 => "net-allreduce-64p",
+        };
+        write!(f, "{s}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+/// One node of a metric formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A dimensionless constant.
+    Const(f64),
+    /// A trace-derived operation count.
+    Count(CountSource),
+    /// A probe-measured rate.
+    Rate(RateSource),
+    /// A probe-measured time.
+    Time(TimeSource),
+    /// A dimensionless runtime scalar.
+    Scale(ScaleSource),
+    /// Piecewise MAPS bandwidth-curve lookup at the current block's working
+    /// set. The flavor (plain vs ENHANCED) comes from the enclosing
+    /// [`Expr::BlockSum`]'s dependency label.
+    Curve {
+        /// `true` → random-access curve, `false` → unit-stride curve.
+        random: bool,
+    },
+    /// `1 / x` — how simple-metric costs invert benchmark rates.
+    Recip(Box<Expr>),
+    /// `a / b` — a count divided by a rate, or Equation 1's cost ratio.
+    Ratio(Box<Expr>, Box<Expr>),
+    /// `a · b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `Σ terms` — arms must agree dimensionally (a weighted sum once the
+    /// dimensionless weights are folded into the terms).
+    Sum(Vec<Expr>),
+    /// `max(a, b)` — the full-overlap model; arms must agree dimensionally.
+    Max(Box<Expr>, Box<Expr>),
+    /// Time-sum over traced basic blocks. `labeled` selects ENHANCED MAPS
+    /// curve flavors from the dependency labels (Metric #9); unlabeled
+    /// sums use the independent curves (#7, #8).
+    BlockSum {
+        /// Whether dependency labels steer the curve selection.
+        labeled: bool,
+        /// Per-block cost.
+        body: Box<Expr>,
+    },
+    /// Time-sum over the MPI census.
+    CommSum(Box<Expr>),
+    /// Per-operation dispatch inside a [`Expr::CommSum`]; every arm must
+    /// reduce to the same dimension.
+    OpSwitch(Vec<(CommOpKind, Expr)>),
+    /// Re-evaluate the inner cost on the *base* machine's probes —
+    /// Equation 1's denominator `C(metric, X₀)`.
+    OnBase(Box<Expr>),
+}
+
+impl Expr {
+    fn ratio(a: Expr, b: Expr) -> Expr {
+        Expr::Ratio(Box::new(a), Box::new(b))
+    }
+
+    fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(Box::new(a), Box::new(b))
+    }
+
+    /// The node's dimension, or an error naming the first inconsistent
+    /// subexpression (a sum/overlap/switch whose arms disagree).
+    pub fn dim(&self) -> Result<Dim, DimError> {
+        match self {
+            Expr::Const(_) | Expr::Scale(_) => Ok(Dim::NONE),
+            Expr::Count(c) => Ok(match c {
+                CountSource::TracedFlops | CountSource::CounterFlops | CountSource::BlockFlops => {
+                    Dim::FLOPS
+                }
+                CountSource::CounterBytes
+                | CountSource::StridedBytes
+                | CountSource::RandomBytes
+                | CountSource::BlockStridedBytes
+                | CountSource::BlockRandomBytes
+                | CountSource::EventBytes
+                | CountSource::AllreduceExtraBytes => Dim::BYTES,
+                CountSource::BlockInvocations | CountSource::EventCount => Dim::NONE,
+            }),
+            Expr::Rate(r) => Ok(match r {
+                RateSource::HplRmax => Dim::FLOP_RATE,
+                RateSource::StreamBandwidth
+                | RateSource::GupsEffectiveBandwidth
+                | RateSource::NetBandwidth => Dim::BYTE_RATE,
+                RateSource::GupsUpdateRate => Dim::UPDATE_RATE,
+            }),
+            Expr::Time(_) => Ok(Dim::TIME),
+            Expr::Curve { .. } => Ok(Dim::BYTE_RATE),
+            Expr::Recip(e) => Ok(e.dim()?.recip()),
+            Expr::Ratio(a, b) => Ok(a.dim()? / b.dim()?),
+            Expr::Mul(a, b) => Ok(a.dim()? * b.dim()?),
+            Expr::Sum(terms) => {
+                let mut dims = terms.iter().map(Expr::dim);
+                let first = dims
+                    .next()
+                    .ok_or_else(|| DimError("empty sum has no dimension".into()))??;
+                for d in dims {
+                    let d = d?;
+                    if d != first {
+                        return Err(DimError(format!(
+                            "sum mixes incompatible dimensions: {first} vs {d}"
+                        )));
+                    }
+                }
+                Ok(first)
+            }
+            Expr::Max(a, b) => {
+                let (da, db) = (a.dim()?, b.dim()?);
+                if da != db {
+                    return Err(DimError(format!(
+                        "overlap max() compares incompatible dimensions: {da} vs {db}"
+                    )));
+                }
+                Ok(da)
+            }
+            Expr::BlockSum { body, .. } | Expr::CommSum(body) | Expr::OnBase(body) => body.dim(),
+            Expr::OpSwitch(arms) => {
+                let mut dims = arms.iter().map(|(_, e)| e.dim());
+                let first = dims
+                    .next()
+                    .ok_or_else(|| DimError("empty op switch has no dimension".into()))??;
+                for d in dims {
+                    let d = d?;
+                    if d != first {
+                        return Err(DimError(format!(
+                            "comm-op switch arms disagree: {first} vs {d}"
+                        )));
+                    }
+                }
+                Ok(first)
+            }
+        }
+    }
+
+    /// Every probe quantity this formula reads, deduplicated, in first-use
+    /// order — the probe→convolution edges of the dataflow graph.
+    #[must_use]
+    pub fn probe_quantities(&self) -> Vec<ProbeQuantity> {
+        let mut out = Vec::new();
+        self.collect_quantities(&mut out);
+        out
+    }
+
+    fn collect_quantities(&self, out: &mut Vec<ProbeQuantity>) {
+        let push = |q: ProbeQuantity, out: &mut Vec<ProbeQuantity>| {
+            if !out.contains(&q) {
+                out.push(q);
+            }
+        };
+        match self {
+            Expr::Rate(r) => push(
+                match r {
+                    RateSource::HplRmax => ProbeQuantity::HplRmax,
+                    RateSource::StreamBandwidth => ProbeQuantity::StreamBandwidth,
+                    RateSource::GupsUpdateRate => ProbeQuantity::GupsUpdateRate,
+                    RateSource::GupsEffectiveBandwidth => ProbeQuantity::GupsEffectiveBandwidth,
+                    RateSource::NetBandwidth => ProbeQuantity::NetBandwidth,
+                },
+                out,
+            ),
+            Expr::Time(t) => match t {
+                TimeSource::NetLatency => push(ProbeQuantity::NetLatency, out),
+                TimeSource::NetAllreduce64 => push(ProbeQuantity::NetAllreduce64, out),
+                TimeSource::BaseRuntime => {}
+            },
+            Expr::Curve { .. } => push(ProbeQuantity::MapsCurves, out),
+            Expr::Const(_) | Expr::Count(_) | Expr::Scale(_) => {}
+            Expr::Recip(e) | Expr::OnBase(e) | Expr::CommSum(e) => e.collect_quantities(out),
+            Expr::BlockSum { body, .. } => body.collect_quantities(out),
+            Expr::Ratio(a, b) | Expr::Mul(a, b) | Expr::Max(a, b) => {
+                a.collect_quantities(out);
+                b.collect_quantities(out);
+            }
+            Expr::Sum(terms) => {
+                for t in terms {
+                    t.collect_quantities(out);
+                }
+            }
+            Expr::OpSwitch(arms) => {
+                for (_, e) in arms {
+                    e.collect_quantities(out);
+                }
+            }
+        }
+    }
+
+    /// Whether the formula contains a label-steered (ENHANCED MAPS)
+    /// block sum — the transfer function with per-dependency-class
+    /// branches.
+    #[must_use]
+    pub fn has_labeled_curves(&self) -> bool {
+        match self {
+            Expr::BlockSum { labeled, body } => *labeled || body.has_labeled_curves(),
+            Expr::Recip(e) | Expr::OnBase(e) | Expr::CommSum(e) => e.has_labeled_curves(),
+            Expr::Ratio(a, b) | Expr::Mul(a, b) | Expr::Max(a, b) => {
+                a.has_labeled_curves() || b.has_labeled_curves()
+            }
+            Expr::Sum(terms) => terms.iter().any(Expr::has_labeled_curves),
+            Expr::OpSwitch(arms) => arms.iter().any(|(_, e)| e.has_labeled_curves()),
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The nine formulas
+// ---------------------------------------------------------------------------
+
+/// One block's convolved cost: `max(flop_t, mem_t) · invocations`, with the
+/// memory time split across the unit-stride and random curves.
+fn block_cost_expr() -> Expr {
+    let flop_t = Expr::ratio(
+        Expr::Count(CountSource::BlockFlops),
+        Expr::Rate(RateSource::HplRmax),
+    );
+    let mem_t = Expr::Sum(vec![
+        Expr::ratio(
+            Expr::Count(CountSource::BlockStridedBytes),
+            Expr::Curve { random: false },
+        ),
+        Expr::ratio(
+            Expr::Count(CountSource::BlockRandomBytes),
+            Expr::Curve { random: true },
+        ),
+    ]);
+    Expr::mul(
+        Expr::max(flop_t, mem_t),
+        Expr::Count(CountSource::BlockInvocations),
+    )
+}
+
+/// The per-block time sum of metrics #7–#9.
+fn maps_cost_expr(labeled: bool) -> Expr {
+    Expr::BlockSum {
+        labeled,
+        body: Box::new(block_cost_expr()),
+    }
+}
+
+/// The MPI-census network term of metrics #8–#9: per-event counts times a
+/// per-operation modelled time, all from NETBENCH measurements.
+fn network_cost_expr() -> Expr {
+    let p2p = || {
+        Expr::Sum(vec![
+            Expr::Time(TimeSource::NetLatency),
+            Expr::ratio(
+                Expr::Count(CountSource::EventBytes),
+                Expr::Rate(RateSource::NetBandwidth),
+            ),
+        ])
+    };
+    let arms = vec![
+        (CommOpKind::PointToPoint, p2p()),
+        (
+            CommOpKind::Barrier,
+            Expr::mul(
+                Expr::Scale(ScaleSource::LogProcs),
+                Expr::Time(TimeSource::NetLatency),
+            ),
+        ),
+        (
+            CommOpKind::AllReduce,
+            Expr::Sum(vec![
+                Expr::mul(
+                    Expr::Scale(ScaleSource::AllreduceLogScale),
+                    Expr::Time(TimeSource::NetAllreduce64),
+                ),
+                Expr::ratio(
+                    Expr::Count(CountSource::AllreduceExtraBytes),
+                    Expr::Rate(RateSource::NetBandwidth),
+                ),
+            ]),
+        ),
+        (
+            CommOpKind::BroadcastOrReduce,
+            Expr::mul(Expr::Scale(ScaleSource::LogProcs), p2p()),
+        ),
+        (
+            CommOpKind::AllToAll,
+            Expr::mul(Expr::Scale(ScaleSource::ProcsMinusOne), p2p()),
+        ),
+    ];
+    Expr::CommSum(Box::new(Expr::mul(
+        Expr::Count(CountSource::EventCount),
+        Expr::OpSwitch(arms),
+    )))
+}
+
+/// The symbolic cost `C(metric, X)` — the exact transfer function
+/// [`Convolver::cost`] computes numerically.
+#[must_use]
+pub fn cost_expr(metric: MetricId) -> Expr {
+    match metric {
+        MetricId::S1Hpl => Expr::Recip(Box::new(Expr::Rate(RateSource::HplRmax))),
+        MetricId::S2Stream => Expr::Recip(Box::new(Expr::Rate(RateSource::StreamBandwidth))),
+        MetricId::S3Gups => Expr::Recip(Box::new(Expr::Rate(RateSource::GupsUpdateRate))),
+        MetricId::P4Hpl => Expr::ratio(
+            Expr::Count(CountSource::TracedFlops),
+            Expr::Rate(RateSource::HplRmax),
+        ),
+        MetricId::P5HplStream => Expr::Sum(vec![
+            Expr::ratio(
+                Expr::Count(CountSource::CounterFlops),
+                Expr::Rate(RateSource::HplRmax),
+            ),
+            Expr::ratio(
+                Expr::Count(CountSource::CounterBytes),
+                Expr::Rate(RateSource::StreamBandwidth),
+            ),
+        ]),
+        MetricId::P6HplStreamGups => Expr::max(
+            Expr::ratio(
+                Expr::Count(CountSource::TracedFlops),
+                Expr::Rate(RateSource::HplRmax),
+            ),
+            Expr::Sum(vec![
+                Expr::ratio(
+                    Expr::Count(CountSource::StridedBytes),
+                    Expr::Rate(RateSource::StreamBandwidth),
+                ),
+                Expr::ratio(
+                    Expr::Count(CountSource::RandomBytes),
+                    Expr::Rate(RateSource::GupsEffectiveBandwidth),
+                ),
+            ]),
+        ),
+        MetricId::P7HplMaps => maps_cost_expr(false),
+        MetricId::P8HplMapsNet => Expr::Sum(vec![maps_cost_expr(false), network_cost_expr()]),
+        MetricId::P9HplMapsNetDep => Expr::Sum(vec![maps_cost_expr(true), network_cost_expr()]),
+    }
+}
+
+/// The base-calibrated prediction formula (Equation 1 applied to the
+/// metric's cost):
+///
+/// ```text
+/// T′(metric, X) = C(metric, X) / C(metric, X₀) · T(X₀)
+/// ```
+///
+/// Whatever dimension the cost carries, the ratio cancels it and the
+/// base-runtime factor restores seconds — which is exactly what
+/// `metasim lint` verifies, and what the `eq1-multiply` mutation breaks.
+#[must_use]
+pub fn prediction_expr(metric: MetricId) -> Expr {
+    let cost = cost_expr(metric);
+    Expr::mul(
+        Expr::ratio(cost.clone(), Expr::OnBase(Box::new(cost))),
+        Expr::Time(TimeSource::BaseRuntime),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluation context: the artifacts a formula's leaves read.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    probes: &'a MachineProbes,
+    base_probes: Option<&'a MachineProbes>,
+    trace: &'a ApplicationTrace,
+    labels: &'a [DependencyClass],
+    base_time: Option<Seconds>,
+    /// Current block and its curve flavor, inside a `BlockSum`.
+    block: Option<(&'a metasim_tracer::block::TracedBlock, DependencyFlavor)>,
+    /// Current census entry, inside a `CommSum`.
+    event: Option<&'a CommEvent>,
+}
+
+impl Ctx<'_> {
+    fn block(&self) -> (&metasim_tracer::block::TracedBlock, DependencyFlavor) {
+        self.block.expect("block leaf outside a BlockSum")
+    }
+
+    fn event(&self) -> &CommEvent {
+        self.event.expect("event leaf outside a CommSum")
+    }
+
+    fn event_bytes(&self) -> u64 {
+        match self.event().op {
+            CommOp::PointToPoint { bytes }
+            | CommOp::AllReduce { bytes }
+            | CommOp::Broadcast { bytes }
+            | CommOp::Reduce { bytes }
+            | CommOp::AllToAll { bytes } => bytes,
+            CommOp::Barrier => 0,
+        }
+    }
+
+    fn processes(&self) -> u64 {
+        self.trace.mpi.processes
+    }
+
+    fn log_procs(&self) -> f64 {
+        let p = self.processes();
+        if p <= 1 {
+            0.0
+        } else {
+            (p as f64).log2().ceil()
+        }
+    }
+}
+
+/// Interpret `expr` against one machine's probes and the application trace,
+/// with the convolver's exact operation order. The `formula_matches_convolver`
+/// test holds this to bitwise equality with [`Convolver::cost`].
+#[must_use]
+pub fn eval_cost(
+    expr: &Expr,
+    probes: &MachineProbes,
+    trace: &ApplicationTrace,
+    labels: &[DependencyClass],
+) -> f64 {
+    let ctx = Ctx {
+        probes,
+        base_probes: None,
+        trace,
+        labels,
+        base_time: None,
+        block: None,
+        event: None,
+    };
+    eval(expr, &ctx)
+}
+
+/// Interpret a [`prediction_expr`] tree: the target/base cost ratio times
+/// the measured base runtime. Matches
+/// [`predict_all`](crate::prediction::predict_all) bit-for-bit.
+#[must_use]
+pub fn eval_prediction(
+    expr: &Expr,
+    target: &MachineProbes,
+    base: &MachineProbes,
+    trace: &ApplicationTrace,
+    labels: &[DependencyClass],
+    base_time: Seconds,
+) -> Seconds {
+    let ctx = Ctx {
+        probes: target,
+        base_probes: Some(base),
+        trace,
+        labels,
+        base_time: Some(base_time),
+        block: None,
+        event: None,
+    };
+    Seconds::new(eval(expr, &ctx))
+}
+
+fn eval(expr: &Expr, ctx: &Ctx<'_>) -> f64 {
+    match expr {
+        Expr::Const(c) => *c,
+        Expr::Rate(r) => match r {
+            RateSource::HplRmax => ctx.probes.hpl.rmax_flops_per_proc().get(),
+            RateSource::StreamBandwidth => ctx.probes.stream.bandwidth.get(),
+            RateSource::GupsUpdateRate => ctx.probes.gups.updates_per_second.get(),
+            RateSource::GupsEffectiveBandwidth => ctx.probes.gups.effective_bandwidth().get(),
+            RateSource::NetBandwidth => ctx.probes.netbench.bandwidth.get(),
+        },
+        Expr::Time(t) => match t {
+            TimeSource::NetLatency => ctx.probes.netbench.latency.get(),
+            TimeSource::NetAllreduce64 => ctx.probes.netbench.allreduce_64p.get(),
+            TimeSource::BaseRuntime => ctx
+                .base_time
+                .expect("BaseRuntime leaf in a cost-only evaluation")
+                .get(),
+        },
+        Expr::Scale(s) => match s {
+            ScaleSource::LogProcs => ctx.log_procs(),
+            ScaleSource::ProcsMinusOne => ctx.processes().saturating_sub(1) as f64,
+            ScaleSource::AllreduceLogScale => ((ctx.processes() as f64).log2() / 6.0).max(0.17),
+        },
+        Expr::Count(c) => match c {
+            CountSource::TracedFlops => ctx.trace.total_flops() as f64,
+            CountSource::CounterFlops => HardwareCounters::from_trace(ctx.trace).flops as f64,
+            CountSource::CounterBytes => {
+                HardwareCounters::from_trace(ctx.trace).mem_refs as f64 * REF_BYTES
+            }
+            CountSource::StridedBytes => {
+                let bins = ctx.trace.aggregate_bins();
+                (bins.stride1 + bins.short) as f64 * REF_BYTES
+            }
+            CountSource::RandomBytes => ctx.trace.aggregate_bins().random as f64 * REF_BYTES,
+            CountSource::BlockFlops => ctx.block().0.flops as f64,
+            CountSource::BlockStridedBytes => {
+                let bins = &ctx.block().0.bins;
+                (bins.stride1 + bins.short) as f64 * REF_BYTES
+            }
+            CountSource::BlockRandomBytes => ctx.block().0.bins.random as f64 * REF_BYTES,
+            CountSource::BlockInvocations => ctx.block().0.invocations as f64,
+            CountSource::EventCount => ctx.event().count as f64,
+            CountSource::EventBytes => ctx.event_bytes() as f64,
+            CountSource::AllreduceExtraBytes => {
+                let extra = ctx.event_bytes().saturating_sub(8) as f64;
+                (ctx.processes() as f64).log2().ceil() * extra
+            }
+        },
+        Expr::Curve { random } => {
+            let (block, flavor) = ctx.block();
+            ctx.probes
+                .maps
+                .curve(*random, flavor)
+                .bandwidth_at(block.working_set.max(1))
+                .get()
+        }
+        Expr::Recip(e) => 1.0 / eval(e, ctx),
+        Expr::Ratio(a, b) => eval(a, ctx) / eval(b, ctx),
+        Expr::Mul(a, b) => eval(a, ctx) * eval(b, ctx),
+        // Left-fold like the convolver's binary `+` chains; `reduce` keeps
+        // two-term sums literally `a + b`.
+        Expr::Sum(terms) => terms
+            .iter()
+            .map(|t| eval(t, ctx))
+            .reduce(|a, b| a + b)
+            .unwrap_or(0.0),
+        Expr::Max(a, b) => eval(a, ctx).max(eval(b, ctx)),
+        Expr::BlockSum { labeled, body } => {
+            if *labeled {
+                assert_eq!(
+                    ctx.labels.len(),
+                    ctx.trace.blocks.len(),
+                    "dependency labels must be parallel to blocks"
+                );
+            }
+            let mut total = 0.0;
+            for (i, block) in ctx.trace.blocks.iter().enumerate() {
+                let flavor = if *labeled {
+                    match ctx.labels[i] {
+                        DependencyClass::Independent => DependencyFlavor::Independent,
+                        DependencyClass::Chained => DependencyFlavor::Chained,
+                        DependencyClass::Branchy => DependencyFlavor::Branchy,
+                    }
+                } else {
+                    DependencyFlavor::Independent
+                };
+                let mut inner = *ctx;
+                inner.block = Some((block, flavor));
+                total += eval(body, &inner);
+            }
+            total
+        }
+        Expr::CommSum(body) => {
+            let mut total = 0.0;
+            for event in &ctx.trace.mpi.events {
+                let mut inner = *ctx;
+                inner.event = Some(event);
+                total += eval(body, &inner);
+            }
+            total
+        }
+        Expr::OpSwitch(arms) => {
+            let op = ctx.event().op;
+            // NETBENCH's all_reduce estimate short-circuits to zero below
+            // two processes; mirror that guard.
+            if matches!(op, CommOp::AllReduce { .. }) && ctx.processes() <= 1 {
+                return 0.0;
+            }
+            let (_, body) = arms
+                .iter()
+                .find(|(kind, _)| kind.matches(op))
+                .expect("comm-op switch missing an arm for a traced operation");
+            eval(body, ctx)
+        }
+        Expr::OnBase(e) => {
+            let mut inner = *ctx;
+            inner.probes = ctx
+                .base_probes
+                .expect("OnBase leaf in a single-machine evaluation");
+            eval(e, &inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolver::Convolver;
+    use crate::prediction::predict_all;
+    use metasim_apps::registry::TestCase;
+    use metasim_apps::tracing::trace_workload;
+    use metasim_machines::{fleet, MachineId};
+    use metasim_probes::suite::ProbeSuite;
+    use metasim_tracer::analysis::analyze_dependencies;
+
+    #[test]
+    fn every_prediction_reduces_to_seconds() {
+        for m in MetricId::ALL {
+            let dim = prediction_expr(m).dim().unwrap_or_else(|e| {
+                panic!("{m}: formula is dimensionally inconsistent: {e}");
+            });
+            assert_eq!(dim, Dim::TIME, "{m} reduces to {dim}, not seconds");
+        }
+    }
+
+    #[test]
+    fn cost_dimensions_match_the_transfer_functions() {
+        // Simple metrics invert a rate; predictive metrics are real times.
+        assert_eq!(
+            cost_expr(MetricId::S1Hpl).dim().unwrap(),
+            Dim::FLOP_RATE.recip()
+        );
+        assert_eq!(
+            cost_expr(MetricId::S2Stream).dim().unwrap(),
+            Dim::BYTE_RATE.recip()
+        );
+        assert_eq!(
+            cost_expr(MetricId::S3Gups).dim().unwrap(),
+            Dim::UPDATE_RATE.recip()
+        );
+        for m in [
+            MetricId::P4Hpl,
+            MetricId::P5HplStream,
+            MetricId::P6HplStreamGups,
+            MetricId::P7HplMaps,
+            MetricId::P8HplMapsNet,
+            MetricId::P9HplMapsNetDep,
+        ] {
+            assert_eq!(cost_expr(m).dim().unwrap(), Dim::TIME, "{m}");
+        }
+    }
+
+    #[test]
+    fn dimension_errors_name_the_offending_node() {
+        let bad = Expr::Sum(vec![
+            Expr::Time(TimeSource::NetLatency),
+            Expr::Count(CountSource::EventBytes),
+        ]);
+        let err = bad.dim().unwrap_err();
+        assert!(err.0.contains("s vs B"), "{err}");
+    }
+
+    #[test]
+    fn dim_display_is_readable() {
+        assert_eq!(Dim::TIME.to_string(), "s");
+        assert_eq!(Dim::NONE.to_string(), "1");
+        assert_eq!(Dim::FLOP_RATE.to_string(), "flop/s");
+        assert_eq!(Dim::FLOP_RATE.recip().to_string(), "s/flop");
+    }
+
+    #[test]
+    fn probe_dataflow_per_metric() {
+        use ProbeQuantity as Q;
+        assert_eq!(
+            cost_expr(MetricId::S1Hpl).probe_quantities(),
+            vec![Q::HplRmax]
+        );
+        assert_eq!(
+            cost_expr(MetricId::P6HplStreamGups).probe_quantities(),
+            vec![Q::HplRmax, Q::StreamBandwidth, Q::GupsEffectiveBandwidth]
+        );
+        let nine = cost_expr(MetricId::P9HplMapsNetDep).probe_quantities();
+        for q in [
+            Q::HplRmax,
+            Q::MapsCurves,
+            Q::NetLatency,
+            Q::NetBandwidth,
+            Q::NetAllreduce64,
+        ] {
+            assert!(nine.contains(&q), "#9 must consume {q}");
+        }
+        assert!(cost_expr(MetricId::P9HplMapsNetDep).has_labeled_curves());
+        assert!(!cost_expr(MetricId::P8HplMapsNet).has_labeled_curves());
+    }
+
+    #[test]
+    fn formula_matches_convolver_bitwise() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let probes = suite.measure(f.get(MachineId::ArlAltix));
+        let trace = trace_workload(&TestCase::HycomStandard.workload(96));
+        let labels = analyze_dependencies(&trace.blocks);
+        let conv = Convolver::new(&probes);
+        for m in MetricId::ALL {
+            let from_ir = eval_cost(&cost_expr(m), &probes, &trace, &labels);
+            let from_convolver = conv.cost(m, &trace, &labels);
+            assert_eq!(
+                from_ir.to_bits(),
+                from_convolver.to_bits(),
+                "{m}: IR {from_ir:e} vs convolver {from_convolver:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_formula_matches_predict_all_bitwise() {
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let base = suite.measure(f.base());
+        let target = suite.measure(f.get(MachineId::ArlOpteron));
+        let trace = trace_workload(&TestCase::AvusStandard.workload(64));
+        let labels = analyze_dependencies(&trace.blocks);
+        let t0 = Seconds::new(4242.0);
+        let reference = predict_all(&trace, &labels, &target, &base, t0);
+        for (i, m) in MetricId::ALL.into_iter().enumerate() {
+            let from_ir = eval_prediction(&prediction_expr(m), &target, &base, &trace, &labels, t0);
+            assert_eq!(
+                from_ir.get().to_bits(),
+                reference[i].get().to_bits(),
+                "{m}: IR {from_ir} vs predict_all {}",
+                reference[i]
+            );
+        }
+    }
+}

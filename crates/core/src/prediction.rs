@@ -17,6 +17,7 @@
 use metasim_probes::suite::MachineProbes;
 use metasim_tracer::block::DependencyClass;
 use metasim_tracer::trace::ApplicationTrace;
+use metasim_units::Seconds;
 
 use crate::convolver::Convolver;
 use crate::metric::MetricId;
@@ -33,12 +34,12 @@ pub fn predict_all(
     dep_labels: &[DependencyClass],
     target: &MachineProbes,
     base: &MachineProbes,
-    time_base: f64,
-) -> [f64; 9] {
+    time_base: Seconds,
+) -> [Seconds; 9] {
     assert!(time_base > 0.0, "base runtime must be positive");
     let ct = Convolver::new(target);
     let cb = Convolver::new(base);
-    let mut out = [0.0; 9];
+    let mut out = [Seconds::new(0.0); 9];
     for (i, metric) in MetricId::ALL.into_iter().enumerate() {
         let _span = metasim_obs::recording()
             .then(|| metasim_obs::span(format!("metric:{}", metric.short_label())));
@@ -58,8 +59,8 @@ pub fn predict_one(
     dep_labels: &[DependencyClass],
     target: &MachineProbes,
     base: &MachineProbes,
-    time_base: f64,
-) -> f64 {
+    time_base: Seconds,
+) -> Seconds {
     let ct = Convolver::new(target);
     let cb = Convolver::new(base);
     ct.cost(metric, trace, dep_labels) / cb.cost(metric, trace, dep_labels) * time_base
@@ -83,7 +84,7 @@ mod tests {
         let labels = analyze_dependencies(&trace.blocks);
         for id in MachineId::TARGETS {
             let target = suite.measure(f.get(id));
-            let p = predict_all(&trace, &labels, &target, &base, 5000.0);
+            let p = predict_all(&trace, &labels, &target, &base, Seconds::new(5000.0));
             assert!(
                 (p[0] - p[3]).abs() / p[0] < 1e-9,
                 "{id}: #1 {} vs #4 {}",
@@ -100,10 +101,10 @@ mod tests {
         let base = suite.measure(f.base());
         let trace = trace_workload(&TestCase::AvusStandard.workload(32));
         let labels = analyze_dependencies(&trace.blocks);
-        let p = predict_all(&trace, &labels, &base, &base, 777.0);
+        let p = predict_all(&trace, &labels, &base, &base, Seconds::new(777.0));
         for (i, v) in p.iter().enumerate() {
             assert!(
-                (v - 777.0).abs() < 1e-9,
+                (v.get() - 777.0).abs() < 1e-9,
                 "metric {} self-prediction {v}",
                 i + 1
             );
@@ -118,10 +119,10 @@ mod tests {
         let target = suite.measure(f.get(MachineId::ArlOpteron));
         let trace = trace_workload(&TestCase::RfcthStandard.workload(32));
         let labels = analyze_dependencies(&trace.blocks);
-        let p1 = predict_all(&trace, &labels, &target, &base, 1000.0);
-        let p2 = predict_all(&trace, &labels, &target, &base, 2000.0);
+        let p1 = predict_all(&trace, &labels, &target, &base, Seconds::new(1000.0));
+        let p2 = predict_all(&trace, &labels, &target, &base, Seconds::new(2000.0));
         for (a, b) in p1.iter().zip(&p2) {
-            assert!((b / a - 2.0).abs() < 1e-9);
+            assert!((b.get() / a.get() - 2.0).abs() < 1e-9);
         }
     }
 
@@ -133,9 +134,16 @@ mod tests {
         let target = suite.measure(f.get(MachineId::AscSc45));
         let trace = trace_workload(&TestCase::Overflow2Standard.workload(48));
         let labels = analyze_dependencies(&trace.blocks);
-        let all = predict_all(&trace, &labels, &target, &base, 4321.0);
+        let all = predict_all(&trace, &labels, &target, &base, Seconds::new(4321.0));
         for (i, metric) in MetricId::ALL.into_iter().enumerate() {
-            let one = predict_one(metric, &trace, &labels, &target, &base, 4321.0);
+            let one = predict_one(
+                metric,
+                &trace,
+                &labels,
+                &target,
+                &base,
+                Seconds::new(4321.0),
+            );
             assert!((one - all[i]).abs() < 1e-9, "{metric}");
         }
     }
@@ -149,8 +157,8 @@ mod tests {
         let slow = suite.measure(f.get(MachineId::MhpccP3));
         let trace = trace_workload(&TestCase::AvusStandard.workload(64));
         let labels = analyze_dependencies(&trace.blocks);
-        let pf = predict_all(&trace, &labels, &fast, &base, 1000.0);
-        let ps = predict_all(&trace, &labels, &slow, &base, 1000.0);
+        let pf = predict_all(&trace, &labels, &fast, &base, Seconds::new(1000.0));
+        let ps = predict_all(&trace, &labels, &slow, &base, Seconds::new(1000.0));
         for (i, (a, b)) in pf.iter().zip(&ps).enumerate() {
             assert!(a < b, "metric {}: fast {a} vs slow {b}", i + 1);
         }
@@ -164,6 +172,6 @@ mod tests {
         let base = suite.measure(f.base());
         let trace = trace_workload(&TestCase::AvusStandard.workload(32));
         let labels = analyze_dependencies(&trace.blocks);
-        let _ = predict_all(&trace, &labels, &base, &base, 0.0);
+        let _ = predict_all(&trace, &labels, &base, &base, Seconds::new(0.0));
     }
 }

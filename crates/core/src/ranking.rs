@@ -37,8 +37,8 @@ pub fn group_tau(study: &Study, case: TestCase, cpus: u64, metric: MetricId) -> 
         .iter()
         .filter(|o| o.case == case && o.cpus == cpus)
     {
-        pred.push(o.predictions[metric.number() - 1]);
-        actual.push(o.actual);
+        pred.push(o.predictions[metric.number() - 1].get());
+        actual.push(o.actual.get());
     }
     kendall_tau(&pred, &actual).ok()
 }

@@ -7,13 +7,25 @@
 //! *rate* (GFLOP/s, GB/s, updates/s), for which a faster machine must
 //! predict a shorter time — so the implemented form inverts the ratio:
 //! `T′(X,Y) = R(X₀)/R(X) · T(X₀,Y)`. (DESIGN.md documents the convention.)
+//!
+//! Both forms are generic over the benchmark's dimension: the two scores
+//! must share it (you cannot divide GFLOP/s by GB/s), their ratio is
+//! dimensionless, and the product with the base time is [`Seconds`] — the
+//! type system enforces exactly the reduction `metasim lint` checks
+//! symbolically.
+
+use metasim_units::{Dimension, Quantity, Ratio, Seconds};
 
 /// Predict a target runtime from a rate-type benchmark pair (Equation 1).
 ///
 /// # Panics
 /// Debug-panics if any input is non-positive.
 #[must_use]
-pub fn predict_from_rate(rate_target: f64, rate_base: f64, time_base: f64) -> f64 {
+pub fn predict_from_rate<D: Dimension>(
+    rate_target: Quantity<D>,
+    rate_base: Quantity<D>,
+    time_base: Seconds,
+) -> Seconds {
     debug_assert!(rate_target > 0.0 && rate_base > 0.0 && time_base > 0.0);
     rate_base / rate_target * time_base
 }
@@ -21,24 +33,47 @@ pub fn predict_from_rate(rate_target: f64, rate_base: f64, time_base: f64) -> f6
 /// Predict from a cost-type score (bigger = slower), the literal printed
 /// form of Equation 1.
 #[must_use]
-pub fn predict_from_cost(cost_target: f64, cost_base: f64, time_base: f64) -> f64 {
+pub fn predict_from_cost<D: Dimension>(
+    cost_target: Quantity<D>,
+    cost_base: Quantity<D>,
+    time_base: Seconds,
+) -> Seconds {
     debug_assert!(cost_target > 0.0 && cost_base > 0.0 && time_base > 0.0);
     cost_target / cost_base * time_base
+}
+
+/// The dimensionless speedup factor of Equation 1 (base rate over target
+/// rate), exposed for callers that apply it to several base times.
+#[must_use]
+pub fn rate_ratio<D: Dimension>(rate_target: Quantity<D>, rate_base: Quantity<D>) -> Ratio {
+    rate_base / rate_target
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metasim_units::FlopsPerSec;
 
     #[test]
     fn twice_the_rate_halves_the_time() {
-        let t = predict_from_rate(2.0, 1.0, 100.0);
-        assert!((t - 50.0).abs() < 1e-12);
+        let t = predict_from_rate(
+            FlopsPerSec::new(2.0),
+            FlopsPerSec::new(1.0),
+            Seconds::new(100.0),
+        );
+        assert!((t.get() - 50.0).abs() < 1e-12);
     }
 
     #[test]
     fn equal_rates_reproduce_base_time() {
-        assert_eq!(predict_from_rate(3.3, 3.3, 1234.0), 1234.0);
+        assert_eq!(
+            predict_from_rate(
+                FlopsPerSec::new(3.3),
+                FlopsPerSec::new(3.3),
+                Seconds::new(1234.0)
+            ),
+            1234.0
+        );
     }
 
     #[test]
@@ -46,14 +81,37 @@ mod tests {
         // cost = 1/rate makes both forms agree.
         let rate_t = 4.0;
         let rate_b = 2.0;
-        let from_rate = predict_from_rate(rate_t, rate_b, 10.0);
-        let from_cost = predict_from_cost(1.0 / rate_t, 1.0 / rate_b, 10.0);
+        let from_rate = predict_from_rate(
+            FlopsPerSec::new(rate_t),
+            FlopsPerSec::new(rate_b),
+            Seconds::new(10.0),
+        );
+        let from_cost = predict_from_cost(
+            Seconds::new(1.0 / rate_t),
+            Seconds::new(1.0 / rate_b),
+            Seconds::new(10.0),
+        );
         assert!((from_rate - from_cost).abs() < 1e-12);
     }
 
     #[test]
     fn slower_machine_predicts_longer() {
-        assert!(predict_from_rate(0.5, 1.0, 100.0) > 100.0);
-        assert!(predict_from_cost(2.0, 1.0, 100.0) > 100.0);
+        assert!(
+            predict_from_rate(
+                FlopsPerSec::new(0.5),
+                FlopsPerSec::new(1.0),
+                Seconds::new(100.0)
+            ) > 100.0
+        );
+        assert!(
+            predict_from_cost(Seconds::new(2.0), Seconds::new(1.0), Seconds::new(100.0)) > 100.0
+        );
+    }
+
+    #[test]
+    fn rate_ratio_is_the_speedup_factor() {
+        let r = rate_ratio(FlopsPerSec::new(4.0), FlopsPerSec::new(2.0));
+        assert_eq!(r, 0.5);
+        assert_eq!(r * Seconds::new(100.0), 50.0);
     }
 }

@@ -17,6 +17,7 @@ use metasim_obs::SpanCtx;
 use metasim_probes::suite::ProbeSuite;
 use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
 use metasim_tracer::analysis::analyze_dependencies;
+use metasim_units::{Percent, Seconds};
 
 use crate::metric::MetricId;
 use crate::prediction::predict_all;
@@ -31,23 +32,23 @@ pub struct Observation {
     /// Target machine.
     pub machine: MachineId,
     /// Ground-truth ("measured") runtime on the target, seconds.
-    pub actual: f64,
+    pub actual: Seconds,
     /// Ground-truth runtime on the base system, seconds.
-    pub base_actual: f64,
+    pub base_actual: Seconds,
     /// Predicted runtimes, indexed by metric (0 = #1 … 8 = #9).
-    pub predictions: [f64; 9],
+    pub predictions: [Seconds; 9],
 }
 
 impl Observation {
     /// Signed percent error (Equation 2) for one metric.
     #[must_use]
-    pub fn signed_error(&self, metric: MetricId) -> f64 {
+    pub fn signed_error(&self, metric: MetricId) -> Percent {
         percent_error(self.predictions[metric.number() - 1], self.actual)
     }
 
     /// Absolute percent error for one metric.
     #[must_use]
-    pub fn absolute_error(&self, metric: MetricId) -> f64 {
+    pub fn absolute_error(&self, metric: MetricId) -> Percent {
         self.signed_error(metric).abs()
     }
 }
@@ -58,11 +59,11 @@ pub struct MetricErrorRow {
     /// The metric.
     pub metric: MetricId,
     /// Average absolute percent error across all observations.
-    pub mean_absolute: f64,
+    pub mean_absolute: Percent,
     /// Population standard deviation of the absolute errors.
-    pub stddev: f64,
+    pub stddev: Percent,
     /// Mean signed error (bias; not printed in the paper but informative).
-    pub mean_signed: f64,
+    pub mean_signed: Percent,
 }
 
 /// One row of Table 5.
@@ -71,7 +72,7 @@ pub struct SystemErrorRow {
     /// The system.
     pub machine: MachineId,
     /// Average absolute percent error per metric (0 = #1 … 8 = #9).
-    pub per_metric: [f64; 9],
+    pub per_metric: [Percent; 9],
 }
 
 /// The complete study result set.
@@ -188,7 +189,7 @@ impl Study {
                 let workload = case.workload(cpus);
                 let trace = traces.trace(&workload);
                 let labels = analyze_dependencies(&trace.blocks);
-                let base_actual = gt.run(case, cpus, base_cfg).seconds;
+                let base_actual = Seconds::new(gt.run(case, cpus, base_cfg).seconds);
 
                 let cpu_ctx = cpu.ctx();
                 MachineId::TARGETS
@@ -196,7 +197,7 @@ impl Study {
                     .map(|machine| {
                         let _m = cpu_ctx.span(format!("machine:{machine}"));
                         let target_cfg = fleet.get(machine);
-                        let actual = gt.run(case, cpus, target_cfg).seconds;
+                        let actual = Seconds::new(gt.run(case, cpus, target_cfg).seconds);
                         let target_probes = suite.measure(target_cfg);
                         let predictions =
                             predict_all(&trace, &labels, &target_probes, &base_probes, base_actual);
@@ -241,7 +242,7 @@ impl Study {
             for metric in MetricId::ALL {
                 metasim_obs::observe(
                     metasim_obs::recorder::SIGNED_ERROR_HISTOGRAM,
-                    o.signed_error(metric),
+                    o.signed_error(metric).get(),
                 );
             }
         }
@@ -386,7 +387,7 @@ impl Study {
     /// (processor count, metric) across the ten systems. Single filtered
     /// pass, accumulating all (count, metric) rows at once.
     #[must_use]
-    pub fn errors_by_app(&self, case: TestCase) -> Vec<(u64, [f64; 9])> {
+    pub fn errors_by_app(&self, case: TestCase) -> Vec<(u64, [Percent; 9])> {
         let counts = case.cpu_counts();
         let mut accs: Vec<[ErrorAccumulator; 9]> = counts
             .iter()
@@ -539,9 +540,9 @@ mod tests {
         // observation counts per system make it the plain mean).
         for (i, _) in MetricId::ALL.iter().enumerate() {
             let mean_over_systems: f64 =
-                t5.iter().map(|r| r.per_metric[i]).sum::<f64>() / t5.len() as f64;
+                t5.iter().map(|r| r.per_metric[i].get()).sum::<f64>() / t5.len() as f64;
             assert!(
-                (mean_over_systems - t4[i].mean_absolute).abs() < 1e-6,
+                (mean_over_systems - t4[i].mean_absolute.get()).abs() < 1e-6,
                 "metric {}: {} vs {}",
                 i + 1,
                 mean_over_systems,
@@ -703,10 +704,10 @@ mod tests {
         let store = ArtifactStore::open(&dir);
         let f = fleet();
         let mut doctored = study().clone();
-        doctored.observations[0].actual = f64::NAN;
+        doctored.observations[0].actual = Seconds::new(f64::NAN);
         // NaN cannot survive the JSON layer; smuggle the corruption in as a
         // negative runtime instead, which the MS304 audit-on-load catches.
-        doctored.observations[0].actual = -5.0;
+        doctored.observations[0].actual = Seconds::new(-5.0);
         store
             .store(STUDY_KIND, Study::store_key(&f), &doctored)
             .unwrap();

@@ -87,7 +87,7 @@ pub fn group_errors(study: &Study) -> Vec<GroupErrors> {
                 {
                     acc.record_signed_error(o.signed_error(metric));
                 }
-                errors[i] = acc.mean_absolute();
+                errors[i] = acc.mean_absolute().get();
             }
             GroupErrors { case, cpus, errors }
         })

@@ -44,7 +44,11 @@ pub fn verify(study: &Study) -> Vec<Claim> {
     let max_dev = study
         .observations
         .iter()
-        .map(|o| ((o.predictions[3] - o.predictions[0]) / o.predictions[0]).abs())
+        .map(|o| {
+            ((o.predictions[3] - o.predictions[0]) / o.predictions[0])
+                .get()
+                .abs()
+        })
         .fold(0.0f64, f64::max);
     claim(
         "convolver-sanity",
@@ -86,11 +90,11 @@ pub fn verify(study: &Study) -> Vec<Claim> {
         MetricId::P9HplMapsNetDep,
     ]
     .into_iter()
-    .map(err)
+    .map(|m| err(m).get())
     .fold(0.0f64, f64::max);
     let best_simple = [MetricId::S1Hpl, MetricId::S2Stream, MetricId::S3Gups]
         .into_iter()
-        .map(err)
+        .map(|m| err(m).get())
         .fold(f64::INFINITY, f64::min);
     claim(
         "convolution-wins",

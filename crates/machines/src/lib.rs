@@ -24,9 +24,6 @@
 //! assert!(base.memory.validate().is_ok());
 //! ```
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod builder;
 pub mod config;
 pub mod hpcmp;

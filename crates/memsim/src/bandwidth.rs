@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use metasim_stats::rng::SeededRng;
+use metasim_units::{Bytes, BytesPerSec, Seconds};
 
 use crate::hierarchy::{AccessProfile, HierarchySim};
 use crate::spec::MemorySpec;
@@ -87,20 +88,20 @@ pub struct BandwidthSample {
 }
 
 impl BandwidthSample {
-    /// Delivered bandwidth in bytes/second.
+    /// Delivered bandwidth.
     #[must_use]
-    pub fn bytes_per_second(&self) -> f64 {
+    pub fn bytes_per_second(&self) -> BytesPerSec {
         if self.seconds <= 0.0 {
-            0.0
+            BytesPerSec::new(0.0)
         } else {
-            self.bytes as f64 / self.seconds
+            Bytes::new(self.bytes as f64) / Seconds::new(self.seconds)
         }
     }
 
     /// Delivered bandwidth in GB/s (10^9 bytes).
     #[must_use]
     pub fn gb_per_second(&self) -> f64 {
-        self.bytes_per_second() / 1e9
+        self.bytes_per_second().get() / 1e9
     }
 }
 
@@ -224,7 +225,7 @@ mod tests {
     fn bandwidth_decreases_monotonically_in_working_set() {
         let s = spec();
         let sizes = [8u64 << 10, 256 << 10, 16 << 20];
-        let bws: Vec<f64> = sizes
+        let bws: Vec<_> = sizes
             .iter()
             .map(|&ws| {
                 measure_bandwidth(

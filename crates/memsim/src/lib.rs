@@ -46,9 +46,6 @@
 //! assert!(l1.bytes_per_second() > 2.0 * stream.bytes_per_second());
 //! ```
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod bandwidth;
 pub mod cache;
 pub mod hierarchy;

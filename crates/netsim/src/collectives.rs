@@ -7,6 +7,8 @@
 //! [`NetworkSpec`], so a low-latency fabric is automatically a good
 //! small-collective fabric.
 
+use metasim_units::Seconds;
+
 use crate::p2p::point_to_point_time;
 use crate::spec::NetworkSpec;
 
@@ -18,9 +20,9 @@ fn log2_ceil(p: u64) -> u64 {
 /// Barrier across `p` processes: a dissemination barrier of `⌈log₂ p⌉`
 /// zero-byte rounds.
 #[must_use]
-pub fn barrier_time(net: &NetworkSpec, p: u64) -> f64 {
+pub fn barrier_time(net: &NetworkSpec, p: u64) -> Seconds {
     if p <= 1 {
-        return 0.0;
+        return Seconds::new(0.0);
     }
     log2_ceil(p) as f64 * point_to_point_time(net, 0)
 }
@@ -30,9 +32,9 @@ pub fn barrier_time(net: &NetworkSpec, p: u64) -> f64 {
 /// Minimum of recursive doubling (`⌈log₂ p⌉` rounds of the full payload) and
 /// ring reduce-scatter + allgather (`2(p−1)` rounds of `bytes/p`).
 #[must_use]
-pub fn allreduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+pub fn allreduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> Seconds {
     if p <= 1 {
-        return 0.0;
+        return Seconds::new(0.0);
     }
     let doubling = log2_ceil(p) as f64 * point_to_point_time(net, bytes);
     let chunk = bytes.div_ceil(p);
@@ -43,9 +45,9 @@ pub fn allreduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
 /// Broadcast of `bytes` from one root to `p−1` others (binomial tree vs
 /// scatter+allgather).
 #[must_use]
-pub fn broadcast_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+pub fn broadcast_time(net: &NetworkSpec, p: u64, bytes: u64) -> Seconds {
     if p <= 1 {
-        return 0.0;
+        return Seconds::new(0.0);
     }
     let tree = log2_ceil(p) as f64 * point_to_point_time(net, bytes);
     let chunk = bytes.div_ceil(p);
@@ -57,19 +59,19 @@ pub fn broadcast_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
 /// All-to-all with `bytes` per destination pair: `p−1` exchange rounds,
 /// throttled by the fabric's bisection factor.
 #[must_use]
-pub fn alltoall_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+pub fn alltoall_time(net: &NetworkSpec, p: u64, bytes: u64) -> Seconds {
     if p <= 1 {
-        return 0.0;
+        return Seconds::new(0.0);
     }
     let per_round = net.latency
         + net.per_message_overhead
         + bytes as f64 / (net.bandwidth * net.bisection_factor);
-    (p - 1) as f64 * per_round
+    (p - 1) as f64 * Seconds::new(per_round)
 }
 
 /// Reduce (to a root): modelled with the same algorithms as broadcast.
 #[must_use]
-pub fn reduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> f64 {
+pub fn reduce_time(net: &NetworkSpec, p: u64, bytes: u64) -> Seconds {
     broadcast_time(net, p, bytes)
 }
 
@@ -107,7 +109,10 @@ mod tests {
         let n = net();
         let t16 = barrier_time(&n, 16);
         let t256 = barrier_time(&n, 256);
-        assert!((t256 / t16 - 2.0).abs() < 1e-9, "log2(256)/log2(16) = 2");
+        assert!(
+            ((t256 / t16).get() - 2.0).abs() < 1e-9,
+            "log2(256)/log2(16) = 2"
+        );
     }
 
     #[test]
@@ -151,7 +156,7 @@ mod tests {
         let n = net();
         let t32 = alltoall_time(&n, 33, 4096); // 32 rounds
         let t64 = alltoall_time(&n, 65, 4096); // 64 rounds
-        assert!((t64 / t32 - 2.0).abs() < 1e-9);
+        assert!(((t64 / t32).get() - 2.0).abs() < 1e-9);
     }
 
     #[test]

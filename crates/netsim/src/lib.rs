@@ -28,9 +28,6 @@
 //! assert!(t_big > t_small);
 //! ```
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod collectives;
 pub mod p2p;
 pub mod replay;

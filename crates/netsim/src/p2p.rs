@@ -1,33 +1,35 @@
 //! Point-to-point message cost model.
 
+use metasim_units::{Bytes, BytesPerSec, Seconds};
+
 use crate::spec::NetworkSpec;
 
-/// Time for one point-to-point message of `bytes`, seconds.
+/// Time for one point-to-point message of `bytes`.
 ///
 /// `L + o + n/B`, plus a rendezvous round trip (`2L`) for messages above the
 /// protocol threshold — the visible "knee" in real ping-pong curves.
 #[must_use]
-pub fn point_to_point_time(net: &NetworkSpec, bytes: u64) -> f64 {
+pub fn point_to_point_time(net: &NetworkSpec, bytes: u64) -> Seconds {
     let mut t = net.latency + net.per_message_overhead + bytes as f64 / net.bandwidth;
     if bytes > net.rendezvous_threshold {
         t += 2.0 * net.latency;
     }
-    t
+    Seconds::new(t)
 }
 
 /// Round-trip ping-pong time for one message size (what NETBENCH measures).
 #[must_use]
-pub fn ping_pong_time(net: &NetworkSpec, bytes: u64) -> f64 {
+pub fn ping_pong_time(net: &NetworkSpec, bytes: u64) -> Seconds {
     2.0 * point_to_point_time(net, bytes)
 }
 
-/// Effective delivered bandwidth for a given message size, bytes/second.
+/// Effective delivered bandwidth for a given message size.
 #[must_use]
-pub fn effective_bandwidth(net: &NetworkSpec, bytes: u64) -> f64 {
+pub fn effective_bandwidth(net: &NetworkSpec, bytes: u64) -> BytesPerSec {
     if bytes == 0 {
-        return 0.0;
+        return BytesPerSec::new(0.0);
     }
-    bytes as f64 / point_to_point_time(net, bytes)
+    Bytes::new(bytes as f64) / point_to_point_time(net, bytes)
 }
 
 #[cfg(test)]
@@ -39,7 +41,7 @@ mod tests {
     fn zero_byte_message_costs_latency_plus_overhead() {
         let n = NetworkSpec::example_cluster();
         let t = point_to_point_time(&n, 0);
-        assert!((t - (n.latency + n.per_message_overhead)).abs() < 1e-15);
+        assert!((t.get() - (n.latency + n.per_message_overhead)).abs() < 1e-15);
     }
 
     #[test]
@@ -47,7 +49,7 @@ mod tests {
         let n = NetworkSpec::example_cluster();
         let t1 = point_to_point_time(&n, 1024);
         let t2 = point_to_point_time(&n, 2048);
-        let slope = (t2 - t1) / 1024.0;
+        let slope = (t2 - t1).get() / 1024.0;
         assert!((slope - 1.0 / n.bandwidth).abs() / slope < 1e-9);
     }
 
@@ -56,7 +58,7 @@ mod tests {
         let n = NetworkSpec::example_cluster();
         let below = point_to_point_time(&n, n.rendezvous_threshold);
         let above = point_to_point_time(&n, n.rendezvous_threshold + 1);
-        assert!(above - below > 1.9 * n.latency);
+        assert!((above - below).get() > 1.9 * n.latency);
     }
 
     #[test]
@@ -78,6 +80,7 @@ mod tests {
     #[test]
     fn ping_pong_is_twice_one_way() {
         let n = NetworkSpec::example_cluster();
-        assert!((ping_pong_time(&n, 100) - 2.0 * point_to_point_time(&n, 100)).abs() < 1e-18);
+        let round = ping_pong_time(&n, 100) - 2.0 * point_to_point_time(&n, 100);
+        assert!(round.abs() < 1e-18);
     }
 }

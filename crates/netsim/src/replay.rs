@@ -5,6 +5,7 @@
 //! Metric #8 adds, and (with an imbalance factor layered on by the
 //! ground-truth model) the communication component of "real" runtimes.
 
+use metasim_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 use crate::collectives::{
@@ -79,7 +80,7 @@ impl CommEvent {
 
 /// Cost of one occurrence of `op` on `net` with `p` processes, seconds.
 #[must_use]
-pub fn op_time(net: &NetworkSpec, p: u64, op: CommOp) -> f64 {
+pub fn op_time(net: &NetworkSpec, p: u64, op: CommOp) -> Seconds {
     match op {
         CommOp::PointToPoint { bytes } => point_to_point_time(net, bytes),
         CommOp::Barrier => barrier_time(net, p),
@@ -94,7 +95,7 @@ pub fn op_time(net: &NetworkSpec, p: u64, op: CommOp) -> f64 {
 /// critical path (no overlap with computation assumed here; callers model
 /// overlap).
 #[must_use]
-pub fn replay(net: &NetworkSpec, p: u64, events: &[CommEvent]) -> f64 {
+pub fn replay(net: &NetworkSpec, p: u64, events: &[CommEvent]) -> Seconds {
     events
         .iter()
         .map(|e| e.count as f64 * op_time(net, p, e.op))

@@ -74,7 +74,7 @@ proptest! {
         let both = [e1[0], e2[0]];
         let sum = replay(&net, p, &e1) + replay(&net, p, &e2);
         let joint = replay(&net, p, &both);
-        prop_assert!((sum - joint).abs() < 1e-12 * sum.max(1e-30));
+        prop_assert!((sum - joint).abs() < 1e-12 * sum.max(metasim_units::Seconds::new(1e-30)));
     }
 
     // The allreduce algorithm switch never makes the chosen cost worse than

@@ -26,9 +26,6 @@
 //! [`InMemoryRecorder`] globally for one run, and tests inject a private
 //! recorder with [`with_recorder`] for isolation.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod audit;
 pub mod manifest;
 pub mod metrics;
@@ -282,7 +279,7 @@ mod tests {
             with_recorder(rec, || {
                 let _s = span("doomed");
                 panic!("boom");
-            })
+            });
         }));
         assert!(result.is_err());
         assert!(recorder().is_none(), "local recorder must be cleared");

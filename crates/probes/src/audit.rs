@@ -158,7 +158,7 @@ pub fn audit_probes(machine: &MachineConfig, probes: &MachineProbes, a: &mut Aud
         );
 
         // MS106: the curve should actually have a cache cliff.
-        if let (Some(&(_, l1)), plateau) = (maps.unit.points.first(), maps.unit.plateau()) {
+        if let (Some(&(_, l1)), plateau) = (maps.unit.points.first(), maps.unit.plateau().get()) {
             if plateau > 0.0 && l1 / plateau < MIN_PLATEAU_RATIO {
                 a.finding_at(
                     &MS106,
@@ -274,7 +274,8 @@ mod tests {
             p.1 *= 100.0;
         }
         // HPL beats peak: MS105.
-        probes.hpl.rmax_gflops_per_proc = m.processor.peak_gflops() * 2.0;
+        probes.hpl.rmax_gflops_per_proc =
+            metasim_units::Gflops::new(m.processor.peak_gflops() * 2.0);
         let report = audit_value(|a| audit_probes(m, &probes, a));
         assert!(report.has_code("MS104"), "{report}");
         assert!(report.has_code("MS105"), "{report}");
@@ -297,7 +298,7 @@ mod tests {
         let f = fleet();
         let m = f.get(MachineId::ArlXeon);
         let mut probes = MachineProbes::measure(m);
-        let plateau = probes.maps.unit.plateau();
+        let plateau = probes.maps.unit.plateau().get();
         for p in &mut probes.maps.unit.points {
             p.1 = plateau;
         }

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use metasim_machines::MachineConfig;
 use metasim_memsim::bandwidth::{measure_bandwidth, Workload, ELEMENT_BYTES};
 use metasim_memsim::timing::{AccessKind, DependencyMode};
+use metasim_units::{BytesPerSec, UpdatesPerSec};
 
 /// Result of the GUPS probe.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -16,20 +17,20 @@ pub struct GupsResult {
     /// Table size used, bytes.
     pub table_bytes: u64,
     /// Updates per second.
-    pub updates_per_second: f64,
+    pub updates_per_second: UpdatesPerSec,
 }
 
 impl GupsResult {
     /// Giga-updates per second — the headline GUPS figure.
     #[must_use]
     pub fn gups(&self) -> f64 {
-        self.updates_per_second / 1e9
+        self.updates_per_second.get() / 1e9
     }
 
     /// Effective random-access bandwidth in bytes/second (8 B per update).
     #[must_use]
-    pub fn effective_bandwidth(&self) -> f64 {
-        self.updates_per_second * ELEMENT_BYTES as f64
+    pub fn effective_bandwidth(&self) -> BytesPerSec {
+        BytesPerSec::new(self.updates_per_second.get() * ELEMENT_BYTES as f64)
     }
 }
 
@@ -56,9 +57,9 @@ pub fn measure_gups(machine: &MachineConfig) -> GupsResult {
     GupsResult {
         table_bytes,
         updates_per_second: if sample.seconds > 0.0 {
-            updates / sample.seconds
+            UpdatesPerSec::new(updates / sample.seconds)
         } else {
-            0.0
+            UpdatesPerSec::new(0.0)
         },
     }
 }

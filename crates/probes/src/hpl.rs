@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use metasim_machines::MachineConfig;
 use metasim_netsim::collectives::broadcast_time;
+use metasim_units::{FlopsPerSec, Gflops, Ratio, Seconds};
 
 /// Result of an HPL run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,24 +27,24 @@ pub struct HplResult {
     /// Processes used.
     pub processes: u64,
     /// Wall-clock seconds of the modelled factorization.
-    pub seconds: f64,
+    pub seconds: Seconds,
     /// Reported Rmax per processor, GFLOP/s.
-    pub rmax_gflops_per_proc: f64,
+    pub rmax_gflops_per_proc: Gflops,
     /// Theoretical peak per processor, GFLOP/s.
-    pub rpeak_gflops_per_proc: f64,
+    pub rpeak_gflops_per_proc: Gflops,
 }
 
 impl HplResult {
     /// Rmax/Rpeak efficiency actually achieved.
     #[must_use]
-    pub fn efficiency(&self) -> f64 {
+    pub fn efficiency(&self) -> Ratio {
         self.rmax_gflops_per_proc / self.rpeak_gflops_per_proc
     }
 
     /// Rmax per processor in FLOP/s.
     #[must_use]
-    pub fn rmax_flops_per_proc(&self) -> f64 {
-        self.rmax_gflops_per_proc * 1e9
+    pub fn rmax_flops_per_proc(&self) -> FlopsPerSec {
+        self.rmax_gflops_per_proc.flops_per_sec()
     }
 }
 
@@ -71,7 +72,7 @@ pub fn measure_hpl(machine: &MachineConfig, processes: u64) -> HplResult {
     // roughly (N - k·nb)·nb doubles across the process row (√p wide).
     let row = (processes as f64).sqrt().max(1.0) as u64;
     let iterations = n / BLOCK;
-    let mut comm_seconds = 0.0;
+    let mut comm_seconds = Seconds::new(0.0);
     if row > 1 {
         for k in 0..iterations {
             let rows_left = n - k * BLOCK;
@@ -80,14 +81,14 @@ pub fn measure_hpl(machine: &MachineConfig, processes: u64) -> HplResult {
         }
     }
 
-    let seconds = compute_seconds + comm_seconds;
+    let seconds = compute_seconds + comm_seconds.get();
     let rmax_total = total_flops / seconds;
     HplResult {
         n,
         processes,
-        seconds,
-        rmax_gflops_per_proc: rmax_total / processes as f64 / 1e9,
-        rpeak_gflops_per_proc: machine.processor.peak_gflops(),
+        seconds: Seconds::new(seconds),
+        rmax_gflops_per_proc: Gflops::new(rmax_total / processes as f64 / 1e9),
+        rpeak_gflops_per_proc: Gflops::new(machine.processor.peak_gflops()),
     }
 }
 
@@ -138,7 +139,7 @@ mod tests {
         let expect = m.processor.peak_gflops() * m.processor.hpl_efficiency;
         // With no broadcasts, the only deviation from kernel rate is the
         // N² term's share, which is tiny at this N.
-        assert!((r.rmax_gflops_per_proc - expect).abs() / expect < 0.01);
+        assert!((r.rmax_gflops_per_proc.get() - expect).abs() / expect < 0.01);
     }
 
     #[test]

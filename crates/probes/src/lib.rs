@@ -34,9 +34,6 @@
 //! assert!(probes.hpl.rmax_gflops_per_proc < probes.hpl.rpeak_gflops_per_proc);
 //! ```
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod audit;
 pub mod gups;
 pub mod hpl;

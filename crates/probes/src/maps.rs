@@ -20,6 +20,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use metasim_machines::MachineConfig;
 use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
 use metasim_memsim::timing::{AccessKind, DependencyMode};
+use metasim_units::BytesPerSec;
 
 /// Which inner-loop flavour a curve was measured with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -118,33 +119,33 @@ impl MapsCurve {
     /// # Panics
     /// Panics if the curve is empty.
     #[must_use]
-    pub fn bandwidth_at(&self, working_set: u64) -> f64 {
+    pub fn bandwidth_at(&self, working_set: u64) -> BytesPerSec {
         assert!(!self.points.is_empty(), "empty MAPS curve");
         let ws = working_set.max(1) as f64;
         let first = self.points[0];
         let last = *self.points.last().expect("non-empty");
         if ws <= first.0 as f64 {
-            return first.1;
+            return BytesPerSec::new(first.1);
         }
         if ws >= last.0 as f64 {
-            return last.1;
+            return BytesPerSec::new(last.1);
         }
         let idx = self.points.partition_point(|&(size, _)| (size as f64) < ws);
         let (s0, b0) = self.points[idx - 1];
         let (s1, b1) = self.points[idx];
         if s0 == s1 {
-            return b0;
+            return BytesPerSec::new(b0);
         }
         let logs = self.log_sizes();
         let t = (ws.ln() - logs[idx - 1]) / (logs[idx] - logs[idx - 1]);
-        b0 + t * (b1 - b0)
+        BytesPerSec::new(b0 + t * (b1 - b0))
     }
 
     /// The main-memory plateau: the last (largest working set) point — this
     /// is "the lower right-hand portion" that matches STREAM/GUPS (§3).
     #[must_use]
-    pub fn plateau(&self) -> f64 {
-        self.points.last().map_or(0.0, |&(_, bw)| bw)
+    pub fn plateau(&self) -> BytesPerSec {
+        BytesPerSec::new(self.points.last().map_or(0.0, |&(_, bw)| bw))
     }
 }
 
@@ -206,7 +207,7 @@ fn measure_curve(machine: &MachineConfig, kind: AccessKind, flavor: DependencyFl
         .map(|&ws| {
             let sample =
                 measure_bandwidth(&machine.memory, &Workload::new(ws, kind, flavor.mode()));
-            (ws, sample.bytes_per_second())
+            (ws, sample.bytes_per_second().get())
         })
         .collect();
     MapsCurve::new(kind, flavor, points)
@@ -322,7 +323,7 @@ mod tests {
         assert_eq!(curve.bandwidth_at(1 << 30), 2e9);
         // Log-midpoint of 1024..4096 is 2048.
         let mid = curve.bandwidth_at(2048);
-        assert!((mid - 6e9).abs() / 6e9 < 1e-9, "got {mid}");
+        assert!((mid.get() - 6e9).abs() / 6e9 < 1e-9, "got {mid}");
         // Monotone between the ends.
         assert!(curve.bandwidth_at(1500) > curve.bandwidth_at(3000));
     }

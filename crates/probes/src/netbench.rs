@@ -14,42 +14,43 @@ use serde::{Deserialize, Serialize};
 use metasim_machines::MachineConfig;
 use metasim_netsim::collectives::allreduce_time;
 use metasim_netsim::p2p::ping_pong_time;
+use metasim_units::{Bytes, BytesPerSec, Seconds};
 
 /// Measured network characteristics for one machine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetbenchResult {
     /// Measured one-way small-message latency, seconds (half the zero-byte
     /// ping-pong round trip; includes software overhead).
-    pub latency: f64,
+    pub latency: Seconds,
     /// Measured large-message bandwidth, bytes/second.
-    pub bandwidth: f64,
+    pub bandwidth: BytesPerSec,
     /// Measured 8-byte `all_reduce` time at 64 processes, seconds — the
     /// balanced-rating category score.
-    pub allreduce_64p: f64,
+    pub allreduce_64p: Seconds,
 }
 
 impl NetbenchResult {
     /// Estimated time for one point-to-point message of `bytes`, using the
     /// *measured* latency/bandwidth (what Metric #8 convolves with).
     #[must_use]
-    pub fn p2p_estimate(&self, bytes: u64) -> f64 {
-        self.latency + bytes as f64 / self.bandwidth
+    pub fn p2p_estimate(&self, bytes: u64) -> Seconds {
+        self.latency + Bytes::new(bytes as f64) / self.bandwidth
     }
 
     /// Estimated `all_reduce` time at `p` processes for `bytes`, scaling the
     /// measured 64-process score the way a benchmark consumer would:
     /// logarithmically in `p`, linearly in payload above the measured size.
     #[must_use]
-    pub fn allreduce_estimate(&self, p: u64, bytes: u64) -> f64 {
+    pub fn allreduce_estimate(&self, p: u64, bytes: u64) -> Seconds {
         if p <= 1 {
-            return 0.0;
+            return Seconds::new(0.0);
         }
         let log_scale = ((p as f64).log2() / 6.0).max(0.17); // 64 = 2^6
         let base = self.allreduce_64p * log_scale;
         // Payload beyond the 8-byte measurement moves at measured bandwidth
         // per doubling stage.
         let extra_bytes = bytes.saturating_sub(8) as f64;
-        base + (p as f64).log2().ceil() * extra_bytes / self.bandwidth
+        base + Bytes::new((p as f64).log2().ceil() * extra_bytes) / self.bandwidth
     }
 }
 
@@ -64,7 +65,7 @@ pub fn measure_netbench(machine: &MachineConfig) -> NetbenchResult {
     let latency = ping_pong_time(net, 0) / 2.0;
     // Large-message ping-pong: delivered bandwidth.
     let t = ping_pong_time(net, BW_MESSAGE) / 2.0;
-    let bandwidth = BW_MESSAGE as f64 / t;
+    let bandwidth = Bytes::new(BW_MESSAGE as f64) / t;
     NetbenchResult {
         latency,
         bandwidth,

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use metasim_machines::MachineConfig;
 use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
 use metasim_memsim::timing::{AccessKind, DependencyMode};
+use metasim_units::BytesPerSec;
 
 /// Result of the STREAM probe.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -16,14 +17,14 @@ pub struct StreamResult {
     /// Working set used, bytes.
     pub working_set: u64,
     /// Delivered bandwidth, bytes/second.
-    pub bandwidth: f64,
+    pub bandwidth: BytesPerSec,
 }
 
 impl StreamResult {
     /// Bandwidth in GB/s.
     #[must_use]
     pub fn gb_per_second(&self) -> f64 {
-        self.bandwidth / 1e9
+        self.bandwidth.get() / 1e9
     }
 }
 
@@ -105,7 +106,7 @@ mod tests {
     fn gb_conversion() {
         let r = StreamResult {
             working_set: 1,
-            bandwidth: 2.5e9,
+            bandwidth: BytesPerSec::new(2.5e9),
         };
         assert!((r.gb_per_second() - 2.5).abs() < 1e-12);
     }

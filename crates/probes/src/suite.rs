@@ -216,7 +216,7 @@ mod tests {
                 })
             })
             .collect();
-        let values: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let values: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(values.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(suite.measured_count(), 1);
     }

@@ -62,22 +62,22 @@ fn curve_interpolation_is_continuous_at_knots() {
         vec![(1 << 12, 8e9), (1 << 14, 4e9), (1 << 18, 1e9)],
     );
     for &(ws, bw) in &curve.points {
-        assert!((curve.bandwidth_at(ws) - bw).abs() / bw < 1e-9);
+        assert!((curve.bandwidth_at(ws).get() - bw).abs() / bw < 1e-9);
         // One byte either side is close.
-        assert!((curve.bandwidth_at(ws + 1) - bw).abs() / bw < 0.01);
-        assert!((curve.bandwidth_at(ws - 1) - bw).abs() / bw < 0.01);
+        assert!((curve.bandwidth_at(ws + 1).get() - bw).abs() / bw < 0.01);
+        assert!((curve.bandwidth_at(ws - 1).get() - bw).abs() / bw < 0.01);
     }
 }
 
 #[test]
 fn hpl_rmax_ordering_is_deterministic() {
     let f = fleet();
-    let a: Vec<f64> = MachineId::TARGETS
+    let a: Vec<_> = MachineId::TARGETS
         .iter()
         .map(|&id| suite().measure(f.get(id)).hpl.rmax_gflops_per_proc)
         .collect();
     let fresh = ProbeSuite::new();
-    let b: Vec<f64> = MachineId::TARGETS
+    let b: Vec<_> = MachineId::TARGETS
         .iter()
         .map(|&id| fresh.measure(f.get(id)).hpl.rmax_gflops_per_proc)
         .collect();

@@ -31,8 +31,9 @@ pub fn ascii_bar_chart(title: &str, groups: &[BarGroup], width: usize) -> String
             debug_assert!(*value >= 0.0, "bar values must be non-negative");
             let n = ((value / max) * width as f64).round() as usize;
             out.push_str(&format!(
-                "  {label:<label_w$} |{} {value:.1}\n",
-                "#".repeat(n)
+                "  {label:<label_w$} |{} {}\n",
+                "#".repeat(n),
+                crate::table::f1(*value)
             ));
         }
     }

@@ -2,9 +2,6 @@
 //! ASCII bar/line charts, and minimal SVG — everything the CLI and benches
 //! use to print the paper's tables and figures.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod chart;
 pub mod csv;
 pub mod svg;

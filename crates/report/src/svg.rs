@@ -117,9 +117,10 @@ pub fn bar_chart_svg(
         let color = PALETTE[i % PALETTE.len()];
         svg.push_str(&format!(
             "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{color}\"/>\n\
-             <text x=\"{vx:.1}\" y=\"{vy:.1}\" text-anchor=\"middle\">{value:.0}</text>\n\
+             <text x=\"{vx:.1}\" y=\"{vy:.1}\" text-anchor=\"middle\">{value_label}</text>\n\
              <text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"end\" \
              transform=\"rotate(-45 {lx:.1} {ly:.1})\">{label}</text>\n",
+            value_label = crate::table::f1(*value),
             vx = x + bar_w / 2.0,
             vy = y - 4.0,
             lx = x + bar_w / 2.0,

@@ -1,5 +1,7 @@
 //! Aligned plain-text table rendering.
 
+use metasim_units::Percent;
+
 /// Column alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Align {
@@ -136,16 +138,22 @@ impl Table {
     }
 }
 
-/// Format a float with one decimal (the paper's table precision).
+/// Format a value with one decimal (the paper's §4 composite precision).
+///
+/// Accepts anything convertible to `f64` — bare floats, [`Percent`],
+/// `Seconds`, … — and delegates to [`Percent::one_decimal`], the single
+/// definition of this precision, so tables, CSVs, and charts cannot
+/// drift apart.
 #[must_use]
-pub fn f1(x: f64) -> String {
-    format!("{x:.1}")
+pub fn f1(x: impl Into<f64>) -> String {
+    Percent::new(x.into()).one_decimal()
 }
 
-/// Format a float as a whole number (the paper's error tables).
+/// Format a value as a whole number (the paper's error-table precision);
+/// delegates to [`Percent::paper`].
 #[must_use]
-pub fn f0(x: f64) -> String {
-    format!("{x:.0}")
+pub fn f0(x: impl Into<f64>) -> String {
+    Percent::new(x.into()).paper()
 }
 
 #[cfg(test)]

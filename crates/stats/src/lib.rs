@@ -19,17 +19,16 @@
 //! ```
 //! use metasim_stats::descriptive::Summary;
 //! use metasim_stats::error_metrics::percent_error;
+//! use metasim_units::Seconds;
 //!
-//! // Equation 2 of the paper: (T' - T) / T * 100.
-//! let err = percent_error(90.0, 100.0);
-//! assert!((err - -10.0).abs() < 1e-12);
+//! // Equation 2 of the paper: (T' - T) / T * 100. The inputs are typed
+//! // runtimes; the output is a `Percent`, not another runtime.
+//! let err = percent_error(Seconds::new(90.0), Seconds::new(100.0));
+//! assert!((err.get() - -10.0).abs() < 1e-12);
 //!
 //! let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
 //! assert_eq!(s.mean, 2.5);
 //! ```
-
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
 
 pub mod bootstrap;
 pub mod correlation;

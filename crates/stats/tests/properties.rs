@@ -77,15 +77,15 @@ proptest! {
     #[test]
     fn percent_error_round_trip(actual in 1e-3f64..1e6, signed in -99.0f64..500.0) {
         let predicted = actual * (1.0 + signed / 100.0);
-        let e = percent_error(predicted, actual);
-        prop_assert!((e - signed).abs() < 1e-6 * (1.0 + signed.abs()));
+        let e = percent_error(metasim_units::Seconds::new(predicted), metasim_units::Seconds::new(actual));
+        prop_assert!((e.get() - signed).abs() < 1e-6 * (1.0 + signed.abs()));
     }
 
     #[test]
     fn error_accumulator_mean_abs_bounds_mean_signed(pairs in prop::collection::vec((1e-3f64..1e4, 1e-3f64..1e4), 1..64)) {
         let mut acc = ErrorAccumulator::new();
         for (p, a) in &pairs {
-            acc.record(*p, *a);
+            acc.record(metasim_units::Seconds::new(*p), metasim_units::Seconds::new(*a));
         }
         prop_assert!(acc.mean_absolute() >= acc.mean_signed().abs() - 1e-9);
         prop_assert!(acc.mean_absolute() >= 0.0);

@@ -23,9 +23,6 @@
 //! performance-counter mode ([`counters`]) is the cheap alternative that
 //! suffices for Metrics #4–#5.
 
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
-
 pub mod analysis;
 pub mod block;
 pub mod counters;

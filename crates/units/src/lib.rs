@@ -1,0 +1,674 @@
+//! Units of measure for the `metasim` workspace.
+//!
+//! The SC'05 study this workspace reproduces is a pile of rate arithmetic:
+//! Equation 1 scales a base runtime by a ratio of benchmark scores (GFLOP/s,
+//! GB/s, updates/s), the convolution metrics divide traced operation counts
+//! by probe-measured rates, and Equation 2 folds 1,350 signed percent
+//! errors. With every quantity a bare `f64`, a seconds-for-hertz or
+//! GB-for-GiB slip compiles, runs, and silently corrupts Table 4.
+//!
+//! This crate makes such slips *compile errors*: [`Quantity<D>`] is a
+//! zero-cost `f64` newtype carrying a dimension phantom, and the only
+//! `Mul`/`Div` impls provided are the dimensionally legal ones —
+//! `Bytes / BytesPerSec = Seconds`, `FlopsPerSec * Seconds = Flops`,
+//! same-dimension division yields a [`Ratio`], and so on. There is no
+//! blanket "multiply anything" escape hatch; crossing dimensions requires
+//! an explicit named conversion (e.g. [`Gflops::flops_per_sec`]).
+//!
+//! Two invariants keep the rest of the workspace byte-identical to its
+//! untyped history:
+//!
+//! * The wrapped value is stored exactly as the old code stored it (same
+//!   scale, same IEEE bits); every arithmetic impl performs the same single
+//!   `f64` operation the open-coded expression performed.
+//! * `Display`/`Debug` forward to `f64`, so formatted output (CSV exports,
+//!   table cells, log lines) is unchanged, and serde round-trips through
+//!   the same `f64` value representation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A dimension marker: a zero-sized type naming what a [`Quantity`]
+/// measures. The `LABEL` shows up in `Debug`-style diagnostics only.
+pub trait Dimension: Copy + Clone + PartialEq + fmt::Debug + Default + 'static {
+    /// Human-readable unit label, e.g. `"s"` or `"B/s"`.
+    const LABEL: &'static str;
+}
+
+macro_rules! dimensions {
+    ($($(#[$doc:meta])* $marker:ident => $label:literal, $alias:ident;)*) => {$(
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $marker;
+        impl Dimension for $marker {
+            const LABEL: &'static str = $label;
+        }
+        $(#[$doc])*
+        pub type $alias = Quantity<$marker>;
+    )*};
+}
+
+dimensions! {
+    /// Wall-clock or modelled time in seconds.
+    SecondsDim => "s", Seconds;
+    /// A byte count (payloads, working sets as continuous quantities).
+    BytesDim => "B", Bytes;
+    /// A floating-point operation count.
+    FlopsDim => "flop", Flops;
+    /// A random-access update count (GUPS table updates).
+    UpdatesDim => "up", Updates;
+    /// A floating-point rate in FLOP/s.
+    FlopsPerSecDim => "flop/s", FlopsPerSec;
+    /// A memory/network bandwidth in bytes/s.
+    BytesPerSecDim => "B/s", BytesPerSec;
+    /// A random-access rate in updates/s.
+    UpdatesPerSecDim => "up/s", UpdatesPerSec;
+    /// A floating-point rate at the GFLOP/s scale (how HPL results are
+    /// quoted). Deliberately distinct from [`FlopsPerSec`]: converting
+    /// requires the explicit [`Gflops::flops_per_sec`] call, so a stray
+    /// `1e9` can never be silently dropped or doubled.
+    GflopsDim => "Gflop/s", Gflops;
+}
+
+/// An `f64` tagged with the dimension it measures.
+///
+/// Construction ([`Quantity::new`]) and extraction ([`Quantity::get`]) are
+/// explicit; arithmetic between quantities is restricted to the legal
+/// dimension algebra implemented below.
+#[derive(Clone, Copy, Default)]
+pub struct Quantity<D: Dimension>(f64, PhantomData<D>);
+
+impl<D: Dimension> Quantity<D> {
+    /// Wrap a raw value already expressed in this dimension's unit.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value, PhantomData)
+    }
+
+    /// The raw value. This is the *only* way back to `f64`; call sites
+    /// using it mark exactly where the typed world ends.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value, same dimension.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self::new(self.0.abs())
+    }
+
+    /// Is the wrapped value finite?
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Elementwise max (mirrors `f64::max`, used for overlap models).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self::new(self.0.max(other.0))
+    }
+
+    /// Elementwise min (mirrors `f64::min`).
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self::new(self.0.min(other.0))
+    }
+
+    /// Total ordering on the wrapped value (mirrors `f64::total_cmp`).
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Gflops {
+    /// The same rate at the base FLOP/s scale (× 1e9). The only bridge
+    /// between the GFLOP/s world HPL reports in and the FLOP/s world the
+    /// convolver divides flop counts by.
+    #[must_use]
+    pub fn flops_per_sec(self) -> FlopsPerSec {
+        FlopsPerSec::new(self.0 * 1e9)
+    }
+}
+
+// --- formatting: forward to f64 so output stays byte-identical -----------
+
+impl<D: Dimension> fmt::Display for Quantity<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl<D: Dimension> fmt::Debug for Quantity<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl<D: Dimension> fmt::LowerExp for Quantity<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerExp::fmt(&self.0, f)
+    }
+}
+
+// --- comparisons ----------------------------------------------------------
+
+impl<D: Dimension> PartialEq for Quantity<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<D: Dimension> PartialOrd for Quantity<D> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+/// Comparisons against bare `f64` are allowed (thresholds, literals in
+/// tests); they read as "compare the magnitude", which is unambiguous.
+impl<D: Dimension> PartialEq<f64> for Quantity<D> {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl<D: Dimension> PartialOrd<f64> for Quantity<D> {
+    fn partial_cmp(&self, other: &f64) -> Option<Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+// --- serde: transparent f64 ----------------------------------------------
+
+impl<D: Dimension> Serialize for Quantity<D> {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl<D: Dimension> Deserialize for Quantity<D> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(Self::new)
+    }
+}
+
+// --- same-dimension algebra ----------------------------------------------
+
+impl<D: Dimension> Add for Quantity<D> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.0 + rhs.0)
+    }
+}
+
+impl<D: Dimension> Sub for Quantity<D> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.0 - rhs.0)
+    }
+}
+
+impl<D: Dimension> AddAssign for Quantity<D> {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl<D: Dimension> Neg for Quantity<D> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.0)
+    }
+}
+
+impl<D: Dimension> Sum for Quantity<D> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self::new(iter.map(Quantity::get).sum())
+    }
+}
+
+/// Same-dimension division cancels the dimension: a [`Ratio`].
+impl<D: Dimension> Div for Quantity<D> {
+    type Output = Ratio;
+    fn div(self, rhs: Self) -> Ratio {
+        Ratio::new(self.0 / rhs.0)
+    }
+}
+
+// --- scalar scaling -------------------------------------------------------
+
+impl<D: Dimension> Mul<f64> for Quantity<D> {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.0 * rhs)
+    }
+}
+
+impl<D: Dimension> Mul<Quantity<D>> for f64 {
+    type Output = Quantity<D>;
+    fn mul(self, rhs: Quantity<D>) -> Quantity<D> {
+        Quantity::new(self * rhs.0)
+    }
+}
+
+impl<D: Dimension> Div<f64> for Quantity<D> {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.0 / rhs)
+    }
+}
+
+// --- the rate triples: count / rate = time, etc. --------------------------
+
+macro_rules! rate_triple {
+    ($count:ident, $rate:ident) => {
+        impl Div<Quantity<$rate>> for Quantity<$count> {
+            type Output = Seconds;
+            fn div(self, rhs: Quantity<$rate>) -> Seconds {
+                Seconds::new(self.0 / rhs.0)
+            }
+        }
+        impl Div<Seconds> for Quantity<$count> {
+            type Output = Quantity<$rate>;
+            fn div(self, rhs: Seconds) -> Quantity<$rate> {
+                Quantity::new(self.0 / rhs.0)
+            }
+        }
+        impl Mul<Seconds> for Quantity<$rate> {
+            type Output = Quantity<$count>;
+            fn mul(self, rhs: Seconds) -> Quantity<$count> {
+                Quantity::new(self.0 * rhs.0)
+            }
+        }
+        impl Mul<Quantity<$rate>> for Seconds {
+            type Output = Quantity<$count>;
+            fn mul(self, rhs: Quantity<$rate>) -> Quantity<$count> {
+                Quantity::new(self.0 * rhs.0)
+            }
+        }
+    };
+}
+
+rate_triple!(BytesDim, BytesPerSecDim);
+rate_triple!(FlopsDim, FlopsPerSecDim);
+rate_triple!(UpdatesDim, UpdatesPerSecDim);
+
+// --- Ratio ----------------------------------------------------------------
+
+/// A dimensionless quotient of two same-dimension quantities.
+///
+/// Multiplying a `Ratio` back into any [`Quantity`] preserves that
+/// quantity's dimension — the algebraic heart of Equation 1:
+/// `T' = (cost_target / cost_base) * T_base` is `Ratio * Seconds = Seconds`.
+#[derive(Clone, Copy, Default)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Wrap a raw dimensionless value.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// This ratio expressed as a [`Percent`] (× 100).
+    #[must_use]
+    pub fn percent(self) -> Percent {
+        Percent::new(self.0 * 100.0)
+    }
+}
+
+impl<D: Dimension> Mul<Quantity<D>> for Ratio {
+    type Output = Quantity<D>;
+    fn mul(self, rhs: Quantity<D>) -> Quantity<D> {
+        Quantity::new(self.0 * rhs.0)
+    }
+}
+
+impl<D: Dimension> Mul<Ratio> for Quantity<D> {
+    type Output = Quantity<D>;
+    fn mul(self, rhs: Ratio) -> Quantity<D> {
+        Quantity::new(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl PartialEq<f64> for Ratio {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialOrd<f64> for Ratio {
+    fn partial_cmp(&self, other: &f64) -> Option<Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl Serialize for Ratio {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for Ratio {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(Self::new)
+    }
+}
+
+// --- Percent --------------------------------------------------------------
+
+/// A percent error or share (Equation 2 of the paper): a dimensionless
+/// value already scaled by 100.
+///
+/// Alongside the arithmetic the study needs (signed accumulation, absolute
+/// values, comparisons), `Percent` owns the *one* set of rendering helpers
+/// every table, CSV, and chart uses, so the paper's mixed one-decimal /
+/// whole-number precision is decided in exactly one place.
+#[derive(Clone, Copy, Default)]
+pub struct Percent(f64);
+
+impl Percent {
+    /// Wrap a raw percent value (already × 100).
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// The raw percent value.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Self::new(self.0.abs())
+    }
+
+    /// Is the wrapped value finite?
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Total ordering (mirrors `f64::total_cmp`).
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// The paper's error-table precision: whole number (`"63"`).
+    #[must_use]
+    pub fn paper(self) -> String {
+        format!("{:.0}", self.0)
+    }
+
+    /// One-decimal rendering (`"62.5"`), the §4 composite-table precision.
+    #[must_use]
+    pub fn one_decimal(self) -> String {
+        format!("{:.1}", self.0)
+    }
+
+    /// Signed one-decimal rendering (`"+4.2"` / `"-10.0"`), used where the
+    /// error's direction matters.
+    #[must_use]
+    pub fn signed_one_decimal(self) -> String {
+        format!("{:+.1}", self.0)
+    }
+}
+
+impl Add for Percent {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Percent {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<f64> for Percent {
+    type Output = Self;
+    fn add(self, rhs: f64) -> Self {
+        Self::new(self.0 + rhs)
+    }
+}
+
+impl Sub<f64> for Percent {
+    type Output = Self;
+    fn sub(self, rhs: f64) -> Self {
+        Self::new(self.0 - rhs)
+    }
+}
+
+impl Neg for Percent {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.0)
+    }
+}
+
+impl fmt::Display for Percent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Debug for Percent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl PartialEq for Percent {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Percent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+impl PartialEq<f64> for Percent {
+    fn eq(&self, other: &f64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialOrd<f64> for Percent {
+    fn partial_cmp(&self, other: &f64) -> Option<Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl Serialize for Percent {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for Percent {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(Self::new)
+    }
+}
+
+impl From<Percent> for f64 {
+    fn from(p: Percent) -> f64 {
+        p.0
+    }
+}
+
+impl From<Ratio> for f64 {
+    fn from(r: Ratio) -> f64 {
+        r.0
+    }
+}
+
+impl<D: Dimension> From<Quantity<D>> for f64 {
+    fn from(q: Quantity<D>) -> f64 {
+        q.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_triples_close_the_algebra() {
+        let n = Bytes::new(1024.0);
+        let bw = BytesPerSec::new(512.0);
+        let t: Seconds = n / bw;
+        assert_eq!(t, 2.0);
+        let back: Bytes = bw * t;
+        assert_eq!(back, 1024.0);
+        let rate: BytesPerSec = n / t;
+        assert_eq!(rate, 512.0);
+
+        let f = Flops::new(6e9);
+        let fr = FlopsPerSec::new(3e9);
+        assert_eq!(f / fr, Seconds::new(2.0));
+
+        let u = Updates::new(100.0);
+        let ur = UpdatesPerSec::new(50.0);
+        assert_eq!(u / ur, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn same_dimension_division_is_a_ratio() {
+        let r: Ratio = Seconds::new(50.0) / Seconds::new(100.0);
+        assert_eq!(r.get(), 0.5);
+        // Equation 1: Ratio * Seconds = Seconds.
+        let t: Seconds = r * Seconds::new(1000.0);
+        assert_eq!(t, 500.0);
+        assert_eq!(r.percent().get(), 50.0);
+    }
+
+    #[test]
+    fn gflops_bridge_is_explicit_and_exact() {
+        let g = Gflops::new(1.3);
+        assert_eq!(g.flops_per_sec().get(), 1.3 * 1e9);
+        // Division of same-scale rates works without the bridge.
+        let eff: Ratio = Gflops::new(1.0) / Gflops::new(2.0);
+        assert_eq!(eff.get(), 0.5);
+    }
+
+    #[test]
+    fn arithmetic_matches_raw_f64_bitwise() {
+        // The newtype must not perturb a single bit of the old arithmetic.
+        let (a, b, c) = (0.1_f64, 0.7_f64, 3.3_f64);
+        let typed = (Bytes::new(a) / BytesPerSec::new(b) + Seconds::new(c)).get();
+        let raw = a / b + c;
+        assert_eq!(typed.to_bits(), raw.to_bits());
+        let typed2 = (Seconds::new(a).max(Seconds::new(b)) * c).get();
+        assert_eq!(typed2.to_bits(), (a.max(b) * c).to_bits());
+    }
+
+    #[test]
+    fn display_and_debug_forward_to_f64() {
+        let t = Seconds::new(1234.5678);
+        assert_eq!(format!("{t}"), format!("{}", 1234.5678_f64));
+        assert_eq!(format!("{t:.2}"), "1234.57");
+        assert_eq!(format!("{t:?}"), format!("{:?}", 1234.5678_f64));
+        assert_eq!(format!("{:>9.2e}", Seconds::new(0.5)), "  5.00e-1");
+    }
+
+    #[test]
+    fn percent_rendering_helpers() {
+        assert_eq!(Percent::new(62.5).paper(), "62"); // round-half-even
+        assert_eq!(Percent::new(63.44).one_decimal(), "63.4");
+        assert_eq!(Percent::new(4.25).signed_one_decimal(), "+4.2");
+        assert_eq!(Percent::new(-10.0).signed_one_decimal(), "-10.0");
+        assert_eq!((Percent::new(5.0) - Percent::new(7.5)).get(), -2.5);
+        assert!(Percent::new(-3.0).abs() > 2.9);
+    }
+
+    #[test]
+    fn f64_comparisons_work_both_for_quantities_and_percent() {
+        assert!(Seconds::new(3.0) > 2.5);
+        assert!(BytesPerSec::new(1e9) < 2e9);
+        assert!(Percent::new(18.0) < 30.0);
+        assert!(Ratio::new(0.9) < 1.0);
+        assert_eq!(Seconds::new(2.0), 2.0);
+    }
+
+    #[test]
+    fn serde_round_trip_is_value_transparent() {
+        let t = Seconds::new(1234.5678);
+        assert_eq!(t.to_value(), 1234.5678_f64.to_value());
+        let back = Seconds::from_value(&t.to_value()).unwrap();
+        assert_eq!(back.get().to_bits(), t.get().to_bits());
+        // Integral JSON numbers deserialize like the f64 impl does.
+        let from_int = Seconds::from_value(&Value::U64(7)).unwrap();
+        assert_eq!(from_int, 7.0);
+    }
+
+    #[test]
+    fn sum_and_iterator_support() {
+        let total: Seconds = [1.0, 2.0, 3.5].into_iter().map(Seconds::new).sum();
+        assert_eq!(total, 6.5);
+    }
+
+    #[test]
+    fn dimension_labels_are_distinct() {
+        let labels = [
+            SecondsDim::LABEL,
+            BytesDim::LABEL,
+            FlopsDim::LABEL,
+            UpdatesDim::LABEL,
+            FlopsPerSecDim::LABEL,
+            BytesPerSecDim::LABEL,
+            UpdatesPerSecDim::LABEL,
+            GflopsDim::LABEL,
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

@@ -16,8 +16,9 @@ use metasim::core::prediction::predict_one;
 use metasim::machines::{fleet, MachineBuilder, MachineConfig, MachineId};
 use metasim::probes::suite::MachineProbes;
 use metasim::tracer::analysis::analyze_dependencies;
+use metasim::units::Seconds;
 
-fn suite_prediction(candidate: &MachineConfig, fleet: &metasim::machines::Fleet) -> f64 {
+fn suite_prediction(candidate: &MachineConfig, fleet: &metasim::machines::Fleet) -> Seconds {
     let gt = GroundTruth::new();
     let candidate_probes = MachineProbes::measure(candidate);
     let base_probes = MachineProbes::measure(fleet.base());
@@ -28,7 +29,7 @@ fn suite_prediction(candidate: &MachineConfig, fleet: &metasim::machines::Fleet)
             let workload = case.workload(cpus);
             let trace = trace_workload(&workload);
             let labels = analyze_dependencies(&trace.blocks);
-            let t_base = gt.run(case, cpus, fleet.base()).seconds;
+            let t_base = Seconds::new(gt.run(case, cpus, fleet.base()).seconds);
             predict_one(
                 MetricId::P9HplMapsNetDep,
                 &trace,
@@ -79,7 +80,7 @@ fn main() {
             "  {:<32} {:>8.0} s  ({:+.1}% vs stock)",
             name,
             t,
-            (t - baseline) / baseline * 100.0
+            ((t - baseline) / baseline).percent()
         );
     }
     println!(

@@ -17,6 +17,7 @@ use metasim::machines::{fleet, MachineId};
 use metasim::probes::suite::ProbeSuite;
 use metasim::stats::correlation::kendall_tau;
 use metasim::tracer::analysis::analyze_dependencies;
+use metasim::units::Seconds;
 
 fn main() {
     let fleet = fleet();
@@ -44,7 +45,7 @@ fn main() {
             let workload = case.workload(cpus);
             let trace = trace_workload(&workload);
             let labels = analyze_dependencies(&trace.blocks);
-            let t_base = gt.run(case, cpus, fleet.base()).seconds;
+            let t_base = Seconds::new(gt.run(case, cpus, fleet.base()).seconds);
             m9 += predict_one(
                 MetricId::P9HplMapsNetDep,
                 &trace,
@@ -52,11 +53,12 @@ fn main() {
                 &target_probes,
                 &base_probes,
                 t_base,
-            );
+            )
+            .get();
         }
         true_time.push(truth);
         // Simple-metric "rankings": suite time scales inversely with rate.
-        hpl_time.push(1.0 / target_probes.hpl.rmax_gflops_per_proc);
+        hpl_time.push(1.0 / target_probes.hpl.rmax_gflops_per_proc.get());
         gups_time.push(1.0 / target_probes.gups.gups());
         m9_time.push(m9);
     }

@@ -17,6 +17,7 @@ use metasim::core::prediction::predict_all;
 use metasim::machines::{fleet, MachineId};
 use metasim::probes::suite::ProbeSuite;
 use metasim::tracer::analysis::analyze_dependencies;
+use metasim::units::Seconds;
 
 fn main() {
     let fleet = fleet();
@@ -28,7 +29,7 @@ fn main() {
     let target = MachineId::ArlAltix;
 
     // 1. The base-system run (the one measurement the methodology needs).
-    let t_base = gt.run(case, cpus, fleet.base()).seconds;
+    let t_base = Seconds::new(gt.run(case, cpus, fleet.base()).seconds);
     println!(
         "{} @ {cpus} CPUs ran {:.0} s on the base system ({}).",
         case.label(),
@@ -64,7 +65,7 @@ fn main() {
     let predictions = predict_all(&trace, &labels, &target_probes, &base_probes, t_base);
 
     // 5. Compare with the ground truth.
-    let actual = gt.run(case, cpus, fleet.get(target)).seconds;
+    let actual = Seconds::new(gt.run(case, cpus, fleet.get(target)).seconds);
     println!("\nactual runtime on {target}: {actual:.0} s\n");
     println!("{:<24} {:>12} {:>9}", "metric", "predicted s", "error %");
     for (metric, pred) in MetricId::ALL.iter().zip(predictions) {
@@ -72,7 +73,7 @@ fn main() {
             "{:<24} {:>12.0} {:>+8.1}%",
             metric.to_string(),
             pred,
-            (pred - actual) / actual * 100.0
+            ((pred - actual) / actual).percent()
         );
     }
     println!(

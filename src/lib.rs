@@ -24,6 +24,7 @@
 //! use metasim::apps::groundtruth::GroundTruth;
 //! use metasim::core::prediction::predict_all;
 //! use metasim::tracer::analysis::analyze_dependencies;
+//! use metasim::units::Seconds;
 //!
 //! let fleet = fleet();
 //! let suite = ProbeSuite::new();
@@ -33,7 +34,7 @@
 //! let workload = TestCase::HycomStandard.workload(96);
 //! let trace = trace_workload(&workload);
 //! let labels = analyze_dependencies(&trace.blocks);
-//! let t_base = gt.run(TestCase::HycomStandard, 96, fleet.base()).seconds;
+//! let t_base = Seconds::new(gt.run(TestCase::HycomStandard, 96, fleet.base()).seconds);
 //!
 //! // ...then predict any target machine from probe measurements alone.
 //! let target = fleet.get(MachineId::ArlOpteron);
@@ -52,6 +53,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`audit`] | `metasim-audit` | `MSxxx` diagnostics: rules, auditor, renderers |
+//! | [`units`] | `metasim-units` | dimension-tagged quantities (`Seconds`, `Gflops`, …) |
 //! | [`stats`] | `metasim-stats` | statistics, regression, deterministic RNG |
 //! | [`memsim`] | `metasim-memsim` | cache-hierarchy simulator |
 //! | [`netsim`] | `metasim-netsim` | interconnect model |
@@ -61,9 +63,6 @@
 //! | [`apps`] | `metasim-apps` | TI-05 applications + ground truth |
 //! | [`core`] | `metasim-core` | the convolver, nine metrics, study driver |
 //! | [`report`] | `metasim-report` | tables, CSV, charts, SVG |
-
-#![warn(missing_docs)]
-#![deny(unsafe_code)]
 
 pub use metasim_apps as apps;
 pub use metasim_audit as audit;
@@ -75,3 +74,4 @@ pub use metasim_probes as probes;
 pub use metasim_report as report;
 pub use metasim_stats as stats;
 pub use metasim_tracer as tracer;
+pub use metasim_units as units;

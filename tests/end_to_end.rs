@@ -9,6 +9,7 @@ use metasim::core::prediction::predict_all;
 use metasim::machines::{fleet, MachineId};
 use metasim::probes::suite::ProbeSuite;
 use metasim::tracer::analysis::analyze_dependencies;
+use metasim::units::Seconds;
 
 struct Pipeline {
     fleet: metasim::machines::Fleet,
@@ -25,11 +26,11 @@ impl Pipeline {
         }
     }
 
-    fn predict(&self, case: TestCase, cpus: u64, target: MachineId) -> ([f64; 9], f64) {
+    fn predict(&self, case: TestCase, cpus: u64, target: MachineId) -> ([Seconds; 9], Seconds) {
         let workload = case.workload(cpus);
         let trace = trace_workload(&workload);
         let labels = analyze_dependencies(&trace.blocks);
-        let t_base = self.gt.run(case, cpus, self.fleet.base()).seconds;
+        let t_base = Seconds::new(self.gt.run(case, cpus, self.fleet.base()).seconds);
         let predictions = predict_all(
             &trace,
             &labels,
@@ -37,7 +38,7 @@ impl Pipeline {
             &self.suite.measure(self.fleet.base()),
             t_base,
         );
-        let actual = self.gt.run(case, cpus, self.fleet.get(target)).seconds;
+        let actual = Seconds::new(self.gt.run(case, cpus, self.fleet.get(target)).seconds);
         (predictions, actual)
     }
 }
@@ -55,7 +56,7 @@ fn full_pipeline_produces_sane_predictions() {
         for (m, pred) in MetricId::ALL.iter().zip(predictions) {
             assert!(pred > 0.0 && pred.is_finite(), "{target:?} {m}");
             // No metric should be off by more than 5x on this fleet.
-            let ratio = pred / actual;
+            let ratio = (pred / actual).get();
             assert!(
                 (0.2..5.0).contains(&ratio),
                 "{target:?} {m}: predicted {pred:.0} vs actual {actual:.0}"
@@ -100,8 +101,8 @@ fn best_metric_beats_worst_metric_on_aggregate() {
     ] {
         for target in MachineId::TARGETS {
             let (pred, actual) = p.predict(case, cpus, target);
-            e1 += ((pred[0] - actual) / actual).abs();
-            e9 += ((pred[8] - actual) / actual).abs();
+            e1 += ((pred[0] - actual) / actual).get().abs();
+            e9 += ((pred[8] - actual) / actual).get().abs();
             n += 1.0;
         }
     }

@@ -9,6 +9,7 @@ use metasim::core::prediction::predict_all;
 use metasim::machines::{fleet, MachineBuilder, MachineId};
 use metasim::probes::suite::{MachineProbes, ProbeSuite};
 use metasim::tracer::analysis::analyze_dependencies;
+use metasim::units::Seconds;
 use proptest::prelude::*;
 
 fn any_case() -> impl Strategy<Value = (TestCase, u64)> {
@@ -34,11 +35,11 @@ proptest! {
         let labels = analyze_dependencies(&trace.blocks);
         let tp = suite.measure(f.get(target));
         let bp = suite.measure(f.base());
-        let p1 = predict_all(&trace, &labels, &tp, &bp, 1000.0);
-        let p2 = predict_all(&trace, &labels, &tp, &bp, 3000.0);
+        let p1 = predict_all(&trace, &labels, &tp, &bp, Seconds::new(1000.0));
+        let p2 = predict_all(&trace, &labels, &tp, &bp, Seconds::new(3000.0));
         for (a, b) in p1.iter().zip(&p2) {
             prop_assert!(*a > 0.0 && a.is_finite());
-            prop_assert!((b / a - 3.0).abs() < 1e-9, "scale invariance");
+            prop_assert!(((*b / *a).get() - 3.0).abs() < 1e-9, "scale invariance");
         }
         // #1 == #4 for every cell.
         prop_assert!((p1[0] - p1[3]).abs() / p1[0] < 1e-9);
