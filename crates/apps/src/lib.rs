@@ -41,5 +41,5 @@ pub mod workload;
 
 pub use groundtruth::{GroundTruth, RunResult};
 pub use registry::{all_test_cases, TestCase};
-pub use tracing::trace_workload;
+pub use tracing::{trace_workload, TraceCache, TraceFailure};
 pub use workload::{AppWorkload, BlockTemplate, WorkBlock, WorkingSetModel};

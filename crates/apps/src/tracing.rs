@@ -122,6 +122,34 @@ pub fn trace_workload(workload: &AppWorkload) -> ApplicationTrace {
 /// Artifact-store kind directory for persisted application traces.
 pub const TRACE_KIND: &str = "trace";
 
+/// Why a workload could not be traced: an installed `metasim-chaos` fault
+/// plan dropped trace records on every attempt in the retry budget. Like a
+/// probe failure, the outcome memoizes, so a run tells one story per
+/// workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFailure {
+    /// Application name.
+    pub app: String,
+    /// Test case name.
+    pub case: String,
+    /// Processor count.
+    pub processes: u64,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace unavailable for {}/{}@{}: {}",
+            self.app, self.case, self.processes, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TraceFailure {}
+
 /// Memoizing, optionally store-backed front end to [`trace_workload`].
 ///
 /// Tracing is the paper's pay-once cost (§3); this cache makes that true of
@@ -131,9 +159,15 @@ pub const TRACE_KIND: &str = "trace";
 /// processes under a key derived from the full serialized workload, and
 /// every load is re-validated against the `MS20x` audit rules; entries
 /// that fail are evicted and re-traced.
+///
+/// This is also the trace-drop fault seam: an installed fault plan can make
+/// acquisition attempts drop records ([`TraceCache::try_trace`] retries
+/// with the default [`metasim_chaos::RetryPolicy`] and surfaces exhaustion
+/// as a [`TraceFailure`]).
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    cells: RwLock<HashMap<ArtifactKey, Arc<OnceLock<Arc<ApplicationTrace>>>>>,
+    #[allow(clippy::type_complexity)]
+    cells: RwLock<HashMap<ArtifactKey, Arc<OnceLock<Result<Arc<ApplicationTrace>, TraceFailure>>>>>,
     store: Option<Arc<ArtifactStore>>,
     traces: AtomicUsize,
 }
@@ -161,8 +195,17 @@ impl TraceCache {
     }
 
     /// The trace for `workload`, computed at most once per key.
+    ///
+    /// Panics if acquisition fails (only possible under an installed fault
+    /// plan); robustness-aware callers use [`try_trace`](Self::try_trace).
     #[must_use]
     pub fn trace(&self, workload: &AppWorkload) -> Arc<ApplicationTrace> {
+        self.try_trace(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`trace`](Self::trace): `Err` when an installed
+    /// fault plan drops trace records on every attempt in the retry budget.
+    pub fn try_trace(&self, workload: &AppWorkload) -> Result<Arc<ApplicationTrace>, TraceFailure> {
         let key = Self::store_key(workload);
         let cell = {
             let cells = self.cells.read();
@@ -174,24 +217,53 @@ impl TraceCache {
                 }
             }
         };
-        Arc::clone(cell.get_or_init(|| {
-            if let Some(cached) = self.load_cached(key, workload) {
-                return Arc::new(cached);
+        cell.get_or_init(|| self.acquire(key, workload)).clone()
+    }
+
+    /// One acquisition: retried drop gate, then cache-load-or-trace.
+    fn acquire(
+        &self,
+        key: ArtifactKey,
+        workload: &AppWorkload,
+    ) -> Result<Arc<ApplicationTrace>, TraceFailure> {
+        let processes = workload.processes.to_string();
+        metasim_chaos::RetryPolicy::default().run(|attempt| {
+            let dropped = metasim_chaos::fires(
+                metasim_chaos::site::TRACE,
+                &[
+                    &workload.app,
+                    &workload.case,
+                    &processes,
+                    &attempt.to_string(),
+                ],
+            );
+            if dropped {
+                Err(TraceFailure {
+                    app: workload.app.clone(),
+                    case: workload.case.clone(),
+                    processes: workload.processes,
+                    reason: format!("trace records dropped (attempt {attempt})"),
+                })
+            } else {
+                Ok(())
             }
-            let _span = metasim_obs::recording().then(|| {
-                metasim_obs::span(format!(
-                    "trace:{}/{}@{}",
-                    workload.app, workload.case, workload.processes
-                ))
-            });
-            let trace = trace_workload(workload);
-            self.traces.fetch_add(1, Ordering::Relaxed);
-            metasim_obs::counter_add("traces.performed", 1);
-            if let Some(store) = &self.store {
-                let _ = store.store(TRACE_KIND, key, &trace);
-            }
-            Arc::new(trace)
-        }))
+        })?;
+        if let Some(cached) = self.load_cached(key, workload) {
+            return Ok(Arc::new(cached));
+        }
+        let _span = metasim_obs::recording().then(|| {
+            metasim_obs::span(format!(
+                "trace:{}/{}@{}",
+                workload.app, workload.case, workload.processes
+            ))
+        });
+        let trace = trace_workload(workload);
+        self.traces.fetch_add(1, Ordering::Relaxed);
+        metasim_obs::counter_add("traces.performed", 1);
+        if let Some(store) = &self.store {
+            let _ = store.store(TRACE_KIND, key, &trace);
+        }
+        Ok(Arc::new(trace))
     }
 
     /// Load + validate a persisted trace; corrupt or doctored entries are
@@ -354,5 +426,33 @@ mod tests {
         assert_eq!(*fresh, *retraced);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_traces_fail_typed_and_recover_with_better_seeds() {
+        use metasim_chaos::{site, with_plan, FaultPlan, FaultPoint};
+        let w = avus::standard(32);
+        let procs = w.processes.to_string();
+        // Certain drop: every attempt fails, the cache memoizes the failure.
+        let always = Arc::new(FaultPlan::parse_spec(1, "trace-drop:1.0").unwrap());
+        let cache = TraceCache::new();
+        let failure = with_plan(always, || cache.try_trace(&w).unwrap_err());
+        assert_eq!(failure.app, "AVUS");
+        assert!(failure.reason.contains("dropped"), "{failure}");
+        assert!(cache.try_trace(&w).is_err(), "failure must memoize");
+        assert_eq!(cache.traces_performed(), 0);
+
+        // A seed that drops attempt 1 but not attempt 2 recovers and yields
+        // exactly the fault-free trace.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let p = FaultPlan::parse_spec(s, "trace-drop:0.5").unwrap();
+                p.fires(site::TRACE, &[&w.app, &w.case, &procs, "1"])
+                    && !p.fires(site::TRACE, &[&w.app, &w.case, &procs, "2"])
+            })
+            .expect("some seed drops once then recovers");
+        let flaky = Arc::new(FaultPlan::parse_spec(seed, "trace-drop:0.5").unwrap());
+        let recovered = with_plan(flaky, || TraceCache::new().trace(&w));
+        assert_eq!(*recovered, trace_workload(&w));
     }
 }

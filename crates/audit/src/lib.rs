@@ -4,9 +4,12 @@
 //! represented, suppressed, and rendered, while the rules themselves live
 //! next to the artifacts they check (machine configs in `metasim-machines`,
 //! MAPS curves in `metasim-probes`, traces in `metasim-tracer`, study
-//! outputs in `metasim-core`). Everything here is modelled on compiler
+//! outputs and formulas in `metasim-core`, run manifests in `metasim-obs`,
+//! fault plans in `metasim-chaos`). Everything here is modelled on compiler
 //! lints: stable rule codes (`MS0xx` config, `MS1xx` probe/curve, `MS2xx`
-//! trace, `MS3xx` study/prediction), three severities, structured
+//! trace, `MS3xx` study/prediction, `MS4xx` run manifest, `MS5xx`
+//! formula/dataflow lint, `MS6xx` chaos/degradation), three severities,
+//! structured
 //! [`Diagnostic`]s carrying a dotted *subject path* (the artifact-tree
 //! analogue of a source span), `allow`-style suppression, and both a
 //! human-readable and a JSON-lines renderer.

@@ -3,7 +3,9 @@
 //!
 //! Code blocks mirror the artifact layers: `MS0xx` machine configuration,
 //! `MS1xx` probe curves (MAPS / ENHANCED MAPS / HPL), `MS2xx` application
-//! traces, `MS3xx` study outputs and predictions. Codes are append-only —
+//! traces, `MS3xx` study outputs and predictions, `MS4xx` run manifests,
+//! `MS5xx` formula/dataflow lints, `MS6xx` robustness (fault injection,
+//! partial coverage, retry budgets). Codes are append-only —
 //! a published code is never renumbered or reused, so `allow` lists in
 //! config files stay meaningful across releases.
 
@@ -265,6 +267,27 @@ rules! {
         severity: Warn,
         summary: "Every transfer-function branch (ENHANCED MAPS curve flavor) must be reachable from some dependency class",
         paper: "Metric #9's curves exist per dependency class the analyzer can emit",
+    };
+    MS601 = {
+        code: "MS601",
+        name: "partial-study-coverage",
+        severity: Warn,
+        summary: "A study missing machines or observations must announce its partial coverage",
+        paper: "Tables 4-5 average 150 observations; a silent gap skews every mean they report",
+    };
+    MS602 = {
+        code: "MS602",
+        name: "perturbation-exceeds-tolerance",
+        severity: Warn,
+        summary: "Injected probe noise should stay within the 25% multiplicative tolerance",
+        paper: "Cornebize & Legrand: unmodeled measurement variability corrupts convolution predictions",
+    };
+    MS603 = {
+        code: "MS603",
+        name: "retry-budget-exhausted",
+        severity: Warn,
+        summary: "A run manifest whose chaos.retry.exhausted counter is nonzero reports degraded inputs",
+        paper: "The probe methodology assumes measurements eventually succeed; exhausted retries mean holes",
     };
 }
 

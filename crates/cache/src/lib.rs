@@ -4,7 +4,7 @@
 //! The paper's methodology argument (§3) is that the expensive work — probe
 //! sweeps, application tracing, ground-truth execution — is paid *once*,
 //! while convolution is cheap. This crate makes that true across processes:
-//! every expensive artifact ([`MachineProbes`], ground-truth `RunResult`s,
+//! every expensive artifact (`MachineProbes`, ground-truth `RunResult`s,
 //! whole `Study` result sets — the store itself is type-agnostic) can be
 //! persisted as canonical JSON under a key derived from the full serialized
 //! input configuration, so any change to a machine description or workload
@@ -218,12 +218,19 @@ impl ArtifactStore {
     /// file is a plain miss; an unreadable, unparsable (corrupt/truncated),
     /// or invalid entry is *deleted* and reported as a miss so the caller
     /// falls back to recomputing — and rewrites a good entry.
+    ///
+    /// This is also the `metasim-chaos` cache-corruption seam: an installed
+    /// fault plan can truncate the bytes a read attempt sees, and the read
+    /// retries (deterministic bounded backoff, `chaos.retry.*` counters)
+    /// because a transient bad read — NFS hiccup, torn page — is exactly
+    /// what rereading fixes. Only injected corruption retries; a genuinely
+    /// bad file on disk keeps the single-pass evict-and-recompute behavior.
     #[must_use]
     pub fn load_validated<T: Deserialize>(
         &self,
         kind: &str,
         key: ArtifactKey,
-        validate: impl FnOnce(&T) -> Result<(), String>,
+        validate: impl Fn(&T) -> Result<(), String>,
     ) -> Option<T> {
         let path = self.entry_path(kind, key);
         let Ok(text) = fs::read_to_string(&path) else {
@@ -231,21 +238,51 @@ impl ArtifactStore {
             obs_bump("miss", kind);
             return None;
         };
-        let decoded: Result<T, _> = serde_json::from_str(&text);
-        match decoded {
-            Ok(value) if validate(&value).is_ok() => {
-                self.traffic.hits.fetch_add(1, Ordering::Relaxed);
-                obs_bump("hit", kind);
-                Some(value)
-            }
-            _ => {
-                // Corrupt or invalid: evict so the next write replaces it.
-                let _ = fs::remove_file(&path);
-                self.traffic.evictions.fetch_add(1, Ordering::Relaxed);
-                self.traffic.misses.fetch_add(1, Ordering::Relaxed);
-                obs_bump("evict", kind);
-                obs_bump("miss", kind);
-                None
+        let policy = metasim_chaos::RetryPolicy::default();
+        let max_attempts = if metasim_chaos::active() {
+            policy.max_attempts.max(1)
+        } else {
+            1
+        };
+        let key_str = key.to_string();
+        let mut attempt = 1;
+        loop {
+            let injected = metasim_chaos::fires(
+                metasim_chaos::site::CACHE,
+                &[kind, &key_str, &attempt.to_string()],
+            );
+            let view = if injected {
+                // A torn read: the first half of the entry, mid-token.
+                &text[..text.len() / 2]
+            } else {
+                text.as_str()
+            };
+            let decoded: Result<T, _> = serde_json::from_str(view);
+            match decoded {
+                Ok(value) if validate(&value).is_ok() => {
+                    if attempt > 1 {
+                        policy.note_recovered();
+                    }
+                    self.traffic.hits.fetch_add(1, Ordering::Relaxed);
+                    obs_bump("hit", kind);
+                    return Some(value);
+                }
+                _ if injected && attempt < max_attempts => {
+                    policy.note_retry(attempt);
+                    attempt += 1;
+                }
+                _ => {
+                    if injected {
+                        policy.note_exhausted();
+                    }
+                    // Corrupt or invalid: evict so the next write replaces it.
+                    let _ = fs::remove_file(&path);
+                    self.traffic.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.traffic.misses.fetch_add(1, Ordering::Relaxed);
+                    obs_bump("evict", kind);
+                    obs_bump("miss", kind);
+                    return None;
+                }
             }
         }
     }
@@ -501,5 +538,86 @@ mod tests {
         store.clear().unwrap();
         assert_eq!(store.stats(), StoreStats::default());
         store.clear().unwrap(); // idempotent
+    }
+
+    mod chaos {
+        use super::*;
+        use metasim_chaos::{with_plan, FaultPlan};
+        use metasim_obs::{with_recorder, InMemoryRecorder};
+        use std::sync::Arc;
+
+        fn plan(seed: u64, spec: &str) -> Arc<FaultPlan> {
+            Arc::new(FaultPlan::parse_spec(seed, spec).unwrap())
+        }
+
+        #[test]
+        fn injected_corruption_recovers_on_retry() {
+            let store = temp_store("chaos-recover");
+            let value: Vec<(u64, f64)> = vec![(1, 0.5), (2, 0.25)];
+            let key = content_key(&["v"], &value);
+            store.store("curves", key, &value).unwrap();
+            // Find a seed that corrupts the first read attempt but not the
+            // second — pure decisions make the scan deterministic.
+            let key_str = key.to_string();
+            let seed = (0..10_000u64)
+                .find(|&s| {
+                    use metasim_chaos::{site, FaultPoint};
+                    let p = FaultPlan::parse_spec(s, "cache-corrupt:0.5").unwrap();
+                    p.fires(site::CACHE, &["curves", &key_str, "1"])
+                        && !p.fires(site::CACHE, &["curves", &key_str, "2"])
+                })
+                .expect("some seed corrupts once then recovers");
+            let rec = Arc::new(InMemoryRecorder::new());
+            let back: Option<Vec<(u64, f64)>> = with_recorder(rec.clone(), || {
+                with_plan(plan(seed, "cache-corrupt:0.5"), || {
+                    store.load("curves", key)
+                })
+            });
+            assert_eq!(back, Some(value), "second attempt must read clean bytes");
+            let snap = rec.metrics_snapshot();
+            assert_eq!(snap.counter("chaos.retry.attempts"), 1);
+            assert_eq!(snap.counter("chaos.retry.recovered"), 1);
+            assert_eq!(snap.counter("chaos.retry.exhausted"), 0);
+            assert!(
+                store.contains("curves", key),
+                "a recovered read must not evict the good file"
+            );
+            store.clear().unwrap();
+        }
+
+        #[test]
+        fn certain_corruption_exhausts_and_evicts() {
+            let store = temp_store("chaos-exhaust");
+            let value = vec![1u64, 2, 3];
+            let key = content_key(&["v"], &value);
+            store.store("nums", key, &value).unwrap();
+            let rec = Arc::new(InMemoryRecorder::new());
+            let back: Option<Vec<u64>> = with_recorder(rec.clone(), || {
+                with_plan(plan(1, "cache-corrupt:1.0"), || store.load("nums", key))
+            });
+            assert_eq!(back, None, "every attempt corrupted → miss");
+            assert!(!store.contains("nums", key), "exhaustion evicts the entry");
+            let snap = rec.metrics_snapshot();
+            assert_eq!(snap.counter("chaos.retry.attempts"), 2);
+            assert_eq!(snap.counter("chaos.retry.exhausted"), 1);
+            store.clear().unwrap();
+        }
+
+        #[test]
+        fn real_corruption_does_not_retry() {
+            // Without injected faults a bad file keeps the single-pass
+            // evict-and-miss semantics, even while a plan is installed.
+            let store = temp_store("chaos-real");
+            let key = content_key(&["v"], &9u64);
+            store.store("nums", key, &9u64).unwrap();
+            fs::write(store.entry_path("nums", key), "not json").unwrap();
+            let rec = Arc::new(InMemoryRecorder::new());
+            let back: Option<u64> = with_recorder(rec.clone(), || {
+                with_plan(plan(1, "measure-fail:1.0"), || store.load("nums", key))
+            });
+            assert_eq!(back, None);
+            assert_eq!(rec.metrics_snapshot().counter("chaos.retry.attempts"), 0);
+            store.clear().unwrap();
+        }
     }
 }

@@ -8,6 +8,7 @@ use metasim_apps::paper_data;
 use metasim_apps::registry::TestCase;
 use metasim_apps::tracing::trace_workload;
 use metasim_cache::ArtifactStore;
+use metasim_chaos::FaultPlan;
 use metasim_core::balanced::{fit_weights, fit_weights_mae, idc_equal_weights, CATEGORY_NAMES};
 use metasim_core::metric::MetricId;
 use metasim_core::prediction::predict_all;
@@ -43,6 +44,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "audit" => audit(rest),
         "lint" => lint(rest),
         "study" => study(rest),
+        "chaos" => chaos(rest),
         "cache" => cache(rest),
         "obs" => obs(rest),
         "systems" => systems(),
@@ -113,10 +115,24 @@ commands:
                      drop-target, single-dep-class) to show the rule fire
   study [--timings] [--cache-dir DIR] [--no-cache] [--export FILE.csv]
         [--bench-out FILE.json] [--obs-out FILE.json] [--obs-format json|pretty]
+        [--fault-plan FILE.json]
                      run the full 1,350-prediction study; artifacts persist
                      in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
                      so warm re-runs load instead of re-measuring; --obs-out
-                     records spans + metrics and writes a run manifest
+                     records spans + metrics and writes a run manifest;
+                     --fault-plan injects a serialized chaos plan (implies
+                     --no-cache so injected faults never poison the store)
+  chaos run --seed N [--faults SPEC] [--export FILE.csv]
+        [--obs-out FILE.json] [--obs-format json|pretty]
+                     run the study under deterministic fault injection and
+                     render partial-but-honest Tables 4/5 with coverage
+                     annotations; SPEC is comma-separated, e.g.
+                     probe-noise:0.05,measure-fail:0.2,cache-corrupt:0.1,
+                     trace-drop:0.1,outage:ARL_Xeon — same seed + same
+                     spec reproduces the run byte-for-byte
+  chaos plan --seed N [--faults SPEC] [--out FILE.json]
+                     build, audit (MS602), and print or save a fault plan
+                     for later `study --fault-plan`
   obs summarize FILE.json
                      render a run manifest (phases, span tree, slowest
                      spans, counters) written by study --obs-out
@@ -290,6 +306,7 @@ fn study(rest: &[String]) -> Result<(), String> {
     let mut bench_out: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut obs_pretty = false;
+    let mut fault_plan_path: Option<String> = None;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -314,9 +331,34 @@ fn study(rest: &[String]) -> Result<(), String> {
                     _ => return Err("--obs-format must be json or pretty".into()),
                 };
             }
+            "--fault-plan" => {
+                fault_plan_path = Some(args.next().ok_or("--fault-plan needs a path")?.clone());
+            }
             other => return Err(format!("unknown study flag `{other}`")),
         }
     }
+
+    let plan: Option<Arc<FaultPlan>> = match &fault_plan_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let plan: FaultPlan =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            let report = plan.audit();
+            if !report.is_clean() {
+                print!("{}", metasim_audit::render::human(&report));
+            }
+            if report.has_errors() {
+                return Err(report.summary_line());
+            }
+            // Injected faults must never poison the persistent store.
+            if !no_cache {
+                println!("note: --fault-plan implies --no-cache");
+                no_cache = true;
+            }
+            Some(Arc::new(plan))
+        }
+        None => None,
+    };
 
     let store = if no_cache {
         None
@@ -339,7 +381,13 @@ fn study(rest: &[String]) -> Result<(), String> {
     if let Some(rec) = &recorder {
         metasim_obs::install(Arc::clone(rec) as Arc<dyn Recorder>);
     }
-    let (study, timings) = Study::run_with_store(&f, &suite, &gt, store.as_deref());
+    let run = || Study::run_with_store(&f, &suite, &gt, store.as_deref());
+    let (study, timings) = match &plan {
+        Some(p) => {
+            metasim_chaos::with_plan(Arc::clone(p) as Arc<dyn metasim_chaos::FaultPoint>, run)
+        }
+        None => run(),
+    };
     if recorder.is_some() {
         metasim_obs::uninstall();
     }
@@ -379,6 +427,12 @@ fn study(rest: &[String]) -> Result<(), String> {
             "computed"
         }
     );
+    let coverage = study.coverage();
+    if !coverage.is_complete() {
+        println!("WARNING: partial study — {coverage}");
+        let values = study.audit_values();
+        print!("{}", metasim_audit::render::human(&values));
+    }
     let t4 = study.table4();
     let best = t4
         .iter()
@@ -407,7 +461,7 @@ fn study(rest: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = export_path {
-        export(&[path])?;
+        export_study(&study, &path)?;
     }
     if let Some(path) = obs_out {
         let m = manifest
@@ -440,6 +494,184 @@ fn study(rest: &[String]) -> Result<(), String> {
         println!("wrote timings to {path}");
     }
     Ok(())
+}
+
+/// `chaos run|plan`: deterministic fault injection around the study.
+fn chaos(rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("run") => chaos_run(&rest[1..]),
+        Some("plan") => chaos_plan(&rest[1..]),
+        _ => Err("usage: chaos run|plan --seed N [--faults SPEC] ...".into()),
+    }
+}
+
+/// Parse the flags `chaos run` and `chaos plan` share and build the plan.
+/// Returns the plan plus any leftover flags the caller handles itself.
+fn parse_chaos_plan<'a>(
+    args: &mut std::slice::Iter<'a, String>,
+    seed: &mut Option<u64>,
+    faults: &mut String,
+    arg: &'a str,
+) -> Result<bool, String> {
+    match arg {
+        "--seed" => {
+            let v = args.next().ok_or("--seed needs an integer")?;
+            *seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            Ok(true)
+        }
+        "--faults" => {
+            *faults = args.next().ok_or("--faults needs a spec")?.clone();
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+fn build_chaos_plan(seed: Option<u64>, faults: &str) -> Result<FaultPlan, String> {
+    let seed = seed.ok_or("chaos needs --seed N (determinism is the point)")?;
+    let plan = if faults.is_empty() {
+        FaultPlan::empty(seed)
+    } else {
+        FaultPlan::parse_spec(seed, faults)?
+    };
+    let report = plan.audit();
+    if !report.is_clean() {
+        print!("{}", metasim_audit::render::human(&report));
+    }
+    if report.has_errors() {
+        return Err(report.summary_line());
+    }
+    Ok(plan)
+}
+
+/// `chaos plan --seed N [--faults SPEC] [--out FILE.json]`: build and audit
+/// a fault plan, then print it (or save it for `study --fault-plan`).
+fn chaos_plan(rest: &[String]) -> Result<(), String> {
+    let mut seed: Option<u64> = None;
+    let mut faults = String::new();
+    let mut out: Option<String> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        if parse_chaos_plan(&mut args, &mut seed, &mut faults, arg)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--out" => out = Some(args.next().ok_or("--out needs a path")?.clone()),
+            other => return Err(format!("unknown chaos plan flag `{other}`")),
+        }
+    }
+    let plan = build_chaos_plan(seed, &faults)?;
+    let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote fault plan (seed {}, {} fault site(s)) to {path}",
+                plan.seed,
+                plan.faults.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// `chaos run --seed N [--faults SPEC] [--export FILE.csv] [--obs-out FILE]`:
+/// run the full study under deterministic fault injection — no artifact
+/// cache, so injected corruption can never leak into the store — and render
+/// partial-but-honest tables. Same seed + same spec reproduces the output
+/// byte-for-byte.
+fn chaos_run(rest: &[String]) -> Result<(), String> {
+    let mut seed: Option<u64> = None;
+    let mut faults = String::new();
+    let mut export_path: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut obs_pretty = false;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        if parse_chaos_plan(&mut args, &mut seed, &mut faults, arg)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--export" => export_path = Some(args.next().ok_or("--export needs a path")?.clone()),
+            "--obs-out" => obs_out = Some(args.next().ok_or("--obs-out needs a path")?.clone()),
+            "--obs-format" => {
+                obs_pretty = match args.next().map(String::as_str) {
+                    Some("json") => false,
+                    Some("pretty") => true,
+                    _ => return Err("--obs-format must be json or pretty".into()),
+                };
+            }
+            other => return Err(format!("unknown chaos run flag `{other}`")),
+        }
+    }
+    let plan = build_chaos_plan(seed, &faults)?;
+    println!(
+        "chaos: seed {}, {} fault site(s), no artifact cache",
+        plan.seed,
+        plan.faults.len()
+    );
+
+    let recorder = obs_out.is_some().then(|| Arc::new(InMemoryRecorder::new()));
+    if let Some(rec) = &recorder {
+        metasim_obs::install(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
+    let f = fleet();
+    let study =
+        metasim_chaos::with_plan(Arc::new(plan) as Arc<dyn metasim_chaos::FaultPoint>, || {
+            Study::run(&f, &ProbeSuite::new(), &GroundTruth::new())
+        });
+    if recorder.is_some() {
+        metasim_obs::uninstall();
+    }
+
+    let coverage = study.coverage();
+    println!(
+        "study: {coverage}{}",
+        if coverage.is_complete() {
+            " (complete)"
+        } else {
+            " (PARTIAL)"
+        }
+    );
+    render_table4(&study, None)?;
+    render_table5(&study)?;
+
+    // MS601 (partial coverage) and friends: the degraded run must say so.
+    let values = study.audit_values();
+    if !values.is_clean() {
+        print!("{}", metasim_audit::render::human(&values));
+    }
+
+    if let Some(path) = export_path {
+        export_study(&study, &path)?;
+    }
+    if let Some(path) = obs_out {
+        let rec = recorder
+            .as_ref()
+            .expect("recorder runs when --obs-out is set");
+        let m = RunManifest::build(
+            rec,
+            ManifestMeta {
+                tool: format!("metasim {}", env!("CARGO_PKG_VERSION")),
+                config_digest: Study::store_key(&f).to_string(),
+                loaded_from_cache: false,
+                cache: None,
+            },
+        );
+        let json = if obs_pretty {
+            m.to_json_pretty()?
+        } else {
+            m.to_json()?
+        };
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote run manifest to {path}");
+    }
+    if values.has_errors() {
+        Err(values.summary_line())
+    } else {
+        Ok(())
+    }
 }
 
 /// `obs summarize MANIFEST.json`: parse, audit (MS4xx), and render a run
@@ -625,8 +857,23 @@ fn fig1(svg_path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// `[partial: 9/10 systems, 135/150 observations]`, or `""` when complete.
+/// Every table rendered from a degraded study carries this annotation so a
+/// reader can never mistake a partial mean for the full 150-observation one.
+fn coverage_note(study: &Study) -> String {
+    let coverage = study.coverage();
+    if coverage.is_complete() {
+        String::new()
+    } else {
+        format!(" [partial: {coverage}]")
+    }
+}
+
 fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
-    let study = Study::run_default();
+    render_table4(Study::run_default(), fig2_svg)
+}
+
+fn render_table4(study: &Study, fig2_svg: Option<&str>) -> Result<(), String> {
     let mut t = Table::new(vec![
         "# & Type",
         "Metric Description",
@@ -635,7 +882,10 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
         "paper err",
         "paper sd",
     ])
-    .with_title("Table 4. Error assessment: metric results vs. application run time.");
+    .with_title(format!(
+        "Table 4. Error assessment: metric results vs. application run time.{}",
+        coverage_note(study)
+    ));
     for (i, row) in study.table4().iter().enumerate() {
         t.push_row(vec![
             row.metric.short_label(),
@@ -650,7 +900,7 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
 
     // Figure 2 is the same data as a bar chart.
     let group = BarGroup {
-        label: "all 150 observations".into(),
+        label: format!("all {} observations", study.observations.len()),
         bars: study
             .table4()
             .iter()
@@ -695,11 +945,16 @@ fn table4(fig2_svg: Option<&str>) -> Result<(), String> {
 }
 
 fn table5() -> Result<(), String> {
-    let study = Study::run_default();
+    render_table5(Study::run_default())
+}
+
+fn render_table5(study: &Study) -> Result<(), String> {
     let mut header = vec!["System".to_string()];
     header.extend((1..=9).map(|n| n.to_string()));
-    let mut t = Table::new(header)
-        .with_title("Table 5. System-specific average absolute percent error (metric 1..9).");
+    let mut t = Table::new(header).with_title(format!(
+        "Table 5. System-specific average absolute percent error (metric 1..9).{}",
+        coverage_note(study)
+    ));
     for row in study.table5() {
         let mut cells = vec![row.machine.label().to_string()];
         cells.extend(row.per_metric.iter().map(|v| f0(*v)));
@@ -895,7 +1150,10 @@ fn superlatives() -> Result<(), String> {
 
 fn export(rest: &[String]) -> Result<(), String> {
     let path = rest.first().ok_or("export needs an output path")?;
-    let study = Study::run_default();
+    export_study(Study::run_default(), path)
+}
+
+fn export_study(study: &Study, path: &str) -> Result<(), String> {
     let mut w = metasim_report::csv::CsvWriter::new();
     let mut header = vec![
         "case".to_string(),
@@ -1131,6 +1389,64 @@ mod tests {
         assert!(dispatch("cache", &[]).is_err());
         assert!(dispatch("cache", &["defrag".into()]).is_err());
         assert!(dispatch("cache", &["stats".into(), "--frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn chaos_rejects_bad_args() {
+        assert!(dispatch("chaos", &[]).is_err());
+        assert!(dispatch("chaos", &["frobnicate".into()]).is_err());
+        // --seed is mandatory: an accidental wall-clock seed would destroy
+        // reproducibility, so there is no default.
+        assert!(dispatch("chaos", &["run".into()]).is_err());
+        assert!(dispatch("chaos", &["run".into(), "--seed".into()]).is_err());
+        assert!(dispatch("chaos", &["run".into(), "--seed".into(), "x".into()]).is_err());
+        let bad_spec = [
+            "run".into(),
+            "--seed".into(),
+            "1".into(),
+            "--faults".into(),
+            "bogus:1".into(),
+        ];
+        assert!(dispatch("chaos", &bad_spec).is_err());
+        let bad_flag = [
+            "plan".into(),
+            "--seed".into(),
+            "1".into(),
+            "--frobnicate".into(),
+        ];
+        assert!(dispatch("chaos", &bad_flag).is_err());
+        assert!(dispatch("study", &["--fault-plan".into()]).is_err());
+        assert!(dispatch(
+            "study",
+            &["--fault-plan".into(), "/nonexistent/p.json".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn chaos_plan_writes_a_file_study_fault_plan_can_read() {
+        let dir = std::env::temp_dir().join(format!("metasim-chaos-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let path_s = path.to_string_lossy().to_string();
+        dispatch(
+            "chaos",
+            &[
+                "plan".into(),
+                "--seed".into(),
+                "9".into(),
+                "--faults".into(),
+                "probe-noise:0.05,outage:ARL_Xeon".into(),
+                "--out".into(),
+                path_s,
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let plan: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.faults.len(), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

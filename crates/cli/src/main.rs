@@ -1,8 +1,17 @@
 //! `metasim` — regenerate every table and figure of the SC'05 study.
 //!
 //! ```text
-//! metasim audit [--json] [--deny-warnings] [--allow RULE[@subject]]...
+//! metasim audit [--json] [--deny-warnings] [--allow ...] [--manifest FILE]
 //!                            statically verify every study artifact
+//! metasim lint [--mutate NAME] [--deny-warnings]
+//!                            dimension + dataflow analysis of the formulas
+//! metasim study [--timings] [--no-cache] [--export FILE] [--obs-out FILE]
+//!               [--fault-plan FILE]
+//!                            run the full 1,350-prediction study
+//! metasim chaos run|plan --seed N [--faults SPEC]
+//!                            deterministic fault injection around the study
+//! metasim cache stats|clear  inspect/delete the persistent artifact store
+//! metasim obs summarize FILE render a run manifest
 //! metasim systems            Table 1/2: the study fleet
 //! metasim metrics            Table 3: the nine synthetic metrics
 //! metasim probes             probe summary for every machine
@@ -16,6 +25,8 @@
 //! metasim predict CASE CPUS MACHINE   one prediction, all nine metrics
 //! metasim all                everything above (except fig1 SVG)
 //! ```
+//!
+//! `metasim help` prints the full flag reference.
 
 mod commands;
 

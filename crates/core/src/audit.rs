@@ -10,7 +10,7 @@
 
 use metasim_apps::registry::all_test_cases;
 use metasim_apps::tracing::trace_workload;
-use metasim_audit::registry::{MS301, MS302, MS303, MS304, MS305};
+use metasim_audit::registry::{MS301, MS302, MS303, MS304, MS305, MS601};
 use metasim_audit::{audit_value, AuditPolicy, AuditReport, Auditor};
 use metasim_machines::{Fleet, MachineId};
 use metasim_probes::audit::audit_probes;
@@ -29,7 +29,11 @@ const SCALING_TOLERANCE: f64 = 1.05;
 pub fn audit_inputs(fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
     fleet.audit(a);
     for m in fleet.all() {
-        let probes = suite.measure(m);
+        // A machine an installed fault plan takes down has no probes to
+        // audit; the study skips it and MS601 reports the coverage gap.
+        let Ok(probes) = suite.try_measure(m) else {
+            continue;
+        };
         a.scope("probes", |a| {
             a.scope(m.id.to_string(), |a| audit_probes(m, &probes, a));
         });
@@ -79,6 +83,32 @@ fn dominates(a: &MachineProbes, b: &MachineProbes) -> bool {
 /// adds the probe-dependent [`MS303`] dominance-paradox rule on top.
 pub fn audit_study_values(study: &Study, a: &mut Auditor) {
     a.scope("study", |a| {
+        // MS601: a partial grid must say so. Tables 4/5 average over the
+        // full 150-observation grid; any silent hole skews every mean.
+        let coverage = study.coverage();
+        if !coverage.is_complete() {
+            a.finding_at(
+                &MS601,
+                "coverage",
+                format!(
+                    "partial study: {coverage}{}",
+                    if coverage.missing_machines.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            " (missing: {})",
+                            coverage
+                                .missing_machines
+                                .iter()
+                                .map(|m| m.label())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    }
+                ),
+            );
+        }
+
         // MS304 + MS305: per-observation invariants.
         let mut values_finite = true;
         for o in &study.observations {
@@ -185,7 +215,10 @@ pub fn audit_study(study: &Study, fleet: &Fleet, suite: &ProbeSuite, a: &mut Aud
         // yet measures slower on some observation — the paradox the paper
         // opens with (Tables 2/3). Warn-level: the study data is expected
         // to reproduce it.
-        let probes: Vec<_> = fleet.targets().map(|m| suite.measure(m)).collect();
+        let probes: Vec<_> = fleet
+            .targets()
+            .filter_map(|m| suite.try_measure(m).ok())
+            .collect();
         for pa in &probes {
             for pb in &probes {
                 if pa.id == pb.id || !dominates(pa, pb) || dominates(pb, pa) {

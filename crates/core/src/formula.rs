@@ -20,7 +20,7 @@
 //!
 //! The IR is kept honest by evaluation: [`eval_cost`] interprets the tree
 //! with the same operation order the convolver uses, and a test pins the
-//! result **bit-for-bit** against [`Convolver::cost`] for all nine metrics.
+//! result **bit-for-bit** against [`Convolver::cost`](crate::convolver::Convolver::cost) for all nine metrics.
 //! If the convolver's math drifts from the formulas the lint reasons
 //! about, that test fails.
 
@@ -634,7 +634,7 @@ fn network_cost_expr() -> Expr {
 }
 
 /// The symbolic cost `C(metric, X)` — the exact transfer function
-/// [`Convolver::cost`] computes numerically.
+/// [`Convolver::cost`](crate::convolver::Convolver::cost) computes numerically.
 #[must_use]
 pub fn cost_expr(metric: MetricId) -> Expr {
     match metric {
@@ -750,7 +750,7 @@ impl Ctx<'_> {
 
 /// Interpret `expr` against one machine's probes and the application trace,
 /// with the convolver's exact operation order. The `formula_matches_convolver`
-/// test holds this to bitwise equality with [`Convolver::cost`].
+/// test holds this to bitwise equality with [`Convolver::cost`](crate::convolver::Convolver::cost).
 #[must_use]
 pub fn eval_cost(
     expr: &Expr,

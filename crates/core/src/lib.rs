@@ -50,4 +50,4 @@ pub use convolver::Convolver;
 pub use lint::{lint_with_policy, LintModel, Mutation};
 pub use metric::{MetricId, MetricKind};
 pub use prediction::predict_all;
-pub use study::{Observation, Study};
+pub use study::{Coverage, Observation, Study};

@@ -4,8 +4,8 @@
 //! single block, this pass checks the *shape* of the study:
 //!
 //! * **MS501** — every metric's prediction formula must reduce
-//!   dimensionally to seconds ([`formula::prediction_expr`] folded by
-//!   [`formula::Expr::dim`]).
+//!   dimensionally to seconds ([`formula::prediction_expr`](crate::formula::prediction_expr) folded by
+//!   [`formula::Expr::dim`](crate::formula::Expr::dim)).
 //! * **MS502** — a formula may only reference quantities the probe plan
 //!   actually measures.
 //! * **MS503** — every measured quantity should feed some formula

@@ -78,8 +78,45 @@ pub struct SystemErrorRow {
 /// The complete study result set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Study {
-    /// All 150 observations.
+    /// All observations — 150 on a full run; fewer when graceful
+    /// degradation skipped machines or trace rows (see
+    /// [`coverage`](Study::coverage)).
     pub observations: Vec<Observation>,
+}
+
+/// How much of the paper's full grid a study actually covers. A fault-free
+/// run is complete; a degraded run reports exactly what is missing, so
+/// partial tables are annotated instead of silently averaging over holes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Observations present.
+    pub observations: usize,
+    /// Observations a full grid would hold (cases × counts × targets).
+    pub expected_observations: usize,
+    /// Target machines with at least one observation.
+    pub machines: usize,
+    /// Target machines in the full fleet.
+    pub expected_machines: usize,
+    /// Targets with no observations at all (skipped by degradation).
+    pub missing_machines: Vec<MachineId>,
+}
+
+impl Coverage {
+    /// Whether the grid is the paper's full 150-observation grid.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.observations == self.expected_observations && self.machines == self.expected_machines
+    }
+}
+
+impl std::fmt::Display for Coverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} systems, {}/{} observations",
+            self.machines, self.expected_machines, self.observations, self.expected_observations
+        )
+    }
 }
 
 /// Per-phase wall time of one study run (what `metasim study --timings`
@@ -156,7 +193,24 @@ impl Study {
         let report = crate::audit::preflight(fleet, suite);
         metasim_obs::counter_add("audit.findings", report.diagnostics.len() as u64);
         let base_cfg = fleet.base();
-        let base_probes = suite.measure(base_cfg);
+        // The base system is not degradable: every prediction scales from
+        // its measured runtime (Equation 1), so losing it loses the study.
+        let base_probes = suite
+            .try_measure(base_cfg)
+            .unwrap_or_else(|e| panic!("the base system is required by Equation 1: {e}"));
+        // Graceful degradation: a target whose probes are unavailable
+        // (outage or exhausted retries under an installed fault plan) is
+        // skipped, not fatal. `Study::coverage` and MS601 report the gap.
+        let alive: Vec<MachineId> = MachineId::TARGETS
+            .into_iter()
+            .filter(|&machine| match suite.try_measure(fleet.get(machine)) {
+                Ok(_) => true,
+                Err(_) => {
+                    metasim_obs::counter_add("chaos.machine.skipped", 1);
+                    false
+                }
+            })
+            .collect();
         let preflight_seconds = pre.finish();
         assert!(
             !report.has_errors(),
@@ -172,7 +226,7 @@ impl Study {
             let cpu = app.ctx().span(format!("cpus:{cpus}"));
             let _ = gt.run(case, cpus, base_cfg);
             let cpu_ctx = cpu.ctx();
-            MachineId::TARGETS.into_par_iter().for_each(|machine| {
+            alive.clone().into_par_iter().for_each(|machine| {
                 let _m = cpu_ctx.span(format!("machine:{machine}"));
                 let _ = gt.run(case, cpus, fleet.get(machine));
             });
@@ -187,12 +241,22 @@ impl Study {
                 let app = pred_ctx.span(format!("app:{case}"));
                 let cpu = app.ctx().span(format!("cpus:{cpus}"));
                 let workload = case.workload(cpus);
-                let trace = traces.trace(&workload);
+                // A dropped trace loses this (case, cpus) row across every
+                // machine — traces are collected once on the base system —
+                // but not the rest of the grid.
+                let trace = match traces.try_trace(&workload) {
+                    Ok(trace) => trace,
+                    Err(_) => {
+                        metasim_obs::counter_add("chaos.trace.skipped", 1);
+                        return Vec::new();
+                    }
+                };
                 let labels = analyze_dependencies(&trace.blocks);
                 let base_actual = Seconds::new(gt.run(case, cpus, base_cfg).seconds);
 
                 let cpu_ctx = cpu.ctx();
-                MachineId::TARGETS
+                alive
+                    .clone()
                     .into_par_iter()
                     .map(|machine| {
                         let _m = cpu_ctx.span(format!("machine:{machine}"));
@@ -274,6 +338,10 @@ impl Study {
         gt: &GroundTruth,
         store: Option<&ArtifactStore>,
     ) -> (Self, StudyTimings) {
+        // A run under an installed fault plan neither reads nor writes the
+        // whole-study store: a cached full grid would mask the injected
+        // faults, and a partial grid must never poison fault-free runs.
+        let store = if metasim_chaos::active() { None } else { store };
         let root = metasim_obs::span("study");
         let ctx = root.ctx();
         if let Some(store) = store {
@@ -358,17 +426,22 @@ impl Study {
     /// Table 5: per-system rows plus the overall row is `table4`.
     ///
     /// Single pass: a (system × metric) accumulator grid replaces the 90
-    /// filtered re-scans of the observation list.
+    /// filtered re-scans of the observation list. Machines with *no*
+    /// observations (skipped by graceful degradation) are omitted rather
+    /// than rendered as rows of NaN means — renderers pair the rows with
+    /// [`coverage`](Study::coverage) to say what is missing.
     #[must_use]
     pub fn table5(&self) -> Vec<SystemErrorRow> {
         let mut accs: Vec<[ErrorAccumulator; 9]> = MachineId::TARGETS
             .iter()
             .map(|_| std::array::from_fn(|_| ErrorAccumulator::new()))
             .collect();
+        let mut seen = [false; MachineId::TARGETS.len()];
         for o in &self.observations {
             let Some(row) = MachineId::TARGETS.iter().position(|&m| m == o.machine) else {
                 continue;
             };
+            seen[row] = true;
             for (acc, metric) in accs[row].iter_mut().zip(MetricId::ALL) {
                 acc.record_signed_error(o.signed_error(metric));
             }
@@ -376,7 +449,9 @@ impl Study {
         MachineId::TARGETS
             .into_iter()
             .zip(accs)
-            .map(|(machine, accs)| SystemErrorRow {
+            .zip(seen)
+            .filter(|(_, seen)| *seen)
+            .map(|((machine, accs), _)| SystemErrorRow {
                 machine,
                 per_metric: std::array::from_fn(|i| accs[i].mean_absolute()),
             })
@@ -406,6 +481,23 @@ impl Study {
             .zip(accs)
             .map(|(cpus, accs)| (cpus, std::array::from_fn(|i| accs[i].mean_absolute())))
             .collect()
+    }
+
+    /// How much of the full grid this study covers. Derived entirely from
+    /// the observations, so it is meaningful for loaded studies too.
+    #[must_use]
+    pub fn coverage(&self) -> Coverage {
+        let missing_machines: Vec<MachineId> = MachineId::TARGETS
+            .into_iter()
+            .filter(|&m| !self.observations.iter().any(|o| o.machine == m))
+            .collect();
+        Coverage {
+            observations: self.observations.len(),
+            expected_observations: all_test_cases().len() * MachineId::TARGETS.len(),
+            machines: MachineId::TARGETS.len() - missing_machines.len(),
+            expected_machines: MachineId::TARGETS.len(),
+            missing_machines,
+        }
     }
 
     /// Observations for one machine (Table 5 drill-down).
@@ -734,5 +826,50 @@ mod tests {
         assert!(reload_timings.loaded_from_cache);
         assert_eq!(reloaded, recomputed);
         store.clear().unwrap();
+    }
+
+    mod chaos {
+        use super::*;
+        use metasim_chaos::FaultPlan;
+
+        #[test]
+        fn empty_fault_plan_reproduces_the_seed_study_bit_for_bit() {
+            // The satellite guarantee: a plan with zero fault sites must be
+            // byte-invisible — identical serialized text, not merely
+            // PartialEq — for any seed.
+            let f = fleet();
+            let under_plan = metasim_chaos::with_plan(Arc::new(FaultPlan::empty(42)), || {
+                Study::run(&f, &ProbeSuite::new(), &GroundTruth::new())
+            });
+            let bare = study();
+            assert_eq!(&under_plan, bare);
+            assert_eq!(
+                serde_json::to_string(bare).unwrap(),
+                serde_json::to_string(&under_plan).unwrap(),
+                "an empty fault plan must be byte-invisible"
+            );
+        }
+
+        #[test]
+        fn machine_outage_yields_partial_but_honest_tables() {
+            let f = fleet();
+            let plan = FaultPlan::parse_spec(7, "outage:ARL_Xeon").unwrap();
+            let s = metasim_chaos::with_plan(Arc::new(plan), || {
+                Study::run(&f, &ProbeSuite::new(), &GroundTruth::new())
+            });
+            assert_eq!(s.observations.len(), 135, "9 machines x 15 workloads");
+            let cov = s.coverage();
+            assert!(!cov.is_complete());
+            assert_eq!(cov.to_string(), "9/10 systems, 135/150 observations");
+            assert_eq!(cov.missing_machines, vec![MachineId::ArlXeon]);
+            assert_eq!(s.table5().len(), 9, "Table 5 omits the dead machine");
+            assert_eq!(s.table4().len(), 9, "Table 4 still has all nine metrics");
+            let report = s.audit_values();
+            assert!(report.has_code("MS601"), "{report}");
+            assert!(
+                !report.has_errors(),
+                "partial coverage is a warning, not an error: {report}"
+            );
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! as probe curves and traces: stable rule codes, dotted subject paths, and
 //! a `metasim audit --manifest` entry point.
 
-use metasim_audit::registry::{MS401, MS402, MS403};
+use metasim_audit::registry::{MS401, MS402, MS403, MS603};
 use metasim_audit::{audit_value, AuditReport, Auditor};
 
 use crate::manifest::{RunManifest, SpanNode, MANIFEST_SCHEMA_VERSION};
@@ -109,6 +109,21 @@ pub fn audit_manifest(manifest: &RunManifest, a: &mut Auditor) {
                 );
             }
         }
+
+        // MS603: an exhausted retry budget means some operation failed for
+        // good after every attempt — the run degraded, and the manifest is
+        // where that has to surface.
+        let exhausted = manifest.metrics.counter("chaos.retry.exhausted");
+        if exhausted > 0 {
+            a.finding_at(
+                &MS603,
+                "metrics.counters.chaos.retry.exhausted",
+                format!(
+                    "{exhausted} operation(s) exhausted their retry budget; \
+                     the run completed with degraded coverage"
+                ),
+            );
+        }
     });
 }
 
@@ -173,6 +188,29 @@ mod tests {
                 >= 4,
             "{report}"
         );
+    }
+
+    #[test]
+    fn exhausted_retries_fire_ms603() {
+        let rec = InMemoryRecorder::new();
+        let study = rec.span_enter(0, "study".into());
+        rec.span_exit(study, 2_000);
+        rec.counter_add("chaos.retry.attempts", 5);
+        rec.counter_add("chaos.retry.recovered", 3);
+        rec.counter_add("chaos.retry.exhausted", 2);
+        let m = RunManifest::build(&rec, ManifestMeta::default());
+        let report = m.audit();
+        assert!(report.has_code("MS603"), "{report}");
+        assert!(!report.has_errors(), "MS603 is a warning: {report}");
+
+        // Recovered retries alone are healthy — no finding.
+        let rec = InMemoryRecorder::new();
+        let study = rec.span_enter(0, "study".into());
+        rec.span_exit(study, 2_000);
+        rec.counter_add("chaos.retry.attempts", 5);
+        rec.counter_add("chaos.retry.recovered", 5);
+        let m = RunManifest::build(&rec, ManifestMeta::default());
+        assert!(m.audit().is_clean());
     }
 
     #[test]

@@ -20,8 +20,14 @@
 //!   overhead folds into the measured numbers, just as it does on real
 //!   fabrics — one of the organic error sources for Metric #8).
 //!
-//! [`suite::ProbeSuite`] measures and memoizes the full set per machine; the
-//! MAPS sweeps run in parallel with Rayon.
+//! [`suite::ProbeSuite`] measures and memoizes the full set per machine with
+//! single-flight semantics — concurrent cold callers coalesce onto one
+//! measurement per machine (see [`suite`]). Within one measurement, each
+//! MAPS curve's *working-set sweep* is a Rayon `par_iter` over the sweep
+//! sizes ([`maps::sweep_sizes`]); the five curves themselves are measured
+//! sequentially, as are the other probes. Under an installed
+//! `metasim-chaos` fault plan, acquisition can fail — see
+//! [`suite::ProbeSuite::try_measure`] and [`suite::ProbeFailure`].
 //!
 //! ```
 //! use metasim_machines::{fleet, MachineId};
@@ -48,4 +54,4 @@ pub use hpl::{measure_hpl, HplResult};
 pub use maps::{measure_maps, DependencyFlavor, MapsCurve, MapsSet};
 pub use netbench::{measure_netbench, NetbenchResult};
 pub use stream::{measure_stream, StreamResult};
-pub use suite::{MachineProbes, ProbeSuite};
+pub use suite::{MachineProbes, ProbeFailure, ProbeSuite};

@@ -10,8 +10,18 @@
 //! sets load from disk when a valid entry exists (validated on load against
 //! the `metasim-audit` MS1xx rules — a corrupt or physically impossible
 //! entry is evicted and re-measured) and are written back after measurement.
+//!
+//! The suite is also a fault-injection seam for `metasim-chaos`: an
+//! installed [`FaultPlan`](metasim_chaos::FaultPlan) can take a machine
+//! down entirely (`outage`), fail measurement attempts transiently
+//! (`measure`, wrapped in [`RetryPolicy`] bounded retries), or perturb the
+//! measured results multiplicatively (`probe-noise`). Failures surface as
+//! typed [`ProbeFailure`]s through [`ProbeSuite::try_measure`] so the study
+//! driver can skip a dead machine instead of dying with it. Raw (never
+//! perturbed) results are what the store persists.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -20,6 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use metasim_audit::audit_value;
 use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
+use metasim_chaos::{site, RetryPolicy};
 use metasim_machines::{MachineConfig, MachineId};
 
 use crate::audit::audit_probes;
@@ -68,11 +79,36 @@ impl MachineProbes {
 /// Artifact-store kind directory for persisted probe sets.
 pub const PROBES_KIND: &str = "probes";
 
+/// Why a machine's probe set could not be acquired: an injected outage, or
+/// transient measurement failures that exhausted the retry budget. The
+/// failure is memoized like a success — every later request for the machine
+/// sees the same answer, so one run tells one story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeFailure {
+    /// The machine that could not be measured.
+    pub machine: MachineId,
+    /// Human-readable cause (outage vs. exhausted retries).
+    pub reason: String,
+}
+
+impl fmt::Display for ProbeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probes unavailable for {}: {}",
+            self.machine, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ProbeFailure {}
+
 /// Memoizing probe runner with single-flight semantics and an optional
 /// persistent backing store.
 #[derive(Debug, Default)]
 pub struct ProbeSuite {
-    cells: RwLock<HashMap<MachineId, Arc<OnceLock<Arc<MachineProbes>>>>>,
+    #[allow(clippy::type_complexity)]
+    cells: RwLock<HashMap<MachineId, Arc<OnceLock<Result<Arc<MachineProbes>, ProbeFailure>>>>>,
     store: Option<Arc<ArtifactStore>>,
     measurements: AtomicUsize,
 }
@@ -106,8 +142,20 @@ impl ProbeSuite {
     /// Concurrent callers on a cold machine coalesce onto one measurement:
     /// the first caller runs the sweep inside the machine's once-cell while
     /// the rest wait for that same result.
+    ///
+    /// Panics if the machine cannot be measured (only possible under an
+    /// installed fault plan); robustness-aware callers use
+    /// [`try_measure`](Self::try_measure) instead.
     #[must_use]
     pub fn measure(&self, machine: &MachineConfig) -> Arc<MachineProbes> {
+        self.try_measure(machine).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`measure`](Self::measure): `Err` when an installed
+    /// fault plan makes the machine unreachable (outage) or fails every
+    /// measurement attempt in the retry budget. The outcome — success or
+    /// failure — is memoized once per machine.
+    pub fn try_measure(&self, machine: &MachineConfig) -> Result<Arc<MachineProbes>, ProbeFailure> {
         let cell = {
             let cells = self.cells.read();
             match cells.get(&machine.id) {
@@ -118,10 +166,35 @@ impl ProbeSuite {
                 }
             }
         };
-        Arc::clone(cell.get_or_init(|| {
-            if let Some(cached) = self.load_cached(machine) {
-                return Arc::new(cached);
+        cell.get_or_init(|| self.acquire(machine)).clone()
+    }
+
+    /// One acquisition: outage gate, retried transient-failure gate, then
+    /// cache-load-or-measure. The store always receives the *raw*
+    /// measurement; any probe-noise perturbation is applied after, so a
+    /// warm (cache-hit) chaos run sees exactly the values a cold one did.
+    fn acquire(&self, machine: &MachineConfig) -> Result<Arc<MachineProbes>, ProbeFailure> {
+        let label = machine.id.label();
+        if metasim_chaos::fires(site::OUTAGE, &[label]) {
+            metasim_obs::counter_add("chaos.outage", 1);
+            return Err(ProbeFailure {
+                machine: machine.id,
+                reason: "machine unreachable (injected outage)".to_string(),
+            });
+        }
+        RetryPolicy::default().run(|attempt| {
+            if metasim_chaos::fires(site::MEASURE, &[label, &attempt.to_string()]) {
+                Err(ProbeFailure {
+                    machine: machine.id,
+                    reason: format!("transient measurement failure (attempt {attempt})"),
+                })
+            } else {
+                Ok(())
             }
+        })?;
+        let probes = if let Some(cached) = self.load_cached(machine) {
+            cached
+        } else {
             let _span = metasim_obs::recording()
                 .then(|| metasim_obs::span(format!("probe-sweep:{}", machine.id)));
             let probes = MachineProbes::measure(machine);
@@ -130,8 +203,9 @@ impl ProbeSuite {
             if let Some(store) = &self.store {
                 let _ = store.store(PROBES_KIND, Self::store_key(machine), &probes);
             }
-            Arc::new(probes)
-        }))
+            probes
+        };
+        Ok(Arc::new(apply_probe_noise(machine, probes)))
     }
 
     /// Audit-on-load: a persisted probe set is trusted only if it claims the
@@ -159,13 +233,14 @@ impl ProbeSuite {
         )
     }
 
-    /// Number of machines whose probes are available (measured or loaded).
+    /// Number of machines whose probes are available (measured or loaded);
+    /// machines memoized as failed do not count.
     #[must_use]
     pub fn measured_count(&self) -> usize {
         self.cells
             .read()
             .values()
-            .filter(|cell| cell.get().is_some())
+            .filter(|cell| cell.get().is_some_and(Result::is_ok))
             .count()
     }
 
@@ -176,6 +251,65 @@ impl ProbeSuite {
     pub fn measurements_performed(&self) -> usize {
         self.measurements.load(Ordering::Relaxed)
     }
+}
+
+/// Apply the installed fault plan's `probe-noise` perturbation to a freshly
+/// acquired probe set. With no plan installed (or a plan without a
+/// `ProbeNoise` fault) this is the identity — not even a `* 1.0` touches
+/// the values, so fault-free results stay bit-identical.
+///
+/// Factors are drawn per probe *family*, not per individual value, because
+/// the MS1xx physics rules relate values to each other: all five MAPS
+/// curves, STREAM, and GUPS share one memory-subsystem factor (uniform
+/// scaling preserves the MS102 monotonicity and MS103/MS104 dominance
+/// invariants), and the perturbed HPL Rmax is clamped to the machine's
+/// theoretical peak so MS105 keeps holding.
+fn apply_probe_noise(machine: &MachineConfig, mut probes: MachineProbes) -> MachineProbes {
+    if !metasim_chaos::active() {
+        return probes;
+    }
+    let label = machine.id.label();
+    let factor_for = |family: &str| {
+        metasim_chaos::factor(site::PROBE_NOISE, &[family, label]).max(f64::MIN_POSITIVE)
+    };
+
+    let f_hpl = factor_for("hpl");
+    if f_hpl != 1.0 {
+        let peak = machine.processor.peak_gflops();
+        let rmax = probes.hpl.rmax_gflops_per_proc.get();
+        let clamped = (rmax * f_hpl).min(peak);
+        // Keep rate and solve time consistent: time scales inversely with
+        // the rate the perturbation actually achieved.
+        probes.hpl.rmax_gflops_per_proc = metasim_units::Gflops::new(clamped);
+        probes.hpl.seconds = probes.hpl.seconds / (clamped / rmax);
+    }
+
+    let f_mem = factor_for("memory");
+    if f_mem != 1.0 {
+        probes.stream.bandwidth = probes.stream.bandwidth * f_mem;
+        probes.gups.updates_per_second = probes.gups.updates_per_second * f_mem;
+        for curve in [
+            &mut probes.maps.unit,
+            &mut probes.maps.random,
+            &mut probes.maps.unit_chained,
+            &mut probes.maps.unit_branchy,
+            &mut probes.maps.random_chained,
+        ] {
+            for point in &mut curve.points {
+                point.1 *= f_mem;
+            }
+        }
+    }
+
+    let f_net = factor_for("netbench");
+    if f_net != 1.0 {
+        // A slower fabric delivers less bandwidth and takes longer per
+        // message, so times scale inversely with the rate factor.
+        probes.netbench.bandwidth = probes.netbench.bandwidth * f_net;
+        probes.netbench.latency = probes.netbench.latency / f_net;
+        probes.netbench.allreduce_64p = probes.netbench.allreduce_64p / f_net;
+    }
+    probes
 }
 
 #[cfg(test)]
@@ -275,5 +409,131 @@ mod tests {
         assert_eq!(repaired.measurements_performed(), 1);
         assert_eq!(*fresh, *again);
         store.clear().unwrap();
+    }
+
+    mod chaos {
+        use super::*;
+        use metasim_chaos::{with_plan, FaultPlan};
+        use metasim_obs::{with_recorder, InMemoryRecorder};
+
+        fn plan(seed: u64, spec: &str) -> Arc<FaultPlan> {
+            Arc::new(FaultPlan::parse_spec(seed, spec).unwrap())
+        }
+
+        #[test]
+        fn outage_is_a_typed_failure_not_a_panic() {
+            let f = fleet();
+            let suite = ProbeSuite::new();
+            let failure = with_plan(plan(1, "outage:ARL_Xeon"), || {
+                suite.try_measure(f.get(MachineId::ArlXeon)).unwrap_err()
+            });
+            assert_eq!(failure.machine, MachineId::ArlXeon);
+            assert!(failure.reason.contains("outage"), "{failure}");
+            // The failure memoizes: still down even after the plan is gone.
+            assert!(suite.try_measure(f.get(MachineId::ArlXeon)).is_err());
+            assert_eq!(suite.measured_count(), 0);
+            // Other machines are unaffected.
+            assert!(suite.try_measure(f.get(MachineId::NavoP3)).is_ok());
+        }
+
+        #[test]
+        fn empty_plan_is_byte_identical_to_no_plan() {
+            let f = fleet();
+            let m = f.get(MachineId::AscSc45);
+            let bare = ProbeSuite::new().measure(m);
+            let under_empty_plan = with_plan(plan(42, ""), || ProbeSuite::new().measure(m));
+            assert_eq!(
+                *bare, *under_empty_plan,
+                "an installed empty plan must not move a single value"
+            );
+        }
+
+        #[test]
+        fn noise_perturbs_deterministically_and_stays_physical() {
+            let f = fleet();
+            let m = f.get(MachineId::ErdcO3800);
+            let raw = ProbeSuite::new().measure(m);
+            let noisy_a = with_plan(plan(7, "probe-noise:0.05"), || ProbeSuite::new().measure(m));
+            let noisy_b = with_plan(plan(7, "probe-noise:0.05"), || ProbeSuite::new().measure(m));
+            assert_eq!(*noisy_a, *noisy_b, "same seed, same perturbation");
+            assert_ne!(*raw, *noisy_a, "sigma 0.05 must actually perturb");
+            let report = audit_value(|a| crate::audit::audit_probes(m, &noisy_a, a));
+            assert!(
+                report.is_clean(),
+                "perturbed probes must still pass the MS1xx physics rules: {}",
+                report.summary_line()
+            );
+        }
+
+        #[test]
+        fn transient_failures_recover_and_are_counted() {
+            let f = fleet();
+            let m = f.get(MachineId::Navo655);
+            // Find a seed whose first measure attempt fails and second
+            // succeeds — decisions are pure, so this scan is deterministic.
+            let seed = (0..10_000u64)
+                .find(|&s| {
+                    let p = FaultPlan::parse_spec(s, "measure-fail:0.5").unwrap();
+                    use metasim_chaos::{site, FaultPoint};
+                    let lbl = m.id.label();
+                    p.fires(site::MEASURE, &[lbl, "1"]) && !p.fires(site::MEASURE, &[lbl, "2"])
+                })
+                .expect("some seed fails once then recovers");
+            let rec = Arc::new(InMemoryRecorder::new());
+            let raw = ProbeSuite::new().measure(m);
+            let recovered = with_recorder(rec.clone(), || {
+                with_plan(plan(seed, "measure-fail:0.5"), || {
+                    ProbeSuite::new().measure(m)
+                })
+            });
+            assert_eq!(*raw, *recovered, "no noise fault → values untouched");
+            let snap = rec.metrics_snapshot();
+            assert_eq!(snap.counter("chaos.retry.attempts"), 1);
+            assert_eq!(snap.counter("chaos.retry.recovered"), 1);
+            assert_eq!(snap.counter("chaos.retry.exhausted"), 0);
+            assert_eq!(snap.counter("chaos.retry.backoff_ms"), 10);
+        }
+
+        #[test]
+        fn exhausted_retries_fail_the_machine() {
+            let f = fleet();
+            let rec = Arc::new(InMemoryRecorder::new());
+            let result = with_recorder(rec.clone(), || {
+                with_plan(plan(3, "measure-fail:1.0"), || {
+                    ProbeSuite::new().try_measure(f.get(MachineId::MhpccP3))
+                })
+            });
+            let failure = result.unwrap_err();
+            assert!(failure.reason.contains("attempt 3"), "{failure}");
+            let snap = rec.metrics_snapshot();
+            assert_eq!(snap.counter("chaos.retry.attempts"), 2);
+            assert_eq!(snap.counter("chaos.retry.exhausted"), 1);
+        }
+
+        #[test]
+        fn store_persists_raw_results_under_noise() {
+            let dir = std::env::temp_dir()
+                .join(format!("metasim-chaos-probe-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = Arc::new(metasim_cache::ArtifactStore::open(&dir));
+            let f = fleet();
+            let m = f.get(MachineId::Mhpcc690_13);
+            let raw = ProbeSuite::new().measure(m);
+
+            // Cold chaos run: measures, stores, perturbs.
+            let cold = with_plan(plan(11, "probe-noise:0.05"), || {
+                ProbeSuite::with_store(Arc::clone(&store)).measure(m)
+            });
+            // Warm chaos run: loads the stored entry, perturbs identically.
+            let warm_suite = ProbeSuite::with_store(Arc::clone(&store));
+            let warm = with_plan(plan(11, "probe-noise:0.05"), || warm_suite.measure(m));
+            assert_eq!(warm_suite.measurements_performed(), 0, "warm must load");
+            assert_eq!(*cold, *warm, "cold and warm chaos runs must agree");
+
+            // The disk entry itself is the raw, unperturbed measurement.
+            let persisted = ProbeSuite::with_store(Arc::clone(&store)).measure(m);
+            assert_eq!(*raw, *persisted, "the store must never see noise");
+            store.clear().unwrap();
+        }
     }
 }

@@ -54,6 +54,9 @@
 //! |---|---|---|
 //! | [`audit`] | `metasim-audit` | `MSxxx` diagnostics: rules, auditor, renderers |
 //! | [`units`] | `metasim-units` | dimension-tagged quantities (`Seconds`, `Gflops`, …) |
+//! | [`obs`] | `metasim-obs` | spans, metrics, run manifests (zero-cost when off) |
+//! | [`cache`] | `metasim-cache` | content-addressed on-disk artifact store |
+//! | [`chaos`] | `metasim-chaos` | seeded fault injection + graceful degradation |
 //! | [`stats`] | `metasim-stats` | statistics, regression, deterministic RNG |
 //! | [`memsim`] | `metasim-memsim` | cache-hierarchy simulator |
 //! | [`netsim`] | `metasim-netsim` | interconnect model |
@@ -66,10 +69,13 @@
 
 pub use metasim_apps as apps;
 pub use metasim_audit as audit;
+pub use metasim_cache as cache;
+pub use metasim_chaos as chaos;
 pub use metasim_core as core;
 pub use metasim_machines as machines;
 pub use metasim_memsim as memsim;
 pub use metasim_netsim as netsim;
+pub use metasim_obs as obs;
 pub use metasim_probes as probes;
 pub use metasim_report as report;
 pub use metasim_stats as stats;

@@ -8,7 +8,7 @@
 //! There is no shrinking: a failing case reports its index and message, and
 //! determinism makes every run reproducible.
 
-/// Strategy combinators and the [`Strategy`] trait.
+/// Strategy combinators and the [`Strategy`](strategy::Strategy) trait.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -162,7 +162,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub trait SizeRange {
         /// Pick a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
