@@ -54,20 +54,12 @@ impl std::fmt::Display for ArtifactKey {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
 /// FNV-1a over a byte string. Stable across platforms and releases — cache
-/// keys must never depend on `DefaultHasher`'s unspecified algorithm.
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
+/// keys must never depend on `DefaultHasher`'s unspecified algorithm. This
+/// is the workspace-shared implementation from `metasim-stats`, re-exported
+/// so cache keys, chaos draws, RNG seeds, and dataflow node ids provably
+/// use one hash (the `MS703` collision analysis compares like with like).
+pub use metasim_stats::rng::fnv1a;
 
 /// Key for an artifact derived from string labels plus the canonical JSON
 /// serialization of the inputs that produced it. Labels separate artifact

@@ -11,6 +11,7 @@
 
 use metasim_audit::registry::MS602;
 use metasim_audit::{audit_value, AuditReport, Auditor};
+use metasim_stats::rng::{fnv1a, fnv1a_labels};
 use serde::{Deserialize, Serialize};
 
 use crate::{site, FaultPoint};
@@ -159,16 +160,7 @@ impl FaultPlan {
     /// `(seed, site, labels)`, independent of call order.
     #[must_use]
     pub fn draw(&self, site: &str, labels: &[&str]) -> f64 {
-        let mut h = FNV_OFFSET;
-        for byte in site.bytes() {
-            h = fnv1a_step(h, byte);
-        }
-        for label in labels {
-            h = fnv1a_step(h, 0x1f);
-            for byte in label.bytes() {
-                h = fnv1a_step(h, byte);
-            }
-        }
+        let h = fnv1a_labels(fnv1a(site.as_bytes()), labels, 0x1f);
         let mut x = self.seed ^ h;
         // A few extra rounds decorrelate nearby seeds and labels.
         for _ in 0..3 {
@@ -221,12 +213,6 @@ impl FaultPoint for FaultPlan {
         }
         1.0 + sigma * (2.0 * self.draw(site, labels) - 1.0)
     }
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-fn fnv1a_step(hash: u64, byte: u8) -> u64 {
-    (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
 fn xorshift64star(mut x: u64) -> u64 {

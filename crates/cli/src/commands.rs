@@ -106,20 +106,28 @@ commands:
                      with --manifest, also check a run manifest against the
                      MS4xx rules; exits non-zero on error-severity findings
   lint [--json] [--deny-warnings] [--allow RULE[@subject]]... [--mutate NAME]
-                     statically analyze the nine metric formulas and the
-                     study dataflow (MS5xx rules): prove every prediction
-                     reduces to seconds, and flag unmeasured quantities,
-                     unread measurements, unused machines, and unreachable
-                     ENHANCED MAPS branches; --mutate seeds a named defect
-                     (eq1-multiply, drop-maps, drop-network-terms,
-                     drop-target, single-dep-class) to show the rule fire
-  study [--timings] [--cache-dir DIR] [--no-cache] [--export FILE.csv]
-        [--bench-out FILE.json] [--obs-out FILE.json] [--obs-format json|pretty]
-        [--fault-plan FILE.json]
+                     statically analyze the nine metric formulas (MS5xx) and
+                     the whole-study dataflow graph's parallel safety
+                     (MS7xx): prove every prediction reduces to seconds,
+                     flag unmeasured quantities, unread measurements, unused
+                     machines, and unreachable ENHANCED MAPS branches, and
+                     certify the shard cut (canonical merges, disjoint seed
+                     streams, collision-free node keys, guarded shared
+                     state, acyclic partition); --mutate seeds a named
+                     defect (eq1-multiply, drop-maps, drop-network-terms,
+                     drop-target, single-dep-class, arrival-order-merge,
+                     shared-seed-stream, untagged-node-keys, unguarded-memo,
+                     cross-shard-edge) to show its rule fire
+  study [--timings] [--jobs N] [--cache-dir DIR] [--no-cache]
+        [--export FILE.csv] [--bench-out FILE.json] [--obs-out FILE.json]
+        [--obs-format json|pretty] [--fault-plan FILE.json]
                      run the full 1,350-prediction study; artifacts persist
                      in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
-                     so warm re-runs load instead of re-measuring; --obs-out
-                     records spans + metrics and writes a run manifest;
+                     so warm re-runs load instead of re-measuring; --jobs N
+                     shards the cold run across N worker threads along the
+                     lint-certified cut — any N produces byte-identical
+                     results; --obs-out records spans + metrics and writes
+                     a run manifest (per-shard spans under --jobs);
                      --fault-plan injects a serialized chaos plan (implies
                      --no-cache so injected faults never poison the store)
   chaos run --seed N [--faults SPEC] [--export FILE.csv]
@@ -215,13 +223,14 @@ fn audit(rest: &[String]) -> Result<(), String> {
 
 fn lint(rest: &[String]) -> Result<(), String> {
     use metasim_audit::{render, AllowRule, AuditPolicy};
+    use metasim_core::dataflow::DataflowModel;
     use metasim_core::formula::cost_expr;
-    use metasim_core::lint::{lint_with_policy, LintModel, Mutation};
+    use metasim_core::lint::{lint_all_with_policy, AnyMutation, LintModel};
 
     let mut json = false;
     let mut deny_warnings = false;
     let mut allow = Vec::new();
-    let mut mutation: Option<Mutation> = None;
+    let mut mutation: Option<AnyMutation> = None;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -235,25 +244,28 @@ fn lint(rest: &[String]) -> Result<(), String> {
             }
             "--mutate" => {
                 let name = args.next().ok_or("--mutate needs a mutation name")?;
-                mutation = Some(Mutation::parse(name)?);
+                mutation = Some(AnyMutation::parse(name)?);
             }
             other => return Err(format!("unknown lint flag `{other}`")),
         }
     }
 
-    let model = match mutation {
-        None => LintModel::shipped(),
-        Some(m) => {
-            println!(
-                "seeding mutation `{}` (expect {})\n",
-                m.name(),
-                m.expected_code()
-            );
-            LintModel::mutated(m)
+    let mut model = LintModel::shipped();
+    let mut dataflow = DataflowModel::shipped();
+    if let Some(m) = mutation {
+        println!(
+            "seeding mutation `{}` (expect {})\n",
+            m.name(),
+            m.expected_code()
+        );
+        match m {
+            AnyMutation::Formula(m) => model = LintModel::mutated(m),
+            AnyMutation::Dataflow(m) => dataflow = DataflowModel::mutated(m),
         }
-    };
-    let report = lint_with_policy(
+    }
+    let report = lint_all_with_policy(
         &model,
+        &dataflow,
         AuditPolicy {
             allow,
             deny_warnings,
@@ -281,6 +293,14 @@ fn lint(rest: &[String]) -> Result<(), String> {
             );
         }
         println!();
+        let g = &dataflow.graph;
+        println!(
+            "dataflow graph: {} nodes, {} edges; shard cut: {} independent prediction cells",
+            g.nodes.len(),
+            g.edges.len(),
+            g.shard_cut().len()
+        );
+        println!();
         print!("{}", render::human(&report));
     }
     if report.has_errors() {
@@ -307,11 +327,20 @@ fn study(rest: &[String]) -> Result<(), String> {
     let mut obs_out: Option<String> = None;
     let mut obs_pretty = false;
     let mut fault_plan_path: Option<String> = None;
+    let mut jobs: usize = 1;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--timings" => timings_wanted = true,
             "--no-cache" => no_cache = true,
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a thread count")?;
+                jobs = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
+            }
             "--cache-dir" => {
                 cache_dir = Some(PathBuf::from(
                     args.next().ok_or("--cache-dir needs a directory")?,
@@ -381,7 +410,7 @@ fn study(rest: &[String]) -> Result<(), String> {
     if let Some(rec) = &recorder {
         metasim_obs::install(Arc::clone(rec) as Arc<dyn Recorder>);
     }
-    let run = || Study::run_with_store(&f, &suite, &gt, store.as_deref());
+    let run = || Study::run_with_store_jobs(&f, &suite, &gt, store.as_deref(), jobs);
     let (study, timings) = match &plan {
         Some(p) => {
             metasim_chaos::with_plan(Arc::clone(p) as Arc<dyn metasim_chaos::FaultPoint>, run)
@@ -1356,6 +1385,83 @@ mod tests {
         assert!(dispatch("lint", &["--mutate".into()]).is_err());
         assert!(dispatch("lint", &["--mutate".into(), "no-such-defect".into()]).is_err());
         assert!(dispatch("lint", &["--allow".into(), "not-a-code".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_mutation_lists_both_families() {
+        let err = dispatch("lint", &["--mutate".into(), "no-such-defect".into()]).unwrap_err();
+        // The error is a catalog, not a bare rejection: every mutation
+        // from both analysis families is named.
+        for name in [
+            "eq1-multiply",
+            "drop-maps",
+            "drop-network-terms",
+            "drop-target",
+            "single-dep-class",
+            "arrival-order-merge",
+            "shared-seed-stream",
+            "untagged-node-keys",
+            "unguarded-memo",
+            "cross-shard-edge",
+        ] {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
+    }
+
+    #[test]
+    fn lint_catches_seeded_dataflow_mutations() {
+        // Error-severity parallel-safety defects exit non-zero...
+        for name in [
+            "arrival-order-merge",
+            "shared-seed-stream",
+            "unguarded-memo",
+        ] {
+            let err = dispatch("lint", &["--mutate".into(), name.into()]).unwrap_err();
+            assert!(err.contains("error"), "{name}: {err}");
+        }
+        // ...while the MS705 warning only fails under --deny-warnings.
+        assert!(dispatch("lint", &["--mutate".into(), "cross-shard-edge".into()]).is_ok());
+        assert!(dispatch(
+            "lint",
+            &[
+                "--mutate".into(),
+                "cross-shard-edge".into(),
+                "--deny-warnings".into()
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn study_rejects_bad_jobs_values() {
+        assert!(dispatch("study", &["--jobs".into()]).is_err());
+        assert!(dispatch("study", &["--jobs".into(), "0".into()]).is_err());
+        assert!(dispatch("study", &["--jobs".into(), "many".into()]).is_err());
+        assert!(dispatch("study", &["--jobs".into(), "-2".into()]).is_err());
+    }
+
+    #[test]
+    fn complete_grids_render_without_a_partial_annotation() {
+        let study = Study::run_default();
+        assert!(study.coverage().is_complete());
+        assert_eq!(coverage_note(study), "");
+        let title = format!(
+            "Table 4. Error assessment: metric results vs. application run time.{}",
+            coverage_note(study)
+        );
+        assert!(
+            !title.contains("[partial:"),
+            "complete grids carry no annotation: {title}"
+        );
+    }
+
+    #[test]
+    fn partial_grids_render_with_the_coverage_annotation() {
+        let mut partial = Study::run_default().clone();
+        let dropped = MachineId::TARGETS[0];
+        partial.observations.retain(|o| o.machine != dropped);
+        let note = coverage_note(&partial);
+        assert_eq!(note, " [partial: 9/10 systems, 135/150 observations]");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The sharded study executor that [`core::dataflow`](crate::dataflow)
+//! certifies: a std-thread worker pool that partitions a canonical work
+//! list into contiguous shards, runs them concurrently, and hands the
+//! results back in exactly the input order.
+//!
+//! The executor leans on the three properties the `MS7xx` analysis proves
+//! statically:
+//!
+//! * results are index-addressed and the shards are *contiguous* slices of
+//!   the canonical list, so the merged output order is the input order no
+//!   matter which worker finishes first (MS701);
+//! * every worker re-installs the spawning thread's observability recorder
+//!   and chaos plan before touching the work, so per-task seed draws and
+//!   fault decisions are the same pure functions of the task coordinates
+//!   they are serially (MS702);
+//! * shared memo tables (probes, ground truth, traces) are single-flight,
+//!   so two shards hitting the same cold cell coalesce instead of racing
+//!   (MS704).
+//!
+//! Each worker opens a `shard:K` span under the caller's span context, so
+//! the run manifest shows the actual shard layout of a `--jobs N` run.
+
+use std::sync::Arc;
+
+use metasim_chaos::FaultPoint;
+use metasim_obs::{Recorder, SpanCtx};
+
+/// Contiguous, balanced shard boundaries: `len` items split into at most
+/// `shards` chunks of sizes differing by at most one, returned as
+/// `(start, end)` half-open ranges in order. Empty shards are omitted.
+#[must_use]
+pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, len.max(1));
+    let base = len / shards;
+    let extra = len % shards;
+    let mut bounds = Vec::new();
+    let mut start = 0;
+    for k in 0..shards {
+        let size = base + usize::from(k < extra);
+        if size == 0 {
+            break;
+        }
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Re-install the spawning thread's ambient contexts (observability
+/// recorder, chaos plan) on the current worker thread, then run `f`.
+fn with_contexts<R>(
+    recorder: Option<Arc<dyn Recorder>>,
+    plan: Option<Arc<dyn FaultPoint>>,
+    f: impl FnOnce() -> R,
+) -> R {
+    match (recorder, plan) {
+        (Some(rec), Some(p)) => metasim_obs::with_recorder(rec, || metasim_chaos::with_plan(p, f)),
+        (Some(rec), None) => metasim_obs::with_recorder(rec, f),
+        (None, Some(p)) => metasim_chaos::with_plan(p, f),
+        (None, None) => f(),
+    }
+}
+
+/// Run `f` over `items` across up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// The items are split into contiguous shards by [`shard_bounds`]; worker
+/// `k` processes shard `k` in order under a `shard:k` span parented at
+/// `parent`. With `jobs <= 1` (or a single item) everything runs inline on
+/// the calling thread with no threads spawned and no shard spans — the
+/// serial study path stays bit-for-bit what it was.
+pub fn run_sharded<T, R, F>(parent: SpanCtx, jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let bounds = shard_bounds(items.len(), jobs);
+    if jobs <= 1 || bounds.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Ambient contexts are thread-local; capture them here so workers see
+    // what the spawning thread sees.
+    let recorder = metasim_obs::recorder();
+    let plan = metasim_chaos::point();
+
+    // Carve the items into per-shard vectors (contiguous, in order).
+    let mut remaining = items;
+    let mut shards: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    for &(start, end) in bounds.iter().rev() {
+        let _ = start;
+        let tail = remaining.split_off(remaining.len() - (end - start));
+        shards.push(tail);
+    }
+    shards.reverse();
+
+    let f = &f;
+    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards.len());
+        for (k, shard) in shards.into_iter().enumerate() {
+            let recorder = recorder.clone();
+            let plan = plan.clone();
+            handles.push(scope.spawn(move || {
+                with_contexts(recorder, plan, || {
+                    // The guard must be created on this thread (it is not
+                    // Send); the Copy context crosses instead.
+                    let _span = parent.span(format!("shard:{k}"));
+                    shard.into_iter().map(f).collect::<Vec<R>>()
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Canonical merge: shard order == input order because shards are
+    // contiguous prefixes/suffixes, never interleaved.
+    let mut merged = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for shard in &mut results {
+        merged.append(shard);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metasim_obs::InMemoryRecorder;
+
+    #[test]
+    fn bounds_are_contiguous_and_balanced() {
+        assert_eq!(shard_bounds(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(shard_bounds(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(shard_bounds(0, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(shard_bounds(5, 1), vec![(0, 5)]);
+        // Cover, no gaps, no overlaps, sizes within one of each other.
+        for len in 0..40 {
+            for shards in 1..10 {
+                let b = shard_bounds(len, shards);
+                let mut cursor = 0;
+                for &(s, e) in &b {
+                    assert_eq!(s, cursor);
+                    assert!(e > s);
+                    cursor = e;
+                }
+                assert_eq!(cursor, len.max(cursor));
+                assert_eq!(b.iter().map(|&(s, e)| e - s).sum::<usize>(), len);
+                if let (Some(max), Some(min)) = (
+                    b.iter().map(|&(s, e)| e - s).max(),
+                    b.iter().map(|&(s, e)| e - s).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_sharded(SpanCtx::root(), 7, items.clone(), |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_spawns_no_shard_spans() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        let out = metasim_obs::with_recorder(rec.clone(), || {
+            run_sharded(metasim_obs::current_ctx(), 1, vec![1, 2, 3], |x| x + 1)
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+        assert!(rec.span_records().is_empty());
+    }
+
+    #[test]
+    fn workers_inherit_the_recorder_and_parent_their_shard_spans() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::new());
+        metasim_obs::with_recorder(rec.clone(), || {
+            let _root = metasim_obs::span("study");
+            let parent = metasim_obs::current_ctx();
+            let out = run_sharded(parent, 4, (0..8).collect::<Vec<u64>>(), |x| {
+                // Implicit spans opened inside a worker nest under its
+                // shard span via the worker's thread-local CURRENT.
+                let _s = metasim_obs::span(format!("cell:{x}"));
+                x
+            });
+            assert_eq!(out, (0..8).collect::<Vec<u64>>());
+        });
+        let spans = rec.span_records();
+        let root = spans.iter().find(|s| s.name == "study").unwrap();
+        let shard_spans: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("shard:"))
+            .collect();
+        assert_eq!(shard_spans.len(), 4);
+        for s in &shard_spans {
+            assert_eq!(s.parent, root.id, "shard spans hang off the study span");
+            assert!(s.dur_ns.is_some(), "shard spans close");
+        }
+        for cell in spans.iter().filter(|s| s.name.starts_with("cell:")) {
+            assert!(
+                shard_spans.iter().any(|s| s.id == cell.parent),
+                "cell spans nest under a shard span"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_chaos_plan() {
+        use metasim_chaos::FaultPlan;
+        let plan = std::sync::Arc::new(FaultPlan::empty(7));
+        let fired: Vec<bool> = metasim_chaos::with_plan(plan, || {
+            run_sharded(SpanCtx::root(), 3, vec![(); 6], |()| {
+                metasim_chaos::active()
+            })
+        });
+        assert!(fired.iter().all(|&b| b), "every worker sees the plan");
+        assert!(!metasim_chaos::active(), "plan uninstalls after the scope");
+    }
+}

@@ -547,6 +547,28 @@ impl Expr {
             _ => false,
         }
     }
+
+    /// Whether the formula reads the base system's measured runtime
+    /// (Equation 1's `T(X₀)` leaf) — the edge that makes every prediction
+    /// depend on the base machine's ground-truth run in the study's
+    /// dataflow graph.
+    #[must_use]
+    pub fn uses_base_runtime(&self) -> bool {
+        match self {
+            Expr::Time(TimeSource::BaseRuntime) => true,
+            Expr::Const(_) | Expr::Count(_) | Expr::Rate(_) | Expr::Time(_) | Expr::Scale(_) => {
+                false
+            }
+            Expr::Curve { .. } => false,
+            Expr::Recip(e) | Expr::OnBase(e) | Expr::CommSum(e) => e.uses_base_runtime(),
+            Expr::BlockSum { body, .. } => body.uses_base_runtime(),
+            Expr::Ratio(a, b) | Expr::Mul(a, b) | Expr::Max(a, b) => {
+                a.uses_base_runtime() || b.uses_base_runtime()
+            }
+            Expr::Sum(terms) => terms.iter().any(Expr::uses_base_runtime),
+            Expr::OpSwitch(arms) => arms.iter().any(|(_, e)| e.uses_base_runtime()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

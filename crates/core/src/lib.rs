@@ -35,6 +35,8 @@
 pub mod audit;
 pub mod balanced;
 pub mod convolver;
+pub mod dataflow;
+pub mod executor;
 pub mod formula;
 pub mod lint;
 pub mod metric;
@@ -47,7 +49,8 @@ pub mod verification;
 
 pub use audit::{audit_inputs, audit_study, preflight, preflight_with_policy};
 pub use convolver::Convolver;
-pub use lint::{lint_with_policy, LintModel, Mutation};
+pub use dataflow::{DataflowModel, DataflowMutation, StudyGraph};
+pub use lint::{lint_all_with_policy, lint_with_policy, AnyMutation, LintModel, Mutation};
 pub use metric::{MetricId, MetricKind};
 pub use prediction::predict_all;
 pub use study::{Coverage, Observation, Study};

@@ -28,6 +28,7 @@ use metasim_audit::{AuditPolicy, AuditReport, Auditor};
 use metasim_machines::MachineId;
 use metasim_tracer::block::DependencyClass;
 
+use crate::dataflow::{lint_dataflow, DataflowModel, DataflowMutation};
 use crate::formula::{cost_expr, prediction_expr, Dim, Expr, ProbeQuantity};
 use crate::metric::MetricId;
 
@@ -188,6 +189,73 @@ impl Mutation {
     }
 }
 
+/// A seeded defect from either analysis family: a formula/probe-plan
+/// mutation (`MS5xx`, [`Mutation`]) or a parallel-safety mutation
+/// (`MS7xx`, [`DataflowMutation`]). `metasim lint --mutate NAME` accepts
+/// any of the ten names; an unknown name lists them all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyMutation {
+    /// A formula-model defect, caught by MS501–MS505.
+    Formula(Mutation),
+    /// A dataflow-model defect, caught by MS701–MS705.
+    Dataflow(DataflowMutation),
+}
+
+impl AnyMutation {
+    /// The CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AnyMutation::Formula(m) => m.name(),
+            AnyMutation::Dataflow(m) => m.name(),
+        }
+    }
+
+    /// The rule the mutation is designed to trip.
+    #[must_use]
+    pub fn expected_code(self) -> &'static str {
+        match self {
+            AnyMutation::Formula(m) => m.expected_code(),
+            AnyMutation::Dataflow(m) => m.expected_code(),
+        }
+    }
+
+    /// Every known mutation name across both families, in help order.
+    #[must_use]
+    pub fn all_names() -> Vec<&'static str> {
+        Mutation::ALL
+            .into_iter()
+            .map(Mutation::name)
+            .chain(
+                DataflowMutation::ALL
+                    .into_iter()
+                    .map(DataflowMutation::name),
+            )
+            .collect()
+    }
+
+    /// Parse a CLI spelling from either family. An unknown name fails with
+    /// the full list of available mutations, not a bare error.
+    pub fn parse(name: &str) -> Result<AnyMutation, String> {
+        Mutation::ALL
+            .into_iter()
+            .find(|m| m.name() == name)
+            .map(AnyMutation::Formula)
+            .or_else(|| {
+                DataflowMutation::ALL
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .map(AnyMutation::Dataflow)
+            })
+            .ok_or_else(|| {
+                format!(
+                    "unknown mutation `{name}`; available mutations: {}",
+                    AnyMutation::all_names().join(", ")
+                )
+            })
+    }
+}
+
 /// Base-calibrate a cost expression (the well-formed Equation 1 shape).
 fn calibrated(cost: Expr) -> Expr {
     Expr::Mul(
@@ -338,6 +406,21 @@ pub fn lint(model: &LintModel) -> AuditReport {
     lint_with_policy(model, AuditPolicy::default())
 }
 
+/// Run both static analyses — the `MS5xx` formula lint and the `MS7xx`
+/// dataflow parallel-safety lint — into one report. This is what
+/// `metasim lint` runs: the full shape-and-sharding certificate.
+#[must_use]
+pub fn lint_all_with_policy(
+    model: &LintModel,
+    dataflow: &DataflowModel,
+    policy: AuditPolicy,
+) -> AuditReport {
+    let mut a = Auditor::with_policy(policy);
+    lint_model(model, &mut a);
+    lint_dataflow(dataflow, &mut a);
+    a.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +531,62 @@ mod tests {
             assert_eq!(Mutation::parse(m.name()).unwrap(), m);
         }
         assert!(Mutation::parse("no-such-mutation").is_err());
+    }
+
+    #[test]
+    fn any_mutation_spans_both_families() {
+        assert_eq!(AnyMutation::all_names().len(), 10);
+        for m in Mutation::ALL {
+            assert_eq!(
+                AnyMutation::parse(m.name()).unwrap(),
+                AnyMutation::Formula(m)
+            );
+        }
+        for m in DataflowMutation::ALL {
+            assert_eq!(
+                AnyMutation::parse(m.name()).unwrap(),
+                AnyMutation::Dataflow(m)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_mutation_error_lists_every_available_name() {
+        let err = AnyMutation::parse("no-such-defect").unwrap_err();
+        for name in AnyMutation::all_names() {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
+    }
+
+    #[test]
+    fn combined_lint_is_clean_on_the_shipped_pair() {
+        let report = lint_all_with_policy(
+            &LintModel::shipped(),
+            &DataflowModel::shipped(),
+            AuditPolicy::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn combined_lint_sees_each_family_independently() {
+        // A dataflow defect surfaces through the combined lint without
+        // disturbing the formula rules, and vice versa.
+        let report = lint_all_with_policy(
+            &LintModel::shipped(),
+            &DataflowModel::mutated(DataflowMutation::ArrivalOrderMerge),
+            AuditPolicy::default(),
+        );
+        assert!(report.has_code("MS701"));
+        assert!(report.diagnostics.iter().all(|d| d.rule.code == "MS701"));
+
+        let report = lint_all_with_policy(
+            &LintModel::mutated(Mutation::DropTarget),
+            &DataflowModel::shipped(),
+            AuditPolicy::default(),
+        );
+        assert!(report.has_code("MS504"));
+        assert!(report.diagnostics.iter().all(|d| d.rule.code == "MS504"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
 use metasim_tracer::analysis::analyze_dependencies;
 use metasim_units::{Percent, Seconds};
 
+use crate::executor::run_sharded;
 use crate::metric::MetricId;
 use crate::prediction::predict_all;
 
@@ -164,8 +165,28 @@ impl Study {
     /// As [`run`](Self::run), on preflight errors.
     #[must_use]
     pub fn run_timed(fleet: &Fleet, suite: &ProbeSuite, gt: &GroundTruth) -> (Self, StudyTimings) {
+        Self::run_timed_jobs(fleet, suite, gt, 1)
+    }
+
+    /// [`run_timed`](Self::run_timed) sharded across `jobs` worker
+    /// threads along the dataflow graph's proven-independent cut (see
+    /// [`crate::dataflow`]). `jobs <= 1` takes the serial path unchanged;
+    /// any `jobs` produces the identical `Study` — results are merged in
+    /// canonical order and every per-cell computation is a pure, memoized
+    /// function of its coordinates (pinned by
+    /// `parallel_study_matches_serial_exactly`).
+    ///
+    /// # Panics
+    /// As [`run`](Self::run), on preflight errors.
+    #[must_use]
+    pub fn run_timed_jobs(
+        fleet: &Fleet,
+        suite: &ProbeSuite,
+        gt: &GroundTruth,
+        jobs: usize,
+    ) -> (Self, StudyTimings) {
         let root = metasim_obs::span("study");
-        Self::run_timed_with_traces(root.ctx(), fleet, suite, gt, &TraceCache::new())
+        Self::run_timed_with_traces(root.ctx(), fleet, suite, gt, &TraceCache::new(), jobs)
     }
 
     /// [`run_timed`](Self::run_timed) with an explicit trace cache, so a
@@ -183,6 +204,7 @@ impl Study {
         suite: &ProbeSuite,
         gt: &GroundTruth,
         traces: &TraceCache,
+        jobs: usize,
     ) -> (Self, StudyTimings) {
         let start = Instant::now();
         // Preflight: statically verify every input artifact. This also
@@ -190,6 +212,15 @@ impl Study {
         // The phase span closes *before* the error gate below so a failed
         // preflight still shows up — with its wall time — in the recorder.
         let pre = ctx.span("phase:preflight");
+        if jobs > 1 {
+            // Warm every machine's probe sweep across the worker pool so
+            // the audit below reads purely warm single-flight cells. A
+            // failing sweep is not an error here — the audit and the alive
+            // filter below decide what a failure means.
+            run_sharded(pre.ctx(), jobs, MachineId::ALL.to_vec(), |machine| {
+                let _ = suite.try_measure(fleet.get(machine));
+            });
+        }
         let report = crate::audit::preflight(fleet, suite);
         metasim_obs::counter_add("audit.findings", report.diagnostics.len() as u64);
         let base_cfg = fleet.base();
@@ -221,29 +252,47 @@ impl Study {
         // scales from it), then the full target grid.
         let gt_span = ctx.span("phase:ground-truth");
         let gt_ctx = gt_span.ctx();
-        all_test_cases().into_par_iter().for_each(|(case, cpus)| {
-            let app = gt_ctx.span(format!("app:{case}"));
-            let cpu = app.ctx().span(format!("cpus:{cpus}"));
-            let _ = gt.run(case, cpus, base_cfg);
-            let cpu_ctx = cpu.ctx();
-            alive.clone().into_par_iter().for_each(|machine| {
-                let _m = cpu_ctx.span(format!("machine:{machine}"));
+        if jobs > 1 {
+            // Flatten the 165-cell grid in canonical order and shard it:
+            // every cell is an independent node of the dataflow graph, and
+            // the single-flight memo coalesces any shard racing another to
+            // the same base cell.
+            let mut cells: Vec<(TestCase, u64, MachineId)> = Vec::new();
+            for (case, cpus) in all_test_cases() {
+                cells.push((case, cpus, MachineId::NavoP690Base));
+                for &machine in &alive {
+                    cells.push((case, cpus, machine));
+                }
+            }
+            run_sharded(gt_ctx, jobs, cells, |(case, cpus, machine)| {
+                let _m = metasim_obs::span(format!("cell:{case}/{cpus}/{machine}"));
                 let _ = gt.run(case, cpus, fleet.get(machine));
             });
-        });
+        } else {
+            all_test_cases().into_par_iter().for_each(|(case, cpus)| {
+                let app = gt_ctx.span(format!("app:{case}"));
+                let cpu = app.ctx().span(format!("cpus:{cpus}"));
+                let _ = gt.run(case, cpus, base_cfg);
+                let cpu_ctx = cpu.ctx();
+                alive.clone().into_par_iter().for_each(|machine| {
+                    let _m = cpu_ctx.span(format!("machine:{machine}"));
+                    let _ = gt.run(case, cpus, fleet.get(machine));
+                });
+            });
+        }
         let ground_truth_seconds = gt_span.finish();
 
         let pred_span = ctx.span("phase:predictions");
         let pred_ctx = pred_span.ctx();
-        let observations: Vec<Observation> = all_test_cases()
-            .into_par_iter()
-            .flat_map(|(case, cpus)| {
-                let app = pred_ctx.span(format!("app:{case}"));
+        let observations: Vec<Observation> = if jobs > 1 {
+            // Shard the prediction cut: groups are independent, traces are
+            // single-flight, every ground-truth read is warm, and the
+            // groups come back in canonical order (then re-sorted below,
+            // exactly as in the serial path).
+            run_sharded(pred_ctx, jobs, all_test_cases(), |(case, cpus)| {
+                let app = metasim_obs::span(format!("app:{case}"));
                 let cpu = app.ctx().span(format!("cpus:{cpus}"));
                 let workload = case.workload(cpus);
-                // A dropped trace loses this (case, cpus) row across every
-                // machine — traces are collected once on the base system —
-                // but not the rest of the grid.
                 let trace = match traces.try_trace(&workload) {
                     Ok(trace) => trace,
                     Err(_) => {
@@ -253,12 +302,10 @@ impl Study {
                 };
                 let labels = analyze_dependencies(&trace.blocks);
                 let base_actual = Seconds::new(gt.run(case, cpus, base_cfg).seconds);
-
                 let cpu_ctx = cpu.ctx();
                 alive
-                    .clone()
-                    .into_par_iter()
-                    .map(|machine| {
+                    .iter()
+                    .map(|&machine| {
                         let _m = cpu_ctx.span(format!("machine:{machine}"));
                         let target_cfg = fleet.get(machine);
                         let actual = Seconds::new(gt.run(case, cpus, target_cfg).seconds);
@@ -276,7 +323,58 @@ impl Study {
                     })
                     .collect::<Vec<_>>()
             })
-            .collect();
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            all_test_cases()
+                .into_par_iter()
+                .flat_map(|(case, cpus)| {
+                    let app = pred_ctx.span(format!("app:{case}"));
+                    let cpu = app.ctx().span(format!("cpus:{cpus}"));
+                    let workload = case.workload(cpus);
+                    // A dropped trace loses this (case, cpus) row across every
+                    // machine — traces are collected once on the base system —
+                    // but not the rest of the grid.
+                    let trace = match traces.try_trace(&workload) {
+                        Ok(trace) => trace,
+                        Err(_) => {
+                            metasim_obs::counter_add("chaos.trace.skipped", 1);
+                            return Vec::new();
+                        }
+                    };
+                    let labels = analyze_dependencies(&trace.blocks);
+                    let base_actual = Seconds::new(gt.run(case, cpus, base_cfg).seconds);
+
+                    let cpu_ctx = cpu.ctx();
+                    alive
+                        .clone()
+                        .into_par_iter()
+                        .map(|machine| {
+                            let _m = cpu_ctx.span(format!("machine:{machine}"));
+                            let target_cfg = fleet.get(machine);
+                            let actual = Seconds::new(gt.run(case, cpus, target_cfg).seconds);
+                            let target_probes = suite.measure(target_cfg);
+                            let predictions = predict_all(
+                                &trace,
+                                &labels,
+                                &target_probes,
+                                &base_probes,
+                                base_actual,
+                            );
+                            Observation {
+                                case,
+                                cpus,
+                                machine,
+                                actual,
+                                base_actual,
+                                predictions,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
 
         let mut study = Self { observations };
         // Deterministic order regardless of parallel scheduling.
@@ -338,6 +436,24 @@ impl Study {
         gt: &GroundTruth,
         store: Option<&ArtifactStore>,
     ) -> (Self, StudyTimings) {
+        Self::run_with_store_jobs(fleet, suite, gt, store, 1)
+    }
+
+    /// [`run_with_store`](Self::run_with_store) sharded across `jobs`
+    /// worker threads (see [`run_timed_jobs`](Self::run_timed_jobs)). The
+    /// store path is unaffected: a warm hit loads the identical artifact
+    /// at any job count, and a cold run stores the identical bytes.
+    ///
+    /// # Panics
+    /// As [`run`](Self::run), on preflight errors (compute path only).
+    #[must_use]
+    pub fn run_with_store_jobs(
+        fleet: &Fleet,
+        suite: &ProbeSuite,
+        gt: &GroundTruth,
+        store: Option<&ArtifactStore>,
+        jobs: usize,
+    ) -> (Self, StudyTimings) {
         // A run under an installed fault plan neither reads nor writes the
         // whole-study store: a cached full grid would mask the injected
         // faults, and a partial grid must never poison fault-free runs.
@@ -377,7 +493,7 @@ impl Study {
             Some(store) => TraceCache::with_store(Arc::new(store.clone())),
             None => TraceCache::new(),
         };
-        let (study, timings) = Self::run_timed_with_traces(ctx, fleet, suite, gt, &traces);
+        let (study, timings) = Self::run_timed_with_traces(ctx, fleet, suite, gt, &traces, jobs);
         if let Some(store) = store {
             let _write = ctx.span("store-write");
             let _ = store.store(STUDY_KIND, Self::store_key(fleet), &study);
@@ -529,6 +645,57 @@ mod tests {
         let s = study();
         assert_eq!(s.observations.len(), 150, "5 cases x 3 counts x 10 systems");
         assert_eq!(s.prediction_count(), 1350, "9 metrics x 150");
+    }
+
+    #[test]
+    fn parallel_study_matches_serial_exactly() {
+        // The property MS701-MS705 certify statically, checked
+        // dynamically: sharding the study moves no output bit.
+        let serial = study();
+        let f = fleet();
+        let suite = ProbeSuite::new();
+        let gt = GroundTruth::new();
+        let rec = Arc::new(metasim_obs::InMemoryRecorder::new());
+        let (parallel, timings) =
+            metasim_obs::with_recorder(rec.clone(), || Study::run_timed_jobs(&f, &suite, &gt, 4));
+        assert_eq!(parallel.observations, serial.observations);
+        // Bit-for-bit: the serialized artifact (what the store and the
+        // CSV exports are derived from) is identical too.
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(serial).unwrap()
+        );
+        assert!(!timings.loaded_from_cache);
+        // The manifest shows the shard layout: every phase ran sharded.
+        let spans = rec.span_records();
+        let shard_count = spans.iter().filter(|s| s.name == "shard:0").count();
+        assert_eq!(
+            shard_count, 3,
+            "preflight, ground truth, and predictions each sharded"
+        );
+        let phases: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("phase:"))
+            .collect();
+        for shard in spans.iter().filter(|s| s.name.starts_with("shard:")) {
+            assert!(
+                phases.iter().any(|p| p.id == shard.parent),
+                "shard spans hang off a phase span"
+            );
+        }
+    }
+
+    #[test]
+    fn full_grid_coverage_is_complete() {
+        let cov = study().coverage();
+        assert!(cov.is_complete(), "the default fleet covers the full grid");
+        assert!(cov.missing_machines.is_empty());
+        assert_eq!(cov.to_string(), "10/10 systems, 150/150 observations");
+        assert_eq!(
+            study().table5().len(),
+            MachineId::TARGETS.len(),
+            "a complete grid renders every Table 5 row"
+        );
     }
 
     #[test]

@@ -11,6 +11,24 @@
 //! passes BigCrush when used directly and is more than adequate for workload
 //! synthesis (we are not doing cryptography or high-dimensional Monte Carlo).
 
+/// The standard FNV-1a 64-bit offset basis (the hash of the empty string).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The standard FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a mixing step: fold `byte` into the running `hash`.
+///
+/// This is the streaming form of [`fnv1a`]; hashing a byte string step by
+/// step from [`FNV_OFFSET`] produces exactly the batch result. Cache keys,
+/// chaos-site draws, RNG seeding, and dataflow node ids all share this one
+/// primitive, so a hash equality in one layer means the same thing in every
+/// other.
+#[must_use]
+pub const fn fnv1a_step(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
 /// Stable 64-bit FNV-1a hash of a byte string.
 ///
 /// Used to derive RNG seeds from human-readable labels. The constants are the
@@ -18,12 +36,25 @@
 /// platforms, Rust versions, and process runs (unlike `std::hash`).
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
+    let mut h = FNV_OFFSET;
     for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
+        h = fnv1a_step(h, b);
+    }
+    h
+}
+
+/// FNV-1a over a sequence of string labels with an explicit separator byte
+/// folded in *before* each label, so label boundaries cannot alias —
+/// `["ab", "c"]` and `["a", "bc"]` hash differently, and a shorter prefix
+/// never collides with its own extension.
+#[must_use]
+pub fn fnv1a_labels(seed: u64, labels: &[&str], separator: u8) -> u64 {
+    let mut h = seed;
+    for label in labels {
+        h = fnv1a_step(h, separator);
+        for byte in label.bytes() {
+            h = fnv1a_step(h, byte);
+        }
     }
     h
 }
@@ -34,12 +65,17 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// `("ab", "c")` and `("a", "bc")` hash differently.
 #[must_use]
 pub fn seed_from_labels(labels: &[&str]) -> u64 {
-    let mut buf = Vec::with_capacity(labels.iter().map(|l| l.len() + 1).sum());
+    // Streamed through the shared step so no buffer is built; the byte
+    // sequence (label then separator, per label) is unchanged, so every
+    // seed — and every study output derived from one — stays identical.
+    let mut h = FNV_OFFSET;
     for l in labels {
-        buf.extend_from_slice(l.as_bytes());
-        buf.push(0x1f);
+        for byte in l.bytes() {
+            h = fnv1a_step(h, byte);
+        }
+        h = fnv1a_step(h, 0x1f);
     }
-    fnv1a(&buf)
+    h
 }
 
 /// A deterministic SplitMix64 pseudo-random generator.
@@ -178,6 +214,35 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn streaming_steps_match_the_batch_hash() {
+        let bytes = b"the streaming form must equal the batch form";
+        let streamed = bytes.iter().fold(FNV_OFFSET, |h, &b| fnv1a_step(h, b));
+        assert_eq!(streamed, fnv1a(bytes));
+    }
+
+    #[test]
+    fn label_hashing_separates_boundaries_and_seeds() {
+        // Boundary aliasing: ["ab","c"] vs ["a","bc"].
+        assert_ne!(
+            fnv1a_labels(FNV_OFFSET, &["ab", "c"], 0x1f),
+            fnv1a_labels(FNV_OFFSET, &["a", "bc"], 0x1f)
+        );
+        // Prefix aliasing: a label list never collides with its extension.
+        assert_ne!(
+            fnv1a_labels(FNV_OFFSET, &["a"], 0x1f),
+            fnv1a_labels(FNV_OFFSET, &["a", ""], 0x1f)
+        );
+        // The seed participates.
+        assert_ne!(fnv1a_labels(1, &["a"], 0x1f), fnv1a_labels(2, &["a"], 0x1f));
+        // And the separator byte does too.
+        assert_ne!(
+            fnv1a_labels(FNV_OFFSET, &["a", "b"], 0x1f),
+            fnv1a_labels(FNV_OFFSET, &["a", "b"], 0xff)
+        );
     }
 
     #[test]

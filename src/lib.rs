@@ -64,7 +64,7 @@
 //! | [`probes`] | `metasim-probes` | HPL/STREAM/GUPS/MAPS/NETBENCH |
 //! | [`tracer`] | `metasim-tracer` | MetaSim tracer + MPIDTRACE equivalents |
 //! | [`apps`] | `metasim-apps` | TI-05 applications + ground truth |
-//! | [`core`] | `metasim-core` | the convolver, nine metrics, study driver |
+//! | [`core`] | `metasim-core` | convolver, nine metrics, dataflow graph, sharded study driver |
 //! | [`report`] | `metasim-report` | tables, CSV, charts, SVG |
 
 pub use metasim_apps as apps;

@@ -1,0 +1,97 @@
+//! Cross-crate invariants of the whole-study dataflow graph, checked
+//! through the facade exactly the way downstream users see it: the graph
+//! has the paper's shape, the shard cut the parallel executor runs is a
+//! true antichain (no edges inside it), and every seeded parallel-safety
+//! mutation trips exactly its `MS7xx` rule through the same combined lint
+//! entry point the CLI uses.
+
+use metasim::audit::AuditPolicy;
+use metasim::core::dataflow::{self, DataflowModel, DataflowMutation, Node, StudyGraph};
+use metasim::core::lint::{lint_all_with_policy, AnyMutation, LintModel};
+
+#[test]
+fn the_shipped_graph_has_the_paper_grid_shape() {
+    let g = StudyGraph::shipped();
+    let count = |kind: &str| g.nodes.iter().filter(|n| n.kind() == kind).count();
+    assert_eq!(count("probes"), 11, "10 targets + the base system");
+    assert_eq!(count("trace"), 15, "5 cases x 3 CPU counts");
+    assert_eq!(count("groundtruth"), 165, "15 cells x 11 machines");
+    assert_eq!(count("prediction"), 150, "15 cells x 10 targets");
+    assert_eq!(count("reduction"), 2, "Table 4 and Table 5");
+    assert_eq!(g.nodes.len(), 343);
+    assert!(!g.has_cycle(), "the study has no feedback loops");
+}
+
+#[test]
+fn the_shard_cut_is_a_true_antichain() {
+    let g = StudyGraph::shipped();
+    let cut = g.shard_cut();
+    assert_eq!(cut.len(), 150, "every prediction cell is in the cut");
+    for &i in &cut {
+        assert!(
+            matches!(g.nodes[i], Node::Prediction { .. }),
+            "the cut holds only prediction cells"
+        );
+    }
+    let in_cut: std::collections::HashSet<usize> = cut.iter().copied().collect();
+    for &(from, to) in &g.edges {
+        assert!(
+            !(in_cut.contains(&from) && in_cut.contains(&to)),
+            "edge {from}->{to} crosses the cut: predictions must be independent"
+        );
+    }
+}
+
+#[test]
+fn the_combined_lint_certifies_the_shipped_plan() {
+    let report = lint_all_with_policy(
+        &LintModel::shipped(),
+        &DataflowModel::shipped(),
+        AuditPolicy::default(),
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "shipped plan must pass MS5xx + MS7xx: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn every_parallel_safety_mutation_trips_exactly_its_rule() {
+    let all_codes = ["MS701", "MS702", "MS703", "MS704", "MS705"];
+    for mutation in DataflowMutation::ALL {
+        let report = dataflow::lint(&DataflowModel::mutated(mutation));
+        let expected = mutation.expected_code();
+        assert!(
+            report.has_code(expected),
+            "{} must trip {expected}",
+            mutation.name()
+        );
+        for code in all_codes {
+            if code != expected {
+                assert!(
+                    !report.has_code(code),
+                    "{} tripped {code} as well as {expected}",
+                    mutation.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_mutation_catalogue_is_total_and_round_trips() {
+    let names = AnyMutation::all_names();
+    assert_eq!(names.len(), 10, "five formula + five dataflow mutations");
+    let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+    assert_eq!(unique.len(), names.len(), "mutation names are unique");
+    for name in names {
+        let parsed = AnyMutation::parse(name).expect("every listed name parses");
+        assert_eq!(parsed.name(), name, "parse/name round-trips");
+    }
+    let err = AnyMutation::parse("nonsense").unwrap_err();
+    assert!(
+        err.contains("arrival-order-merge") && err.contains("eq1-multiply"),
+        "the unknown-name error lists both families: {err}"
+    );
+}
