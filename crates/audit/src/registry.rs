@@ -5,7 +5,8 @@
 //! `MS1xx` probe curves (MAPS / ENHANCED MAPS / HPL), `MS2xx` application
 //! traces, `MS3xx` study outputs and predictions, `MS4xx` run manifests,
 //! `MS5xx` formula/dataflow lints, `MS6xx` robustness (fault injection,
-//! partial coverage, retry budgets). Codes are append-only —
+//! partial coverage, retry budgets), `MS7xx` parallel safety, `MS8xx`
+//! tiered-model fidelity. Codes are append-only —
 //! a published code is never renumbered or reused, so `allow` lists in
 //! config files stay meaningful across releases.
 
@@ -323,6 +324,13 @@ rules! {
         severity: Warn,
         summary: "The study graph must stay acyclic with no edges inside the shard cut, or it cannot be parallelized",
         paper: "The 1,350 predictions are independent; a hidden cross-cell dependency would serialize them",
+    };
+    MS801 = {
+        code: "MS801",
+        name: "tier-fidelity",
+        severity: Error,
+        summary: "Analytic-tier per-level hit fractions must stay within the error budget of the exact simulator on every machine spec",
+        paper: "The paper's own question — how well a cheap proxy tracks a faithful model — applied to our analytic cache model",
     };
 }
 

@@ -18,6 +18,7 @@ use metasim_machines::{fleet, MachineId};
 use metasim_obs::manifest::{CacheSummary, ManifestMeta, RunManifest};
 use metasim_obs::{InMemoryRecorder, Recorder};
 use metasim_probes::suite::ProbeSuite;
+use metasim_probes::Tier;
 use metasim_report::chart::{ascii_bar_chart, ascii_line_chart, BarGroup, Series};
 use metasim_report::svg::line_chart_svg;
 use metasim_report::table::{f0, f1, Table};
@@ -100,11 +101,14 @@ HPC Applications?' (SC 2005)
 
 commands:
   audit [--json] [--deny-warnings] [--allow RULE[@subject]]...
-        [--manifest FILE.json]
+        [--manifest FILE.json] [--tier exact|analytic|auto]
                      statically verify every study artifact (fleet, probe
                      curves, workloads, traces) against the MSxxx rules;
                      with --manifest, also check a run manifest against the
-                     MS4xx rules; exits non-zero on error-severity findings
+                     MS4xx rules; a non-exact --tier additionally
+                     cross-checks the analytic cache model against the
+                     exact simulator on every machine (MS801); exits
+                     non-zero on error-severity findings
   lint [--json] [--deny-warnings] [--allow RULE[@subject]]... [--mutate NAME]
                      statically analyze the nine metric formulas (MS5xx) and
                      the whole-study dataflow graph's parallel safety
@@ -119,15 +123,22 @@ commands:
                      shared-seed-stream, untagged-node-keys, unguarded-memo,
                      cross-shard-edge) to show its rule fire
   study [--timings] [--jobs N] [--cache-dir DIR] [--no-cache]
-        [--export FILE.csv] [--bench-out FILE.json] [--obs-out FILE.json]
+        [--tier exact|analytic|auto] [--export FILE.csv]
+        [--bench-out FILE.json] [--obs-out FILE.json]
         [--obs-format json|pretty] [--fault-plan FILE.json]
                      run the full 1,350-prediction study; artifacts persist
                      in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
                      so warm re-runs load instead of re-measuring; --jobs N
                      shards the cold run across N worker threads along the
                      lint-certified cut — any N produces byte-identical
-                     results; --obs-out records spans + metrics and writes
-                     a run manifest (per-shard spans under --jobs);
+                     results; --tier picks the memory model behind the
+                     probes: exact (default, address-level simulator),
+                     analytic (closed-form model, orders of magnitude
+                     faster), or auto (analytic when it passes the MS801
+                     calibration budget, exact otherwise); non-exact tiers
+                     gate on MS801 in preflight and cache under their own
+                     store keys; --obs-out records spans + metrics and
+                     writes a run manifest (per-shard spans under --jobs);
                      --fault-plan injects a serialized chaos plan (implies
                      --no-cache so injected faults never poison the store)
   chaos run --seed N [--faults SPEC] [--export FILE.csv]
@@ -175,6 +186,7 @@ fn audit(rest: &[String]) -> Result<(), String> {
     let mut deny_warnings = false;
     let mut allow = Vec::new();
     let mut manifest_path: Option<String> = None;
+    let mut tier = Tier::Exact;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -189,12 +201,16 @@ fn audit(rest: &[String]) -> Result<(), String> {
             "--manifest" => {
                 manifest_path = Some(args.next().ok_or("--manifest needs a path")?.clone());
             }
+            "--tier" => {
+                let t = args.next().ok_or("--tier needs exact|analytic|auto")?;
+                tier = t.parse().map_err(|e| format!("{e}"))?;
+            }
             other => return Err(format!("unknown audit flag `{other}`")),
         }
     }
 
     let f = fleet();
-    let suite = ProbeSuite::new();
+    let suite = ProbeSuite::new().with_tier(tier);
     let mut report = metasim_core::preflight_with_policy(
         &f,
         &suite,
@@ -328,11 +344,16 @@ fn study(rest: &[String]) -> Result<(), String> {
     let mut obs_pretty = false;
     let mut fault_plan_path: Option<String> = None;
     let mut jobs: usize = 1;
+    let mut tier = Tier::Exact;
     let mut args = rest.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--timings" => timings_wanted = true,
             "--no-cache" => no_cache = true,
+            "--tier" => {
+                let t = args.next().ok_or("--tier needs exact|analytic|auto")?;
+                tier = t.parse().map_err(|e| format!("{e}"))?;
+            }
             "--jobs" => {
                 let n = args.next().ok_or("--jobs needs a thread count")?;
                 jobs = n
@@ -402,6 +423,7 @@ fn study(rest: &[String]) -> Result<(), String> {
         ),
         None => (ProbeSuite::new(), GroundTruth::new()),
     };
+    let suite = suite.with_tier(tier);
 
     // Recording is opt-in: only pay for span bookkeeping when something
     // downstream (a manifest or the benchmark file) will consume it.
@@ -439,7 +461,7 @@ fn study(rest: &[String]) -> Result<(), String> {
             rec,
             ManifestMeta {
                 tool: format!("metasim {}", env!("CARGO_PKG_VERSION")),
-                config_digest: Study::store_key(&f).to_string(),
+                config_digest: Study::store_key_tiered(&f, tier).to_string(),
                 loaded_from_cache: timings.loaded_from_cache,
                 cache,
             },
@@ -447,13 +469,20 @@ fn study(rest: &[String]) -> Result<(), String> {
     });
 
     println!(
-        "study: {} observations, {} predictions ({})",
+        "study: {} observations, {} predictions ({}{})",
         study.observations.len(),
         study.prediction_count(),
         if timings.loaded_from_cache {
             "loaded from cache"
         } else {
             "computed"
+        },
+        // The exact tier keeps the historical output byte-identical; any
+        // other tier announces itself so logs are self-describing.
+        if tier == Tier::Exact {
+            String::new()
+        } else {
+            format!(", tier {tier}")
         }
     );
     let coverage = study.coverage();
@@ -1438,6 +1467,15 @@ mod tests {
         assert!(dispatch("study", &["--jobs".into(), "0".into()]).is_err());
         assert!(dispatch("study", &["--jobs".into(), "many".into()]).is_err());
         assert!(dispatch("study", &["--jobs".into(), "-2".into()]).is_err());
+    }
+
+    #[test]
+    fn study_and_audit_reject_bad_tier_values() {
+        assert!(dispatch("study", &["--tier".into()]).is_err());
+        let err = dispatch("study", &["--tier".into(), "quantum".into()]).unwrap_err();
+        assert!(err.contains("exact|analytic|auto"), "{err}");
+        assert!(dispatch("audit", &["--tier".into()]).is_err());
+        assert!(dispatch("audit", &["--tier".into(), "quantum".into()]).is_err());
     }
 
     #[test]

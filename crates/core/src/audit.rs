@@ -13,6 +13,7 @@ use metasim_apps::tracing::trace_workload;
 use metasim_audit::registry::{MS301, MS302, MS303, MS304, MS305, MS601};
 use metasim_audit::{audit_value, AuditPolicy, AuditReport, Auditor};
 use metasim_machines::{Fleet, MachineId};
+use metasim_memsim::analytic::{audit_tier_budget, Tier};
 use metasim_probes::audit::audit_probes;
 use metasim_probes::suite::{MachineProbes, ProbeSuite};
 
@@ -28,6 +29,16 @@ const SCALING_TOLERANCE: f64 = 1.05;
 /// with their generated traces (`MS20x`).
 pub fn audit_inputs(fleet: &Fleet, suite: &ProbeSuite, a: &mut Auditor) {
     fleet.audit(a);
+    // MS801: a suite that may serve analytic-tier measurements must prove
+    // the closed-form model tracks the exact simulator on every machine it
+    // could be asked about, before any of its numbers enter the study.
+    if suite.tier() != Tier::Exact {
+        for m in fleet.all() {
+            a.scope("tier", |a| {
+                a.scope(m.id.to_string(), |a| audit_tier_budget(&m.memory, a));
+            });
+        }
+    }
     for m in fleet.all() {
         // A machine an installed fault plan takes down has no probes to
         // audit; the study skips it and MS601 reports the coverage gap.

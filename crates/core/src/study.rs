@@ -13,6 +13,7 @@ use metasim_apps::registry::{all_test_cases, TestCase};
 use metasim_apps::tracing::TraceCache;
 use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
 use metasim_machines::{fleet, Fleet, MachineId};
+use metasim_memsim::analytic::Tier;
 use metasim_obs::SpanCtx;
 use metasim_probes::suite::ProbeSuite;
 use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
@@ -414,9 +415,23 @@ impl Study {
 
     /// The content key a whole-study result is stored under: the full
     /// serialized fleet, so editing any machine spec re-runs the study.
+    /// This is the exact-tier key; non-exact tiers persist under a
+    /// tier-tagged sibling ([`store_key_tiered`](Self::store_key_tiered)).
     #[must_use]
     pub fn store_key(fleet: &Fleet) -> ArtifactKey {
         content_key(&[STUDY_KIND], fleet)
+    }
+
+    /// The content key for a study run under `tier`. Exact keeps the
+    /// original key (byte-identical to pre-tier studies); other tiers get
+    /// their own key space so switching tiers can never serve a
+    /// model-mismatched cached study.
+    #[must_use]
+    pub fn store_key_tiered(fleet: &Fleet, tier: Tier) -> ArtifactKey {
+        match tier {
+            Tier::Exact => Self::store_key(fleet),
+            tier => content_key(&[STUDY_KIND, &tier.to_string()], fleet),
+        }
     }
 
     /// Run the study against an optional persistent store.
@@ -463,7 +478,8 @@ impl Study {
         if let Some(store) = store {
             let load = ctx.span("phase:load");
             let expected = all_test_cases().len() * MachineId::TARGETS.len();
-            let loaded = store.load_validated(STUDY_KIND, Self::store_key(fleet), |s: &Study| {
+            let key = Self::store_key_tiered(fleet, suite.tier());
+            let loaded = store.load_validated(STUDY_KIND, key, |s: &Study| {
                 if s.observations.len() != expected {
                     return Err(format!(
                         "grid holds {} observations, expected {expected}",
@@ -496,7 +512,11 @@ impl Study {
         let (study, timings) = Self::run_timed_with_traces(ctx, fleet, suite, gt, &traces, jobs);
         if let Some(store) = store {
             let _write = ctx.span("store-write");
-            let _ = store.store(STUDY_KIND, Self::store_key(fleet), &study);
+            let _ = store.store(
+                STUDY_KIND,
+                Self::store_key_tiered(fleet, suite.tier()),
+                &study,
+            );
         }
         (study, timings)
     }

@@ -1,0 +1,37 @@
+//! MS801 fleet-wide gate: the analytic cache model must stay within the
+//! tier error budget of the exact simulator on every shipped machine.
+//!
+//! This is the offline form of the check the CLI's `audit --tier` and the
+//! study preflight run; keeping it here means a spec edit that breaks
+//! analytic fidelity fails `cargo test` before it ever reaches a study run.
+
+use metasim_audit::audit_value;
+use metasim_machines::hpcmp::fleet;
+use metasim_memsim::analytic::{audit_tier_budget, max_tier_divergence, TIER_ERROR_BUDGET};
+
+#[test]
+fn every_shipped_machine_is_within_the_tier_budget() {
+    for m in fleet().all() {
+        let worst = max_tier_divergence(&m.memory);
+        println!(
+            "{:>14}  worst analytic divergence {worst:.4}",
+            m.id.to_string()
+        );
+        assert!(
+            worst <= TIER_ERROR_BUDGET,
+            "{}: worst divergence {worst:.4} exceeds budget {TIER_ERROR_BUDGET}",
+            m.id
+        );
+    }
+}
+
+#[test]
+fn tier_audit_is_clean_on_the_shipped_fleet() {
+    let fleet = fleet();
+    let report = audit_value(|a| {
+        for m in fleet.all() {
+            a.scope(m.id.to_string(), |a| audit_tier_budget(&m.memory, a));
+        }
+    });
+    assert!(!report.has_errors(), "{report}");
+}

@@ -2,32 +2,34 @@
 //!
 //! The simulator models tag state only (no data), which is all a timing study
 //! needs. Associativity in the fleet this workspace models is small (1–16
-//! ways), so per-set LRU is a linear scan over a tiny array — cache-friendly
-//! and branch-predictable in the simulation hot loop.
+//! ways), so per-set LRU is a linear scan over a tiny array. Tags and stamps
+//! live in separate contiguous `u64` arrays (structure-of-arrays): the hit
+//! scan reads only the tag array and the victim scan only the stamp array,
+//! each a branchless sweep the compiler can unroll and `cmov`/vectorize.
 
 use crate::spec::LevelSpec;
-
-/// One cache way: a tag plus a last-use stamp for LRU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Way {
-    /// Line tag (address >> line_shift). `u64::MAX` marks an empty way.
-    tag: u64,
-    /// Monotone stamp of the most recent touch.
-    stamp: u64,
-}
 
 const EMPTY: u64 = u64::MAX;
 
 /// A set-associative LRU cache over 64-bit byte addresses.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    ways: Vec<Way>,
+    /// Line tag per way (`addr >> line_shift`); `u64::MAX` marks empty.
+    tags: Vec<u64>,
+    /// Monotone last-touch stamp per way, parallel to `tags`.
+    stamps: Vec<u64>,
     assoc: usize,
     set_mask: u64,
     line_shift: u32,
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Line most recently touched, valid when `last_way != usize::MAX`.
+    /// Invariant: `tags[last_way] == last_line` — every fill updates both,
+    /// and the most recently stamped way can never be a later fill's LRU
+    /// victim, so the pair can only go stale by being overwritten together.
+    last_line: u64,
+    last_way: usize,
 }
 
 impl Cache {
@@ -41,48 +43,94 @@ impl Cache {
         spec.validate().expect("invalid cache spec");
         let sets = spec.sets();
         let assoc = spec.associativity as usize;
+        let ways = (sets as usize) * assoc;
         Self {
-            ways: vec![
-                Way {
-                    tag: EMPTY,
-                    stamp: 0
-                };
-                (sets as usize) * assoc
-            ],
+            tags: vec![EMPTY; ways],
+            stamps: vec![0; ways],
             assoc,
             set_mask: sets - 1,
             line_shift: spec.line_bytes.trailing_zeros(),
             clock: 0,
             hits: 0,
             misses: 0,
+            last_line: 0,
+            last_way: usize::MAX,
         }
     }
 
     /// Access the line containing byte address `addr`. Returns `true` on hit.
     /// On miss the line is filled, evicting the set's LRU way.
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr >> self.line_shift;
-        let set = (line & self.set_mask) as usize;
-        let base = set * self.assoc;
-        self.clock += 1;
+        self.access_line(addr >> self.line_shift)
+    }
 
-        let ways = &mut self.ways[base..base + self.assoc];
-        // Hit path: touch the way and return.
-        if let Some(w) = ways.iter_mut().find(|w| w.tag == line) {
-            w.stamp = self.clock;
+    /// Access a pre-decomposed line number (callers shift the address once
+    /// per batch instead of once per level per access). Bit-identical to
+    /// [`access`](Self::access) on the containing address.
+    pub(crate) fn access_line(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        // MRU fast path: a repeat of the line we just touched needs no set
+        // scan — it is still resident at `last_way` by the struct invariant.
+        if line == self.last_line && self.last_way != usize::MAX {
+            self.stamps[self.last_way] = self.clock;
             self.hits += 1;
             return true;
         }
-        // Miss path: replace LRU (empty ways have stamp 0 and lose ties,
-        // so they are consumed before any eviction happens).
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.stamp)
-            .expect("associativity is nonzero");
-        victim.tag = line;
-        victim.stamp = self.clock;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+
+        // Hit scan: tags are unique within a set, so keeping the last match
+        // equals keeping the only match — no early exit, no branch.
+        let mut way = usize::MAX;
+        for (i, &t) in self.tags[base..base + self.assoc].iter().enumerate() {
+            if t == line {
+                way = base + i;
+            }
+        }
+        if way != usize::MAX {
+            self.stamps[way] = self.clock;
+            self.hits += 1;
+            self.last_line = line;
+            self.last_way = way;
+            return true;
+        }
+
+        // Miss: replace the first way with the minimum stamp — the same
+        // element `min_by_key` picks (empty ways carry stamp 0 and lose
+        // ties, so they are consumed before any eviction happens).
+        let stamps = &self.stamps[base..base + self.assoc];
+        let mut victim = 0;
+        let mut best = stamps[0];
+        for (i, &s) in stamps.iter().enumerate().skip(1) {
+            if s < best {
+                best = s;
+                victim = i;
+            }
+        }
+        let way = base + victim;
+        self.tags[way] = line;
+        self.stamps[way] = self.clock;
         self.misses += 1;
+        self.last_line = line;
+        self.last_way = way;
         false
+    }
+
+    /// Collapse `reps` further accesses to the most recently touched line
+    /// into one stamp update. Bit-identical to calling
+    /// [`access_line`](Self::access_line) `reps` times with the same line:
+    /// each would hit the MRU fast path, and only the final stamp is
+    /// observable.
+    pub(crate) fn touch_repeat(&mut self, reps: u64) {
+        debug_assert!(self.last_way != usize::MAX, "no line touched yet");
+        self.clock += reps;
+        self.stamps[self.last_way] = self.clock;
+        self.hits += reps;
+    }
+
+    /// Log2 of the line size, for callers that pre-decompose addresses.
+    pub(crate) fn line_shift(&self) -> u32 {
+        self.line_shift
     }
 
     /// Probe without updating state (no fill, no LRU touch).
@@ -91,20 +139,18 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc]
-            .iter()
-            .any(|w| w.tag == line)
+        self.tags[base..base + self.assoc].contains(&line)
     }
 
     /// Invalidate all contents and reset statistics.
     pub fn reset(&mut self) {
-        self.ways.fill(Way {
-            tag: EMPTY,
-            stamp: 0,
-        });
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
+        self.last_line = 0;
+        self.last_way = usize::MAX;
     }
 
     /// Hits observed since construction/reset.
@@ -266,5 +312,35 @@ mod tests {
         assert!(!c.access(base));
         assert!(c.access(base + 8));
         assert!(!c.access(base + 64));
+    }
+
+    #[test]
+    fn touch_repeat_matches_repeated_access() {
+        let (mut fast, mut slow) = (tiny(2, 4), tiny(2, 4));
+        fast.access(128);
+        slow.access(128);
+        fast.touch_repeat(5);
+        for _ in 0..5 {
+            assert!(slow.access(128));
+        }
+        assert_eq!(fast.hits(), slow.hits());
+        assert_eq!(fast.misses(), slow.misses());
+        // Subsequent divergent traffic behaves identically.
+        for addr in [0u64, 64, 128, 192, 256, 128, 0] {
+            assert_eq!(fast.access(addr), slow.access(addr), "addr {addr}");
+        }
+        assert_eq!(fast.hits(), slow.hits());
+    }
+
+    #[test]
+    fn mru_fast_path_survives_interleaved_fills() {
+        // An assoc-1 cache where a conflicting fill replaces the last-touched
+        // way: the fast path must not claim a stale hit afterwards.
+        let mut c = tiny(1, 1);
+        assert!(!c.access(0)); // fills the only way
+        assert!(c.access(0)); // MRU fast path
+        assert!(!c.access(64)); // evicts line 0, retargets the fast path
+        assert!(!c.access(0), "evicted line must miss");
+        assert!(c.access(0), "and hit after refill");
     }
 }

@@ -46,6 +46,7 @@
 //! assert!(l1.bytes_per_second() > 2.0 * stream.bytes_per_second());
 //! ```
 
+pub mod analytic;
 pub mod bandwidth;
 pub mod cache;
 pub mod hierarchy;
@@ -54,6 +55,10 @@ pub mod streams;
 pub mod timing;
 pub mod tlb;
 
+pub use analytic::{
+    analytic_bandwidth, audit_tier_budget, measure_bandwidth_tiered, AnalyticModel, CacheModel,
+    ExactModel, ResolvedTier, Tier, TIER_ERROR_BUDGET,
+};
 pub use bandwidth::{measure_bandwidth, BandwidthSample, Workload};
 pub use hierarchy::{HierarchySim, LevelHit};
 pub use spec::{LevelSpec, MainMemorySpec, MemorySpec};

@@ -16,6 +16,12 @@ pub struct Tlb {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// Page most recently touched, valid when `last_idx != usize::MAX`.
+    /// Invariant: `entries[last_idx].0 == last_page` — every fill updates
+    /// both, and the most recently stamped entry can never be a later
+    /// fill's LRU victim.
+    last_page: u64,
+    last_idx: usize,
 }
 
 impl Tlb {
@@ -37,30 +43,69 @@ impl Tlb {
             clock: 0,
             hits: 0,
             misses: 0,
+            last_page: 0,
+            last_idx: usize::MAX,
         }
     }
 
     /// Translate the page containing `addr`; returns `true` on TLB hit.
     pub fn access(&mut self, addr: u64) -> bool {
-        let page = addr >> self.page_shift;
+        self.access_page(addr >> self.page_shift)
+    }
+
+    /// Translate a pre-decomposed page number. Bit-identical to
+    /// [`access`](Self::access) on any containing address.
+    pub(crate) fn access_page(&mut self, page: u64) -> bool {
         self.clock += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.clock;
+        // MRU fast path: a repeat of the page we just translated needs no
+        // scan — it is still resident at `last_idx` by the struct invariant.
+        if page == self.last_page && self.last_idx != usize::MAX {
+            self.entries[self.last_idx].1 = self.clock;
             self.hits += 1;
+            return true;
+        }
+        if let Some(i) = self.entries.iter().position(|&(p, _)| p == page) {
+            self.entries[i].1 = self.clock;
+            self.hits += 1;
+            self.last_page = page;
+            self.last_idx = i;
             return true;
         }
         self.misses += 1;
         if self.entries.len() < self.capacity {
             self.entries.push((page, self.clock));
+            self.last_idx = self.entries.len() - 1;
         } else {
-            let lru = self
-                .entries
-                .iter_mut()
-                .min_by_key(|(_, s)| *s)
-                .expect("capacity > 0");
-            *lru = (page, self.clock);
+            // First minimum stamp — the same entry `min_by_key` picks.
+            let mut victim = 0;
+            let mut best = self.entries[0].1;
+            for (i, &(_, s)) in self.entries.iter().enumerate().skip(1) {
+                if s < best {
+                    best = s;
+                    victim = i;
+                }
+            }
+            self.entries[victim] = (page, self.clock);
+            self.last_idx = victim;
         }
+        self.last_page = page;
         false
+    }
+
+    /// Collapse `reps` further translations of the most recently touched
+    /// page into one stamp update — bit-identical to `reps` calls of
+    /// [`access_page`](Self::access_page) with the same page, which would
+    /// each hit the MRU fast path.
+    pub(crate) fn touch_repeat(&mut self, reps: u64) {
+        debug_assert!(self.last_idx != usize::MAX, "no page translated yet");
+        self.clock += reps;
+        self.entries[self.last_idx].1 = self.clock;
+        self.hits += reps;
+    }
+
+    /// Log2 of the page size, for callers that pre-decompose addresses.
+    pub(crate) fn page_shift(&self) -> u32 {
+        self.page_shift
     }
 
     /// Reset contents and statistics.
@@ -69,6 +114,8 @@ impl Tlb {
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;
+        self.last_page = 0;
+        self.last_idx = usize::MAX;
     }
 
     /// Misses since construction/reset.
@@ -153,5 +200,32 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_panics() {
         let _ = Tlb::new(&spec(0));
+    }
+
+    #[test]
+    fn touch_repeat_matches_repeated_access() {
+        let (mut fast, mut slow) = (Tlb::new(&spec(2)), Tlb::new(&spec(2)));
+        fast.access(0);
+        slow.access(0);
+        fast.touch_repeat(4);
+        for _ in 0..4 {
+            assert!(slow.access(0));
+        }
+        assert_eq!(fast.hits(), slow.hits());
+        // Divergent traffic afterwards stays in lockstep, including the
+        // LRU eviction order the stamps encode.
+        for addr in [4096u64, 8192, 0, 4096, 0] {
+            assert_eq!(fast.access(addr), slow.access(addr), "addr {addr}");
+        }
+        assert_eq!(fast.misses(), slow.misses());
+    }
+
+    #[test]
+    fn mru_fast_path_survives_capacity_one_eviction() {
+        let mut t = Tlb::new(&spec(1));
+        assert!(!t.access(0));
+        assert!(t.access(8), "same page via fast path");
+        assert!(!t.access(4096), "replaces the only entry");
+        assert!(!t.access(0), "evicted page must miss");
     }
 }

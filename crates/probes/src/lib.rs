@@ -55,3 +55,8 @@ pub use maps::{measure_maps, DependencyFlavor, MapsCurve, MapsSet};
 pub use netbench::{measure_netbench, NetbenchResult};
 pub use stream::{measure_stream, StreamResult};
 pub use suite::{MachineProbes, ProbeFailure, ProbeSuite};
+
+// The tier vocabulary is part of this crate's public API (ProbeSuite::with_tier
+// and the tiered probe functions take it); re-export so downstream crates can
+// name it without depending on the simulator crate directly.
+pub use metasim_memsim::analytic::{ResolvedTier, Tier};

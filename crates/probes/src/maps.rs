@@ -18,7 +18,8 @@ use rayon::prelude::*;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 use metasim_machines::MachineConfig;
-use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
+use metasim_memsim::analytic::{measure_bandwidth_tiered, ResolvedTier};
+use metasim_memsim::bandwidth::Workload;
 use metasim_memsim::timing::{AccessKind, DependencyMode};
 use metasim_units::BytesPerSec;
 
@@ -201,12 +202,20 @@ pub fn sweep_sizes() -> &'static [u64] {
     })
 }
 
-fn measure_curve(machine: &MachineConfig, kind: AccessKind, flavor: DependencyFlavor) -> MapsCurve {
+fn measure_curve(
+    machine: &MachineConfig,
+    kind: AccessKind,
+    flavor: DependencyFlavor,
+    tier: ResolvedTier,
+) -> MapsCurve {
     let points: Vec<(u64, f64)> = sweep_sizes()
         .par_iter()
         .map(|&ws| {
-            let sample =
-                measure_bandwidth(&machine.memory, &Workload::new(ws, kind, flavor.mode()));
+            let (sample, _) = measure_bandwidth_tiered(
+                &machine.memory,
+                &Workload::new(ws, kind, flavor.mode()),
+                tier.as_tier(),
+            );
             (ws, sample.bytes_per_second().get())
         })
         .collect();
@@ -236,15 +245,41 @@ fn cap_curve(curve: &mut MapsCurve, bound: &MapsCurve) {
 /// far below unit stride and the cap never binds.
 #[must_use]
 pub fn measure_maps(machine: &MachineConfig) -> MapsSet {
+    measure_maps_tiered(machine, ResolvedTier::Exact)
+}
+
+/// [`measure_maps`] under an explicit resolved model tier. The exact tier is
+/// byte-identical to [`measure_maps`]; the analytic tier shares the same
+/// sweep grid and curve-capping pipeline, only the per-point sample comes
+/// from the closed-form model.
+#[must_use]
+pub fn measure_maps_tiered(machine: &MachineConfig, tier: ResolvedTier) -> MapsSet {
     let unit = measure_curve(
         machine,
         AccessKind::Sequential,
         DependencyFlavor::Independent,
+        tier,
     );
-    let mut random = measure_curve(machine, AccessKind::Random, DependencyFlavor::Independent);
-    let unit_chained = measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Chained);
-    let unit_branchy = measure_curve(machine, AccessKind::Sequential, DependencyFlavor::Branchy);
-    let mut random_chained = measure_curve(machine, AccessKind::Random, DependencyFlavor::Chained);
+    let mut random = measure_curve(
+        machine,
+        AccessKind::Random,
+        DependencyFlavor::Independent,
+        tier,
+    );
+    let unit_chained = measure_curve(
+        machine,
+        AccessKind::Sequential,
+        DependencyFlavor::Chained,
+        tier,
+    );
+    let unit_branchy = measure_curve(
+        machine,
+        AccessKind::Sequential,
+        DependencyFlavor::Branchy,
+        tier,
+    );
+    let mut random_chained =
+        measure_curve(machine, AccessKind::Random, DependencyFlavor::Chained, tier);
     cap_curve(&mut random, &unit);
     cap_curve(&mut random_chained, &unit_chained);
     cap_curve(&mut random_chained, &random);

@@ -7,7 +7,8 @@
 use serde::{Deserialize, Serialize};
 
 use metasim_machines::MachineConfig;
-use metasim_memsim::bandwidth::{measure_bandwidth, Workload};
+use metasim_memsim::analytic::{measure_bandwidth_tiered, ResolvedTier};
+use metasim_memsim::bandwidth::Workload;
 use metasim_memsim::timing::{AccessKind, DependencyMode};
 use metasim_units::BytesPerSec;
 
@@ -43,14 +44,22 @@ pub fn stream_working_set(machine: &MachineConfig) -> u64 {
 /// Run the STREAM probe.
 #[must_use]
 pub fn measure_stream(machine: &MachineConfig) -> StreamResult {
+    measure_stream_tiered(machine, ResolvedTier::Exact)
+}
+
+/// [`measure_stream`] under an explicit resolved model tier (the exact tier
+/// is byte-identical to [`measure_stream`]).
+#[must_use]
+pub fn measure_stream_tiered(machine: &MachineConfig, tier: ResolvedTier) -> StreamResult {
     let working_set = stream_working_set(machine);
-    let sample = measure_bandwidth(
+    let (sample, _) = measure_bandwidth_tiered(
         &machine.memory,
         &Workload::new(
             working_set,
             AccessKind::Sequential,
             DependencyMode::Independent,
         ),
+        tier.as_tier(),
     );
     StreamResult {
         working_set,

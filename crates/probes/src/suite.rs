@@ -35,11 +35,13 @@ use metasim_machines::{MachineConfig, MachineId};
 
 use crate::audit::audit_probes;
 
-use crate::gups::{measure_gups, GupsResult};
+use metasim_memsim::analytic::{resolve_tier, ResolvedTier, Tier};
+
+use crate::gups::{measure_gups_tiered, GupsResult};
 use crate::hpl::{measure_hpl, HplResult};
-use crate::maps::{measure_maps, MapsSet};
+use crate::maps::{measure_maps_tiered, MapsSet};
 use crate::netbench::{measure_netbench, NetbenchResult};
-use crate::stream::{measure_stream, StreamResult};
+use crate::stream::{measure_stream_tiered, StreamResult};
 
 /// Number of processes the fleet-comparable HPL submission uses.
 pub const HPL_PROCESSES: u64 = 64;
@@ -65,12 +67,21 @@ impl MachineProbes {
     /// Measure everything for one machine (expensive: full MAPS sweeps).
     #[must_use]
     pub fn measure(machine: &MachineConfig) -> Self {
+        Self::measure_tiered(machine, ResolvedTier::Exact)
+    }
+
+    /// Measure under an explicit resolved model tier. The memory-driven
+    /// probes (STREAM, GUPS, MAPS) use the requested tier; HPL and NETBENCH
+    /// are not memory-simulator-driven and always measure the same way.
+    /// The exact tier is byte-identical to [`measure`](Self::measure).
+    #[must_use]
+    pub fn measure_tiered(machine: &MachineConfig, tier: ResolvedTier) -> Self {
         Self {
             id: machine.id,
             hpl: measure_hpl(machine, HPL_PROCESSES),
-            stream: measure_stream(machine),
-            gups: measure_gups(machine),
-            maps: measure_maps(machine),
+            stream: measure_stream_tiered(machine, tier),
+            gups: measure_gups_tiered(machine, tier),
+            maps: measure_maps_tiered(machine, tier),
             netbench: measure_netbench(machine),
         }
     }
@@ -105,12 +116,27 @@ impl std::error::Error for ProbeFailure {}
 
 /// Memoizing probe runner with single-flight semantics and an optional
 /// persistent backing store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProbeSuite {
     #[allow(clippy::type_complexity)]
     cells: RwLock<HashMap<MachineId, Arc<OnceLock<Result<Arc<MachineProbes>, ProbeFailure>>>>>,
     store: Option<Arc<ArtifactStore>>,
     measurements: AtomicUsize,
+    tier: Tier,
+}
+
+impl Default for ProbeSuite {
+    /// Defaults to [`Tier::Exact`]: existing callers keep byte-identical
+    /// results; opting into the analytic fast path is explicit via
+    /// [`with_tier`](Self::with_tier).
+    fn default() -> Self {
+        Self {
+            cells: RwLock::default(),
+            store: None,
+            measurements: AtomicUsize::new(0),
+            tier: Tier::Exact,
+        }
+    }
 }
 
 impl ProbeSuite {
@@ -130,11 +156,45 @@ impl ProbeSuite {
         }
     }
 
+    /// Set the cache-model tier for all subsequent measurements. `Auto`
+    /// calibrates per machine spec and falls back to exact when the
+    /// analytic model misses [`metasim_memsim::TIER_ERROR_BUDGET`].
+    #[must_use]
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The configured cache-model tier.
+    #[must_use]
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// The tier measurements on `machine` would run with (`Auto` resolved
+    /// against the machine's spec).
+    #[must_use]
+    pub fn resolved_tier(&self, machine: &MachineConfig) -> ResolvedTier {
+        resolve_tier(&machine.memory, self.tier)
+    }
+
     /// The content key a machine's probe set is stored under: the full
     /// serialized machine configuration, so any spec edit is a cache miss.
+    /// This is the exact-tier key — the analytic tier persists under a
+    /// tier-tagged sibling ([`store_key_tiered`](Self::store_key_tiered)),
+    /// so switching tiers can never serve a model-mismatched artifact.
     #[must_use]
     pub fn store_key(machine: &MachineConfig) -> ArtifactKey {
-        content_key(&[PROBES_KIND], machine)
+        Self::store_key_tiered(machine, ResolvedTier::Exact)
+    }
+
+    /// The content key for a machine's probe set under a resolved tier.
+    #[must_use]
+    pub fn store_key_tiered(machine: &MachineConfig, tier: ResolvedTier) -> ArtifactKey {
+        match tier {
+            ResolvedTier::Exact => content_key(&[PROBES_KIND], machine),
+            ResolvedTier::Analytic => content_key(&[PROBES_KIND, "analytic"], machine),
+        }
     }
 
     /// Probe results for `machine`, measuring on first request.
@@ -192,16 +252,17 @@ impl ProbeSuite {
                 Ok(())
             }
         })?;
-        let probes = if let Some(cached) = self.load_cached(machine) {
+        let tier = self.resolved_tier(machine);
+        let probes = if let Some(cached) = self.load_cached(machine, tier) {
             cached
         } else {
             let _span = metasim_obs::recording()
                 .then(|| metasim_obs::span(format!("probe-sweep:{}", machine.id)));
-            let probes = MachineProbes::measure(machine);
+            let probes = MachineProbes::measure_tiered(machine, tier);
             self.measurements.fetch_add(1, Ordering::Relaxed);
             metasim_obs::counter_add("probes.sweeps", 1);
             if let Some(store) = &self.store {
-                let _ = store.store(PROBES_KIND, Self::store_key(machine), &probes);
+                let _ = store.store(PROBES_KIND, Self::store_key_tiered(machine, tier), &probes);
             }
             probes
         };
@@ -212,11 +273,11 @@ impl ProbeSuite {
     /// right machine identity and passes the MS1xx physics rules with no
     /// error-severity findings. Anything else is evicted (by the store) and
     /// re-measured.
-    fn load_cached(&self, machine: &MachineConfig) -> Option<MachineProbes> {
+    fn load_cached(&self, machine: &MachineConfig, tier: ResolvedTier) -> Option<MachineProbes> {
         let store = self.store.as_ref()?;
         store.load_validated(
             PROBES_KIND,
-            Self::store_key(machine),
+            Self::store_key_tiered(machine, tier),
             |probes: &MachineProbes| {
                 if probes.id != machine.id {
                     return Err(format!(
