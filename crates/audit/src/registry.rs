@@ -234,6 +234,27 @@ rules! {
         summary: "Manifest metric snapshots need coherent histogram shapes and finite values",
         paper: "The signed-error distribution backs the Table 4 error accounting",
     };
+    MS404 = {
+        code: "MS404",
+        name: "phase-regression-beyond-budget",
+        severity: Error,
+        summary: "A phase's wall time in the candidate manifest must stay within the budget's allowance over the baseline",
+        paper: "Cornebize & Legrand: point snapshots mislead; regressions are judged against an explicit variability budget",
+    };
+    MS405 = {
+        code: "MS405",
+        name: "counter-anomaly",
+        severity: Warn,
+        summary: "Work and cache-efficiency counters must not drift anomalously between baseline and candidate runs",
+        paper: "Section 3 amortizes probes/traces through the cache; a hit-rate collapse silently changes what is measured",
+    };
+    MS406 = {
+        code: "MS406",
+        name: "missing-span-kind",
+        severity: Warn,
+        summary: "Every span kind present in the baseline manifest must appear in the candidate run",
+        paper: "The 1,350-prediction pipeline has a fixed phase structure; a vanished span kind means skipped work",
+    };
     MS501 = {
         code: "MS501",
         name: "formula-dimension",

@@ -15,6 +15,7 @@ use metasim_core::prediction::predict_all;
 use metasim_core::ranking::rank_correlations;
 use metasim_core::study::{Study, StudyTimings};
 use metasim_machines::{fleet, MachineId};
+use metasim_obs::diff::{diff_and_audit, DiffBudget};
 use metasim_obs::manifest::{CacheSummary, ManifestMeta, RunManifest};
 use metasim_obs::{InMemoryRecorder, Recorder};
 use metasim_probes::suite::ProbeSuite;
@@ -125,7 +126,8 @@ commands:
   study [--timings] [--jobs N] [--cache-dir DIR] [--no-cache]
         [--tier exact|analytic|auto] [--export FILE.csv]
         [--bench-out FILE.json] [--obs-out FILE.json]
-        [--obs-format json|pretty] [--fault-plan FILE.json]
+        [--obs-format json|pretty] [--trace-out FILE.json]
+        [--fault-plan FILE.json]
                      run the full 1,350-prediction study; artifacts persist
                      in DIR (default .metasim-cache, or $METASIM_CACHE_DIR)
                      so warm re-runs load instead of re-measuring; --jobs N
@@ -139,6 +141,9 @@ commands:
                      gate on MS801 in preflight and cache under their own
                      store keys; --obs-out records spans + metrics and
                      writes a run manifest (per-shard spans under --jobs);
+                     --trace-out additionally exports the recorded run as
+                     Chrome-trace JSON for chrome://tracing / Perfetto,
+                     with one track per shard worker;
                      --fault-plan injects a serialized chaos plan (implies
                      --no-cache so injected faults never poison the store)
   chaos run --seed N [--faults SPEC] [--export FILE.csv]
@@ -152,9 +157,21 @@ commands:
   chaos plan --seed N [--faults SPEC] [--out FILE.json]
                      build, audit (MS602), and print or save a fault plan
                      for later `study --fault-plan`
-  obs summarize FILE.json
+  obs summarize FILE.json [--top N]
                      render a run manifest (phases, span tree, slowest
-                     spans, counters) written by study --obs-out
+                     spans, counters, latency quantiles) written by
+                     study --obs-out; --top N limits the slowest-span
+                     listing (0 hides it)
+  obs export-trace FILE.json [TRACE.json]
+                     convert a run manifest's span tree to Chrome Trace
+                     Format JSON (stdout when TRACE.json is omitted);
+                     the export is schema-validated before it is emitted
+  obs diff BASELINE.json CANDIDATE.json [--budget FILE.json]
+                     compare two run manifests: phase wall-time deltas,
+                     counter drift, latency-quantile shifts, and span-kind
+                     coverage; audits the deltas against a regression
+                     budget (MS404 regression = non-zero exit, MS405/MS406
+                     anomalies = warnings)
   cache stats|clear [--cache-dir DIR]
                      inspect or delete the persistent artifact store
   systems            Table 1/2: the study fleet
@@ -342,6 +359,7 @@ fn study(rest: &[String]) -> Result<(), String> {
     let mut bench_out: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut obs_pretty = false;
+    let mut trace_out: Option<String> = None;
     let mut fault_plan_path: Option<String> = None;
     let mut jobs: usize = 1;
     let mut tier = Tier::Exact;
@@ -383,6 +401,9 @@ fn study(rest: &[String]) -> Result<(), String> {
             }
             "--fault-plan" => {
                 fault_plan_path = Some(args.next().ok_or("--fault-plan needs a path")?.clone());
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?.clone());
             }
             other => return Err(format!("unknown study flag `{other}`")),
         }
@@ -427,8 +448,8 @@ fn study(rest: &[String]) -> Result<(), String> {
 
     // Recording is opt-in: only pay for span bookkeeping when something
     // downstream (a manifest or the benchmark file) will consume it.
-    let recorder =
-        (obs_out.is_some() || bench_out.is_some()).then(|| Arc::new(InMemoryRecorder::new()));
+    let recorder = (obs_out.is_some() || bench_out.is_some() || trace_out.is_some())
+        .then(|| Arc::new(InMemoryRecorder::new()));
     if let Some(rec) = &recorder {
         metasim_obs::install(Arc::clone(rec) as Arc<dyn Recorder>);
     }
@@ -532,6 +553,14 @@ fn study(rest: &[String]) -> Result<(), String> {
         };
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote run manifest to {path}");
+    }
+    if let Some(path) = trace_out {
+        let m = manifest
+            .as_ref()
+            .expect("recorder runs when --trace-out is set");
+        let trace = metasim_obs::export::chrome_trace(m);
+        std::fs::write(&path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Chrome trace to {path}");
     }
     if let Some(path) = bench_out {
         // The benchmark file keeps its historical shape (StudyTimings keys)
@@ -732,27 +761,129 @@ fn chaos_run(rest: &[String]) -> Result<(), String> {
     }
 }
 
-/// `obs summarize MANIFEST.json`: parse, audit (MS4xx), and render a run
-/// manifest written by `study --obs-out`.
+/// `obs summarize|export-trace|diff`: consume run manifests written by
+/// `study --obs-out`.
 fn obs(rest: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: obs summarize MANIFEST.json [--top N]\n       \
+                         obs export-trace MANIFEST.json [TRACE.json]\n       \
+                         obs diff BASELINE.json CANDIDATE.json [--budget FILE.json]";
     match rest.first().map(String::as_str) {
-        Some("summarize") => {
-            let [_, path] = rest else {
-                return Err("usage: obs summarize MANIFEST.json".into());
-            };
-            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let manifest =
-                RunManifest::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-            let report = manifest.audit();
-            if report.has_errors() {
-                print!("{}", metasim_audit::render::human(&report));
-                return Err(report.summary_line());
-            }
-            print!("{}", metasim_obs::summarize::render(&manifest));
-            Ok(())
-        }
-        _ => Err("usage: obs summarize MANIFEST.json".into()),
+        Some("summarize") => obs_summarize(&rest[1..]),
+        Some("export-trace") => obs_export_trace(&rest[1..]),
+        Some("diff") => obs_diff(&rest[1..]),
+        _ => Err(USAGE.into()),
     }
+}
+
+/// Read and parse a run manifest file.
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    RunManifest::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `obs summarize MANIFEST.json [--top N]`: audit (MS4xx) and render.
+fn obs_summarize(rest: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut top = metasim_obs::summarize::DEFAULT_TOP_SPANS;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let n = args.next().ok_or("--top needs a span count")?;
+                top = n
+                    .parse()
+                    .map_err(|_| format!("--top needs a non-negative integer, got `{n}`"))?;
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(arg.clone()),
+            other => return Err(format!("unknown obs summarize arg `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: obs summarize MANIFEST.json [--top N]")?;
+    let manifest = load_manifest(&path)?;
+    let report = manifest.audit();
+    if report.has_errors() {
+        print!("{}", metasim_audit::render::human(&report));
+        return Err(report.summary_line());
+    }
+    print!("{}", metasim_obs::summarize::render_top(&manifest, top));
+    Ok(())
+}
+
+/// `obs export-trace MANIFEST.json [TRACE.json]`: render the manifest's
+/// span tree as Chrome Trace Format JSON (stdout when no output path).
+fn obs_export_trace(rest: &[String]) -> Result<(), String> {
+    let (path, out) = match rest {
+        [p] => (p, None),
+        [p, o] => (p, Some(o)),
+        _ => return Err("usage: obs export-trace MANIFEST.json [TRACE.json]".into()),
+    };
+    let manifest = load_manifest(path)?;
+    let trace = metasim_obs::export::chrome_trace(&manifest);
+    // Never emit a trace we would not accept back.
+    let stats = metasim_obs::export::validate_chrome_trace(&trace)
+        .map_err(|e| format!("exported trace failed validation: {e}"))?;
+    match out {
+        Some(o) => {
+            std::fs::write(o, &trace).map_err(|e| format!("writing {o}: {e}"))?;
+            println!(
+                "wrote Chrome trace to {o} ({} events, {} spans, {} tracks)",
+                stats.events, stats.pairs, stats.tracks
+            );
+        }
+        None => println!("{trace}"),
+    }
+    Ok(())
+}
+
+/// `obs diff BASELINE.json CANDIDATE.json [--budget FILE.json]`: compare
+/// two manifests and gate on MS404-MS406 (non-zero exit on MS404).
+fn obs_diff(rest: &[String]) -> Result<(), String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut budget_path: Option<String> = None;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                budget_path = Some(args.next().ok_or("--budget needs a path")?.clone());
+            }
+            other if !other.starts_with("--") => paths.push(arg.clone()),
+            other => return Err(format!("unknown obs diff arg `{other}`")),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("usage: obs diff BASELINE.json CANDIDATE.json [--budget FILE.json]".into());
+    };
+    let budget = match &budget_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+            DiffBudget::from_json(&text).map_err(|e| format!("parsing {p}: {e}"))?
+        }
+        None => DiffBudget::default(),
+    };
+    let baseline = load_manifest(baseline_path)?;
+    let candidate = load_manifest(candidate_path)?;
+    let (diff, report) = diff_and_audit(&baseline, &candidate, &budget);
+    print!("{}", diff.render());
+    if report.is_clean() {
+        println!("\ndiff is within budget");
+    } else {
+        print!("\n{}", metasim_audit::render::human(&report));
+    }
+    if report.has_errors() {
+        let mut codes: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == metasim_audit::Severity::Error)
+            .map(|d| d.rule.code)
+            .collect();
+        codes.dedup();
+        return Err(format!(
+            "regression gate failed ({}): {}",
+            codes.join(", "),
+            report.summary_line()
+        ));
+    }
+    Ok(())
 }
 
 fn cache(rest: &[String]) -> Result<(), String> {
@@ -1600,7 +1731,143 @@ mod tests {
         assert!(dispatch("obs", &["summarize".into(), "/nonexistent/m.json".into()]).is_err());
         assert!(dispatch("study", &["--obs-out".into()]).is_err());
         assert!(dispatch("study", &["--obs-format".into(), "yaml".into()]).is_err());
+        assert!(dispatch("study", &["--trace-out".into()]).is_err());
         assert!(dispatch("audit", &["--manifest".into()]).is_err());
+        // The new subcommands validate their argument shapes too.
+        assert!(dispatch("obs", &["frobnicate".into()]).is_err());
+        assert!(dispatch(
+            "obs",
+            &["summarize".into(), "m.json".into(), "--top".into()]
+        )
+        .is_err());
+        let bad_top = [
+            "summarize".into(),
+            "m.json".into(),
+            "--top".into(),
+            "-1".into(),
+        ];
+        assert!(dispatch("obs", &bad_top).is_err());
+        assert!(dispatch("obs", &["export-trace".into()]).is_err());
+        assert!(dispatch(
+            "obs",
+            &["export-trace".into(), "/nonexistent/m.json".into()]
+        )
+        .is_err());
+        assert!(dispatch("obs", &["diff".into()]).is_err());
+        assert!(dispatch("obs", &["diff".into(), "a.json".into()]).is_err());
+        let missing_budget = [
+            "diff".into(),
+            "a.json".into(),
+            "b.json".into(),
+            "--budget".into(),
+        ];
+        assert!(dispatch("obs", &missing_budget).is_err());
+    }
+
+    /// Record a tiny two-phase run and write its manifest to `name` under a
+    /// per-process temp dir. Returns the file path.
+    fn write_test_manifest(name: &str) -> PathBuf {
+        let rec = Arc::new(InMemoryRecorder::new());
+        metasim_obs::with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, || {
+            let study = metasim_obs::span("study");
+            {
+                let _pre = study.ctx().span("phase:preflight");
+            }
+            let pred = study.ctx().span("phase:predictions");
+            let _shard = pred.ctx().span("shard:0");
+        });
+        let manifest = RunManifest::build(&rec, ManifestMeta::default());
+        let dir = std::env::temp_dir().join(format!("metasim-obs-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, manifest.to_json().unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn obs_export_trace_round_trips_a_manifest() {
+        let manifest_path = write_test_manifest("trace-source.json");
+        let trace_path = manifest_path.with_file_name("out.trace.json");
+        dispatch(
+            "obs",
+            &[
+                "export-trace".into(),
+                manifest_path.to_string_lossy().to_string(),
+                trace_path.to_string_lossy().to_string(),
+            ],
+        )
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let stats = metasim_obs::export::validate_chrome_trace(&trace).unwrap();
+        // study + 2 phases + 1 shard, the shard on its own track.
+        assert_eq!(stats.pairs, 4);
+        assert_eq!(stats.tracks, 2);
+        std::fs::remove_file(&manifest_path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn obs_diff_is_clean_against_itself_and_gates_a_regression() {
+        let baseline = write_test_manifest("diff-baseline.json");
+        let base_s = baseline.to_string_lossy().to_string();
+        // A manifest is always within budget of itself.
+        dispatch("obs", &["diff".into(), base_s.clone(), base_s.clone()]).unwrap();
+
+        // Inflate one phase past the default budget (50% over, 0.1 s floor):
+        // MS404 is error severity, so the diff exits non-zero.
+        let mut slow =
+            RunManifest::from_json(&std::fs::read_to_string(&baseline).unwrap()).unwrap();
+        for phase in &mut slow.phases {
+            if phase.name == "predictions" {
+                phase.seconds = 10.0;
+            }
+        }
+        slow.total_seconds += 10.0;
+        let candidate = baseline.with_file_name("diff-candidate.json");
+        std::fs::write(&candidate, slow.to_json().unwrap()).unwrap();
+        let cand_s = candidate.to_string_lossy().to_string();
+        let err = dispatch("obs", &["diff".into(), base_s.clone(), cand_s.clone()]).unwrap_err();
+        assert!(err.contains("MS404"), "{err}");
+
+        // A generous budget file absorbs the same regression.
+        let budget = baseline.with_file_name("diff-budget.json");
+        // The baseline phase is near-zero, so no relative fraction helps;
+        // only a raised absolute floor absorbs the extra 10 seconds.
+        let generous = metasim_obs::diff::DiffBudget {
+            phase_floor_seconds: 100.0,
+            ..metasim_obs::diff::DiffBudget::default()
+        };
+        std::fs::write(&budget, generous.to_json_pretty()).unwrap();
+        dispatch(
+            "obs",
+            &[
+                "diff".into(),
+                base_s,
+                cand_s,
+                "--budget".into(),
+                budget.to_string_lossy().to_string(),
+            ],
+        )
+        .unwrap();
+        std::fs::remove_file(&baseline).ok();
+        std::fs::remove_file(&candidate).ok();
+        std::fs::remove_file(&budget).ok();
+    }
+
+    #[test]
+    fn obs_summarize_accepts_the_top_flag() {
+        let path = write_test_manifest("summarize-top.json");
+        dispatch(
+            "obs",
+            &[
+                "summarize".into(),
+                path.to_string_lossy().to_string(),
+                "--top".into(),
+                "0".into(),
+            ],
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

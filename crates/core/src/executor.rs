@@ -23,7 +23,8 @@
 use std::sync::Arc;
 
 use metasim_chaos::FaultPoint;
-use metasim_obs::{Recorder, SpanCtx};
+use metasim_obs::hdr::LAT_SHARD;
+use metasim_obs::{Recorder, SpanCtx, WorkerSpanBuffer};
 
 /// Contiguous, balanced shard boundaries: `len` items split into at most
 /// `shards` chunks of sizes differing by at most one, returned as
@@ -85,6 +86,16 @@ where
     let recorder = metasim_obs::recorder();
     let plan = metasim_chaos::point();
 
+    // One private span buffer per shard: workers record spans without ever
+    // taking the shared recorder's log lock (metrics pass straight through
+    // as lock-free atomics), and the buffers flush in shard-index order
+    // after the join — so the merged span log is canonical no matter which
+    // worker finishes first, the same MS701 discipline the result merge
+    // follows.
+    let buffers: Vec<Option<Arc<WorkerSpanBuffer>>> = (0..bounds.len())
+        .map(|_| recorder.clone().map(|r| Arc::new(WorkerSpanBuffer::new(r))))
+        .collect();
+
     // Carve the items into per-shard vectors (contiguous, in order).
     let mut remaining = items;
     let mut shards: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
@@ -98,15 +109,17 @@ where
     let f = &f;
     let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards.len());
-        for (k, shard) in shards.into_iter().enumerate() {
-            let recorder = recorder.clone();
+        for ((k, shard), buffer) in shards.into_iter().enumerate().zip(&buffers) {
+            let worker_rec = buffer.as_ref().map(|b| Arc::clone(b) as Arc<dyn Recorder>);
             let plan = plan.clone();
             handles.push(scope.spawn(move || {
-                with_contexts(recorder, plan, || {
+                with_contexts(worker_rec, plan, || {
                     // The guard must be created on this thread (it is not
                     // Send); the Copy context crosses instead.
-                    let _span = parent.span(format!("shard:{k}"));
-                    shard.into_iter().map(f).collect::<Vec<R>>()
+                    let span = parent.span(format!("shard:{k}"));
+                    let out = shard.into_iter().map(f).collect::<Vec<R>>();
+                    metasim_obs::observe_hdr(LAT_SHARD, span.finish());
+                    out
                 })
             }));
         }
@@ -115,6 +128,12 @@ where
             .map(|h| h.join().expect("shard worker panicked"))
             .collect()
     });
+
+    // Workers have joined; hand each buffer's spans to the shared recorder
+    // in shard order.
+    for buffer in buffers.iter().flatten() {
+        buffer.flush();
+    }
 
     // Canonical merge: shard order == input order because shards are
     // contiguous prefixes/suffixes, never interleaved.
@@ -206,6 +225,95 @@ mod tests {
                 "cell spans nest under a shard span"
             );
         }
+    }
+
+    #[test]
+    fn buffered_span_log_is_canonical_regardless_of_finish_order() {
+        // Shard 0 is forced to finish last; the flushed log must still list
+        // shard 0 first, because flush order is shard order, not finish
+        // order. The per-shard latency histogram records one entry per
+        // shard either way.
+        let run = || {
+            let rec = std::sync::Arc::new(InMemoryRecorder::new());
+            let names: Vec<String> = metasim_obs::with_recorder(rec.clone(), || {
+                let root = metasim_obs::span("study");
+                run_sharded(root.ctx(), 3, (0..6u64).collect::<Vec<_>>(), |x| {
+                    let _s = metasim_obs::span(format!("cell:{x}"));
+                    if x < 2 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    x
+                });
+                drop(root);
+                rec.span_records().iter().map(|s| s.name.clone()).collect()
+            });
+            (names, rec)
+        };
+        let (names, rec) = run();
+        assert_eq!(
+            names,
+            [
+                "study", "shard:0", "cell:0", "cell:1", "shard:1", "cell:2", "cell:3", "shard:2",
+                "cell:4", "cell:5"
+            ],
+            "canonical shard-order log"
+        );
+        assert_eq!(
+            rec.metrics_snapshot().hdr("lat.shard").unwrap().count(),
+            3,
+            "one lat.shard observation per shard"
+        );
+        // And the order is reproducible run to run.
+        assert_eq!(names, run().0);
+    }
+
+    #[test]
+    fn jobs_one_and_eight_record_identical_span_content_modulo_tracks() {
+        let record = |jobs: usize| {
+            let rec = std::sync::Arc::new(InMemoryRecorder::new());
+            metasim_obs::with_recorder(rec.clone(), || {
+                let _root = metasim_obs::span("study");
+                run_sharded(
+                    metasim_obs::current_ctx(),
+                    jobs,
+                    (0..12u64).collect::<Vec<_>>(),
+                    |x| {
+                        let _s = metasim_obs::span(format!("cell:{x}"));
+                        x * 2
+                    },
+                );
+            });
+            rec
+        };
+        let (serial, parallel) = (record(1), record(8));
+
+        // Same span content either way, modulo the shard containers that
+        // only the parallel run has.
+        let content = |rec: &InMemoryRecorder| {
+            let mut names: Vec<String> = rec
+                .span_records()
+                .into_iter()
+                .map(|s| s.name)
+                .filter(|n| !n.starts_with("shard:"))
+                .collect();
+            names.sort();
+            names
+        };
+        assert_eq!(content(&serial), content(&parallel));
+
+        // Both runs export to valid Chrome traces; only the track layout
+        // differs (the parallel one fans out into shard-worker lanes).
+        let trace = |rec: &InMemoryRecorder| {
+            metasim_obs::export::chrome_trace(&metasim_obs::manifest::RunManifest::build(
+                rec,
+                metasim_obs::manifest::ManifestMeta::default(),
+            ))
+        };
+        let s = metasim_obs::export::validate_chrome_trace(&trace(&serial)).unwrap();
+        let p = metasim_obs::export::validate_chrome_trace(&trace(&parallel)).unwrap();
+        assert_eq!(s.tracks, 1, "serial: everything on the main lane");
+        assert_eq!(p.tracks, 9, "parallel: main lane + 8 shard lanes");
+        assert_eq!(p.pairs, s.pairs + 8, "same spans plus shard containers");
     }
 
     #[test]

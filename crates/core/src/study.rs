@@ -14,6 +14,7 @@ use metasim_apps::tracing::TraceCache;
 use metasim_cache::{content_key, ArtifactKey, ArtifactStore};
 use metasim_machines::{fleet, Fleet, MachineId};
 use metasim_memsim::analytic::Tier;
+use metasim_obs::hdr::LAT_PREDICTION;
 use metasim_obs::SpanCtx;
 use metasim_probes::suite::ProbeSuite;
 use metasim_stats::error_metrics::{percent_error, ErrorAccumulator};
@@ -307,20 +308,22 @@ impl Study {
                 alive
                     .iter()
                     .map(|&machine| {
-                        let _m = cpu_ctx.span(format!("machine:{machine}"));
+                        let m_span = cpu_ctx.span(format!("machine:{machine}"));
                         let target_cfg = fleet.get(machine);
                         let actual = Seconds::new(gt.run(case, cpus, target_cfg).seconds);
                         let target_probes = suite.measure(target_cfg);
                         let predictions =
                             predict_all(&trace, &labels, &target_probes, &base_probes, base_actual);
-                        Observation {
+                        let obs = Observation {
                             case,
                             cpus,
                             machine,
                             actual,
                             base_actual,
                             predictions,
-                        }
+                        };
+                        metasim_obs::observe_hdr(LAT_PREDICTION, m_span.finish());
+                        obs
                     })
                     .collect::<Vec<_>>()
             })
@@ -352,7 +355,7 @@ impl Study {
                         .clone()
                         .into_par_iter()
                         .map(|machine| {
-                            let _m = cpu_ctx.span(format!("machine:{machine}"));
+                            let m_span = cpu_ctx.span(format!("machine:{machine}"));
                             let target_cfg = fleet.get(machine);
                             let actual = Seconds::new(gt.run(case, cpus, target_cfg).seconds);
                             let target_probes = suite.measure(target_cfg);
@@ -363,14 +366,16 @@ impl Study {
                                 &base_probes,
                                 base_actual,
                             );
-                            Observation {
+                            let obs = Observation {
                                 case,
                                 cpus,
                                 machine,
                                 actual,
                                 base_actual,
                                 predictions,
-                            }
+                            };
+                            metasim_obs::observe_hdr(LAT_PREDICTION, m_span.finish());
+                            obs
                         })
                         .collect::<Vec<_>>()
                 })
@@ -697,12 +702,34 @@ mod tests {
             .iter()
             .filter(|s| s.name.starts_with("phase:"))
             .collect();
-        for shard in spans.iter().filter(|s| s.name.starts_with("shard:")) {
+        let all_shards: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("shard:"))
+            .collect();
+        for shard in &all_shards {
             assert!(
                 phases.iter().any(|p| p.id == shard.parent),
                 "shard spans hang off a phase span"
             );
         }
+        // Every shard recorded its wall time into the latency histogram.
+        assert_eq!(
+            rec.metrics_snapshot()
+                .hdr(metasim_obs::hdr::LAT_SHARD)
+                .expect("lat.shard histogram")
+                .count(),
+            all_shards.len() as u64
+        );
+        // The parallel run exports as a valid Chrome trace with one lane
+        // per shard worker plus the main lane.
+        let manifest = metasim_obs::manifest::RunManifest::build(
+            &rec,
+            metasim_obs::manifest::ManifestMeta::default(),
+        );
+        let trace = metasim_obs::export::chrome_trace(&manifest);
+        let stats = metasim_obs::export::validate_chrome_trace(&trace).expect("valid trace");
+        assert_eq!(stats.pairs, spans.len());
+        assert_eq!(stats.tracks, 5, "main lane + 4 shard-worker lanes");
     }
 
     #[test]
@@ -881,6 +908,31 @@ mod tests {
         assert!(snap.counter("traces.performed") >= 15, "15 (case, cpus)");
         assert!(snap.counter("convolver.terms") > 0);
         assert!(snap.counter("memsim.addresses") > 0);
+
+        // The latency histograms cover the per-prediction and per-probe
+        // span durations with usable quantiles.
+        let lat = snap
+            .hdr(metasim_obs::hdr::LAT_PREDICTION)
+            .expect("lat.prediction histogram");
+        assert_eq!(lat.count(), 150, "one latency sample per observation");
+        assert!(lat.quantile(0.99).unwrap() >= lat.quantile(0.50).unwrap());
+        assert!(
+            snap.hdr(metasim_obs::hdr::LAT_PROBE_SWEEP)
+                .expect("lat.probe_sweep histogram")
+                .count()
+                >= 11,
+            "every cold sweep times itself"
+        );
+
+        // The recorded (serial) run also round-trips into a schema-valid
+        // Chrome trace.
+        let manifest = metasim_obs::manifest::RunManifest::build(
+            &rec,
+            metasim_obs::manifest::ManifestMeta::default(),
+        );
+        let trace = metasim_obs::export::chrome_trace(&manifest);
+        let stats = metasim_obs::export::validate_chrome_trace(&trace).expect("valid trace");
+        assert!(stats.pairs >= 1500, "study + phases + 1350 metric spans");
     }
 
     #[test]

@@ -100,6 +100,16 @@ pub fn audit_manifest(manifest: &RunManifest, a: &mut Auditor) {
                 a.finding_at(&MS403, &subject, format!("sum {} must be finite", h.sum));
             }
         }
+        for (name, h) in &manifest.metrics.hdr_histograms {
+            if !h.is_coherent() {
+                a.finding_at(
+                    &MS403,
+                    format!("metrics.hdr_histograms.{name}"),
+                    "log-scaled histogram snapshot must have ascending in-range \
+                     buckets, nonzero counts, and finite sum/low/high",
+                );
+            }
+        }
         for (name, v) in &manifest.metrics.gauges {
             if !v.is_finite() {
                 a.finding_at(
@@ -234,5 +244,23 @@ mod tests {
             4,
             "{report}"
         );
+    }
+
+    #[test]
+    fn incoherent_hdr_snapshot_fires_ms403() {
+        let rec = InMemoryRecorder::new();
+        let study = rec.span_enter(0, "study".into());
+        rec.span_exit(study, 2_000);
+        rec.observe_hdr("lat.prediction", 0.003);
+        let mut m = RunManifest::build(&rec, ManifestMeta::default());
+        assert!(m.audit().is_clean(), "coherent hdr passes");
+        let (_, h) = &mut m.metrics.hdr_histograms[0];
+        h.sum = f64::NAN;
+        let report = m.audit();
+        assert!(report.has_code("MS403"), "{report}");
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.subject.contains("hdr_histograms.lat.prediction")));
     }
 }

@@ -1,0 +1,364 @@
+//! Log-scaled (HDR-style) latency histograms with quantile estimation.
+//!
+//! The fixed-bucket [`crate::metrics`] histograms answer "how is the
+//! signed-error distribution shaped?" — a question whose bucket bounds are
+//! known up front. Latency questions are different: a prediction cell takes
+//! microseconds warm and tens of milliseconds cold, a probe sweep spans
+//! five orders of magnitude across tiers, and the serving daemon (ROADMAP
+//! item 1) needs p50/p99/p999 with bounded *relative* error across all of
+//! it. A [`HdrHistogram`] therefore buckets geometrically: every bucket is
+//! `GROWTH` times wider than the last, so the quantile estimate's relative
+//! error is the same ~7.5% everywhere from 100ns to hours, at a fixed 352
+//! atomic counters per histogram.
+//!
+//! Recording is lock-free (relaxed atomics only); snapshots are sparse
+//! (only occupied buckets serialize into the run manifest).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Lower bound of bucket 0, in the histogram's value unit (seconds for all
+/// the built-in latency histograms): 100ns — below any span worth profiling.
+pub const MIN_TRACKED: f64 = 1e-7;
+
+/// Geometric buckets per decade. 32 per decade puts adjacent bucket bounds
+/// `10^(1/32) ≈ 1.0746` apart, bounding quantile relative error at ~7.5%.
+pub const BUCKETS_PER_DECADE: u32 = 32;
+
+/// Decades covered above [`MIN_TRACKED`]: `1e-7 .. 1e4` seconds (100ns to
+/// ~2.8 hours). Values beyond the top clamp into the last bucket; the exact
+/// observed maximum is tracked separately.
+pub const DECADES: u32 = 11;
+
+/// Total bucket count.
+pub const BUCKET_COUNT: usize = (BUCKETS_PER_DECADE * DECADES) as usize;
+
+/// Per-prediction-cell wall time (one `machine:*` span in the predictions
+/// phase), seconds.
+pub const LAT_PREDICTION: &str = "lat.prediction";
+
+/// Per-probe-sweep wall time (one cold `probe-sweep:*` measurement),
+/// seconds.
+pub const LAT_PROBE_SWEEP: &str = "lat.probe_sweep";
+
+/// Per-shard wall time (one `shard:K` span of a `--jobs N` run), seconds.
+pub const LAT_SHARD: &str = "lat.shard";
+
+/// The quantiles every renderer and diff reports, with display labels.
+pub const REPORTED_QUANTILES: &[(&str, f64)] =
+    &[("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+/// Bucket index for `value`, or `None` for underflow (`value < MIN_TRACKED`).
+/// Overflow clamps to the last bucket.
+fn bucket_index(value: f64) -> Option<usize> {
+    if value.is_nan() || value < MIN_TRACKED {
+        return None; // negative, NaN, or below range → underflow bucket
+    }
+    let idx = ((value / MIN_TRACKED).log10() * f64::from(BUCKETS_PER_DECADE)).floor();
+    Some((idx as usize).min(BUCKET_COUNT - 1))
+}
+
+/// Lower bound of bucket `i` — how consumers of a sparse
+/// [`HdrSnapshot`] turn `(index, count)` pairs back into value ranges.
+#[must_use]
+pub fn bucket_low(i: usize) -> f64 {
+    MIN_TRACKED * 10f64.powf(i as f64 / f64::from(BUCKETS_PER_DECADE))
+}
+
+/// Geometric midpoint of bucket `i` — the quantile representative value.
+#[must_use]
+pub fn bucket_mid(i: usize) -> f64 {
+    MIN_TRACKED * 10f64.powf((i as f64 + 0.5) / f64::from(BUCKETS_PER_DECADE))
+}
+
+/// A live log-scaled histogram: lock-free writes, snapshot-on-read.
+#[derive(Debug)]
+pub struct HdrHistogram {
+    buckets: Vec<AtomicU64>,
+    /// Observations below [`MIN_TRACKED`] (or non-finite); they count
+    /// toward quantiles at the bottom of the range.
+    underflow: AtomicU64,
+    /// Running sum as `f64` bits, CAS-updated.
+    sum_bits: AtomicU64,
+    /// Exact observed minimum as `f64` bits (`+inf` while empty).
+    low_bits: AtomicU64,
+    /// Exact observed maximum as `f64` bits (`-inf` while empty).
+    high_bits: AtomicU64,
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HdrHistogram {
+    /// Fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        HdrHistogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            low_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            high_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Record one observation. Never blocks: bucket bumps are relaxed
+    /// atomics, the sum/min/max fold with CAS loops.
+    pub fn observe(&self, value: f64) {
+        match bucket_index(value) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.underflow.fetch_add(1, Ordering::Relaxed),
+        };
+        let value = if value.is_finite() { value } else { 0.0 };
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+        let _ = self
+            .low_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value < f64::from_bits(bits)).then(|| value.to_bits())
+            });
+        let _ = self
+            .high_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (value > f64::from_bits(bits)).then(|| value.to_bits())
+            });
+    }
+
+    /// Sparse point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> HdrSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u64, n))
+            })
+            .collect();
+        let low = f64::from_bits(self.low_bits.load(Ordering::Relaxed));
+        let high = f64::from_bits(self.high_bits.load(Ordering::Relaxed));
+        HdrSnapshot {
+            underflow: self.underflow.load(Ordering::Relaxed),
+            buckets,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            low: if low.is_finite() { low } else { 0.0 },
+            high: if high.is_finite() { high } else { 0.0 },
+        }
+    }
+}
+
+/// Serializable sparse copy of a [`HdrHistogram`]: only occupied buckets,
+/// as `(index, count)` pairs in ascending index order. The geometry
+/// ([`MIN_TRACKED`], [`BUCKETS_PER_DECADE`]) is a crate-wide constant, so
+/// the snapshot carries counts, not bounds.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HdrSnapshot {
+    /// Observations below the tracked range (counted at the bottom for
+    /// quantile purposes).
+    pub underflow: u64,
+    /// `(bucket index, count)` for every occupied bucket, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Sum of every observed value.
+    pub sum: f64,
+    /// Exact minimum observed value (0 while empty).
+    pub low: f64,
+    /// Exact maximum observed value (0 while empty).
+    pub high: f64,
+}
+
+impl HdrSnapshot {
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.underflow + self.buckets.iter().map(|&(_, n)| n).sum::<u64>()
+    }
+
+    /// Mean observed value, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum / n as f64)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// distribution, or `None` when empty. The estimate is the geometric
+    /// midpoint of the bucket holding the rank, clamped to the exactly
+    /// tracked `[low, high]` envelope — so single-observation histograms
+    /// and the extreme quantiles report exact values, and everything in
+    /// between carries the ~7.5% bucket-relative error.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = self.underflow;
+        if cum >= rank {
+            return Some(self.low);
+        }
+        for &(i, count) in &self.buckets {
+            cum += count;
+            if cum >= rank {
+                return Some(bucket_mid(i as usize).clamp(self.low, self.high));
+            }
+        }
+        Some(self.high)
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    #[must_use]
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Whether the bucket list is well-formed: strictly ascending indices,
+    /// all in range, no zero counts (what MS403 checks on a manifest).
+    #[must_use]
+    pub fn is_coherent(&self) -> bool {
+        self.buckets.windows(2).all(|w| w[0].0 < w[1].0)
+            && self
+                .buckets
+                .iter()
+                .all(|&(i, n)| (i as usize) < BUCKET_COUNT && n > 0)
+            && self.sum.is_finite()
+            && self.low.is_finite()
+            && self.high.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_geometric_and_cover_the_range() {
+        assert_eq!(bucket_index(MIN_TRACKED), Some(0));
+        assert_eq!(bucket_index(1e-8), None, "below range underflows");
+        assert_eq!(bucket_index(-1.0), None);
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(
+            bucket_index(1e99),
+            Some(BUCKET_COUNT - 1),
+            "overflow clamps"
+        );
+        // One second lands in a bucket whose bounds straddle it (up to FP
+        // rounding at the exact decade edge).
+        let one = bucket_index(1.0).unwrap();
+        assert!(bucket_low(one) <= 1.0 * (1.0 + 1e-9) && 1.0 < bucket_low(one + 1));
+        // Adjacent bounds are GROWTH apart everywhere.
+        let growth = 10f64.powf(1.0 / f64::from(BUCKETS_PER_DECADE));
+        for i in 0..BUCKET_COUNT - 1 {
+            let ratio = bucket_low(i + 1) / bucket_low(i);
+            assert!((ratio - growth).abs() < 1e-9, "bucket {i}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn quantiles_carry_bounded_relative_error() {
+        let h = HdrHistogram::new();
+        // A log-uniform spread over 5 decades, plus a long tail.
+        let values: Vec<f64> = (0..1000)
+            .map(|i| 1e-6 * 10f64.powf(f64::from(i) * 5.0 / 1000.0))
+            .collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for &(_, q) in REPORTED_QUANTILES {
+            let exact = sorted[((q * 1000.0).ceil() as usize - 1).min(999)];
+            let est = snap.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.08, "q={q}: est {est} vs exact {exact} ({rel})");
+        }
+        assert!((snap.low - 1e-6).abs() / 1e-6 < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let h = HdrHistogram::new();
+        h.observe(0.0123);
+        let snap = h.snapshot();
+        for &(_, q) in REPORTED_QUANTILES {
+            assert_eq!(snap.quantile(q), Some(0.0123), "clamped to [low, high]");
+        }
+        assert_eq!(snap.mean(), Some(0.0123));
+    }
+
+    #[test]
+    fn underflow_and_empty_are_handled() {
+        let snap = HdrHistogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), None);
+        assert!(snap.is_coherent());
+
+        let h = HdrHistogram::new();
+        h.observe(1e-9); // below MIN_TRACKED
+        h.observe(1.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.underflow, 1);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.quantile(0.01), Some(1e-9), "underflow reports low");
+        assert!(snap.is_coherent());
+    }
+
+    #[test]
+    fn snapshot_is_sparse_and_coherent() {
+        let h = HdrHistogram::new();
+        for _ in 0..5 {
+            h.observe(0.001);
+        }
+        h.observe(2.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 2, "only occupied buckets serialize");
+        assert_eq!(snap.buckets[0].1, 5);
+        assert!(snap.is_coherent());
+        assert!((snap.sum - 0.005 - 2.0).abs() < 1e-12);
+        assert_eq!(snap.high, 2.0);
+
+        let mut bad = snap.clone();
+        bad.buckets.reverse();
+        assert!(!bad.is_coherent(), "descending indices are incoherent");
+    }
+
+    #[test]
+    fn concurrent_observes_lose_nothing() {
+        let h = std::sync::Arc::new(HdrHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(1e-4 * f64::from(t * 1000 + i + 1));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4000);
+    }
+}

@@ -27,6 +27,9 @@
 //! recorder with [`with_recorder`] for isolation.
 
 pub mod audit;
+pub mod diff;
+pub mod export;
+pub mod hdr;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
@@ -38,8 +41,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+pub use hdr::HdrSnapshot;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot};
-pub use recorder::{InMemoryRecorder, Recorder, SpanId, SpanRecord};
+pub use recorder::{
+    InMemoryRecorder, Recorder, SpanId, SpanRecord, WorkerSpanBuffer, WORKER_SPAN_ID_BASE,
+};
 
 /// Number of recorders currently reachable (global install + thread-local
 /// overrides). The instrumentation fast path is a single relaxed load of
@@ -134,6 +140,14 @@ pub fn gauge_set(name: &str, value: f64) {
 pub fn observe(name: &str, value: f64) {
     if let Some(r) = recorder() {
         r.observe(name, value);
+    }
+}
+
+/// Record `value` (typically a span duration in seconds) into the named
+/// log-scaled latency histogram ([`hdr`]). No-op without a recorder.
+pub fn observe_hdr(name: &str, value: f64) {
+    if let Some(r) = recorder() {
+        r.observe_hdr(name, value);
     }
 }
 

@@ -12,8 +12,9 @@ use crate::recorder::{InMemoryRecorder, SpanRecord};
 use crate::MetricsSnapshot;
 
 /// Version of the manifest JSON schema. Bump on any breaking shape change;
-/// `MS401` rejects manifests from other versions.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+/// `MS401` rejects manifests from other versions. v2 added the log-scaled
+/// latency histograms (`metrics.hdr_histograms`).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// How many spans the `slowest_spans` leaderboard keeps.
 pub const SLOWEST_SPAN_COUNT: usize = 10;
@@ -168,7 +169,7 @@ fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
 }
 
 /// Is this span a structural container rather than a unit of work?
-fn is_structural(name: &str) -> bool {
+pub(crate) fn is_structural(name: &str) -> bool {
     name == "study" || name.starts_with("phase:")
 }
 

@@ -1,4 +1,5 @@
-//! Named counters, gauges, and fixed-bucket histograms.
+//! Named counters, gauges, fixed-bucket histograms, and log-scaled
+//! latency histograms.
 //!
 //! The registry is write-hot and read-once: instrumented code bumps atomics
 //! from many threads during a study, then the manifest builder takes one
@@ -11,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use serde::{Deserialize, Serialize};
+
+use crate::hdr::{HdrHistogram, HdrSnapshot};
 
 /// Default histogram bounds (seconds-flavoured, log-spaced): instrumented
 /// code that observes into an unregistered name gets these.
@@ -103,6 +106,8 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, snapshot)` histograms, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, snapshot)` log-scaled latency histograms, sorted by name.
+    pub hdr_histograms: Vec<(String, HdrSnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -130,6 +135,16 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
+    /// The named log-scaled latency histogram, if any observations were
+    /// recorded.
+    #[must_use]
+    pub fn hdr(&self, name: &str) -> Option<&HdrSnapshot> {
+        self.hdr_histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
     /// Sum of all counters whose name starts with `prefix` — how the cache
     /// summary totals `cache.hit.<kind>` across artifact kinds.
     #[must_use]
@@ -142,6 +157,34 @@ impl MetricsSnapshot {
     }
 }
 
+/// Find-or-create in a name → `Arc<T>` map with a read-mostly locking
+/// discipline: try under the shared read lock first (the hot path — every
+/// metric after its first touch), then upgrade to the write lock and insert
+/// via `make` only on a miss. Losing an upgrade race is fine: `or_insert_with`
+/// keeps the winner's value.
+///
+/// The read guard must be fully dropped before falling back to the write
+/// lock: an `if let` scrutinee's temporary lives to the end of the whole
+/// if/else, which would self-deadlock the slow path — hence the two-step
+/// `map(Arc::clone)` / `match`.
+fn get_or_register<T>(
+    map: &RwLock<HashMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    let existing = map.read().expect("metrics lock").get(name).map(Arc::clone);
+    match existing {
+        Some(v) => v,
+        None => {
+            let mut w = map.write().expect("metrics lock");
+            Arc::clone(
+                w.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(make())),
+            )
+        }
+    }
+}
+
 /// The live registry: name → atomic cell, created on first touch.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -149,6 +192,7 @@ pub struct MetricsRegistry {
     /// Gauges store `f64` bits.
     gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    hdr_histograms: RwLock<HashMap<String, Arc<HdrHistogram>>>,
 }
 
 impl MetricsRegistry {
@@ -158,56 +202,36 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    fn cell(map: &RwLock<HashMap<String, Arc<AtomicU64>>>, name: &str) -> Arc<AtomicU64> {
-        if let Some(c) = map.read().expect("metrics lock").get(name) {
-            return Arc::clone(c);
-        }
-        let mut w = map.write().expect("metrics lock");
-        Arc::clone(w.entry(name.to_string()).or_default())
-    }
-
     /// Add `delta` to the named counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        Self::cell(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+        get_or_register(&self.counters, name, AtomicU64::default)
+            .fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Set the named gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        Self::cell(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+        get_or_register(&self.gauges, name, AtomicU64::default)
+            .store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Pin the bucket bounds of the named histogram before any
     /// observations; later `observe` calls reuse them. Re-registering an
     /// existing name keeps the original bounds.
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
-        let mut w = self.histograms.write().expect("metrics lock");
-        w.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Histogram::new(bounds)));
+        let _ = get_or_register(&self.histograms, name, || Histogram::new(bounds));
     }
 
     /// Record one observation into the named histogram, creating it with
     /// [`DEFAULT_BOUNDS`] if unregistered.
     pub fn observe(&self, name: &str, value: f64) {
-        // The read guard must be fully dropped before falling back to the
-        // write lock: an `if let` scrutinee's temporary lives to the end of
-        // the whole if/else, which would self-deadlock the slow path.
-        let existing = self
-            .histograms
-            .read()
-            .expect("metrics lock")
-            .get(name)
-            .map(Arc::clone);
-        let hist = match existing {
-            Some(h) => h,
-            None => {
-                let mut w = self.histograms.write().expect("metrics lock");
-                Arc::clone(
-                    w.entry(name.to_string())
-                        .or_insert_with(|| Arc::new(Histogram::new(DEFAULT_BOUNDS))),
-                )
-            }
-        };
-        hist.observe(value);
+        get_or_register(&self.histograms, name, || Histogram::new(DEFAULT_BOUNDS)).observe(value);
+    }
+
+    /// Record one observation into the named log-scaled latency histogram,
+    /// creating it on first touch. The geometry is crate-wide
+    /// ([`crate::hdr`]), so there is nothing to pre-register.
+    pub fn hdr_observe(&self, name: &str, value: f64) {
+        get_or_register(&self.hdr_histograms, name, HdrHistogram::new).observe(value);
     }
 
     /// Deterministic snapshot: all three maps, sorted by name.
@@ -237,10 +261,19 @@ impl MetricsRegistry {
             .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hdr_histograms: Vec<(String, HdrSnapshot)> = self
+            .hdr_histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        hdr_histograms.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            hdr_histograms,
         }
     }
 }
@@ -314,6 +347,54 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter_prefix_sum("cache.hit."), 5);
         assert_eq!(snap.counter_prefix_sum("cache.miss."), 1);
+    }
+
+    #[test]
+    fn get_or_register_reuses_one_cell_under_contention() {
+        // The dedup helper behind counters, gauges, and both histogram
+        // families: every thread racing the first touch of a name must end
+        // up on the same cell, with no observation lost.
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = std::sync::Arc::clone(&reg);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        reg.counter_add("contended", 1);
+                        reg.observe("contended.hist", f64::from(i));
+                        reg.hdr_observe("contended.hdr", 1e-3);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("contended"), 8 * 500);
+        assert_eq!(snap.histogram("contended.hist").unwrap().count(), 8 * 500);
+        assert_eq!(snap.hdr("contended.hdr").unwrap().count(), 8 * 500);
+
+        // Identity, not just totals: a repeat lookup is the same Arc.
+        let a = get_or_register(&reg.counters, "contended", AtomicU64::default);
+        let b = get_or_register(&reg.counters, "contended", AtomicU64::default);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn hdr_histograms_snapshot_sorted_with_quantiles() {
+        let reg = MetricsRegistry::new();
+        reg.hdr_observe("lat.b", 0.002);
+        reg.hdr_observe("lat.a", 0.5);
+        reg.hdr_observe("lat.a", 0.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap
+            .hdr_histograms
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, ["lat.a", "lat.b"], "sorted by name");
+        let a = snap.hdr("lat.a").unwrap();
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.p50(), Some(0.5), "exact via [low, high] clamp");
+        assert!(snap.hdr("absent").is_none());
     }
 
     #[test]

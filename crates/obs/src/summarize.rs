@@ -96,9 +96,19 @@ fn render_tree(nodes: &[SpanNode], depth: usize, out: &mut String) {
     }
 }
 
-/// Render the manifest as a terminal-friendly report.
+/// Default length of the slowest-span listing (`--top N` overrides).
+pub const DEFAULT_TOP_SPANS: usize = 10;
+
+/// Render the manifest as a terminal-friendly report with the default
+/// slowest-span listing length.
 #[must_use]
 pub fn render(m: &RunManifest) -> String {
+    render_top(m, DEFAULT_TOP_SPANS)
+}
+
+/// Render the manifest, listing up to `top` slowest spans.
+#[must_use]
+pub fn render_top(m: &RunManifest, top: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -150,9 +160,10 @@ pub fn render(m: &RunManifest) -> String {
         render_tree(&m.span_tree, 0, &mut out);
     }
 
-    if !m.slowest_spans.is_empty() {
-        let _ = writeln!(out, "\nslowest spans");
-        for s in &m.slowest_spans {
+    if !m.slowest_spans.is_empty() && top > 0 {
+        let shown = m.slowest_spans.len().min(top);
+        let _ = writeln!(out, "\nslowest spans (top {shown})");
+        for s in m.slowest_spans.iter().take(top) {
             let _ = writeln!(out, "  {:<28} {:>10}", s.name, fmt_secs(s.seconds));
         }
     }
@@ -180,6 +191,21 @@ pub fn render(m: &RunManifest) -> String {
                 .mean()
                 .map_or_else(|| "-".to_string(), |x| format!("{x:.3}"));
             let _ = writeln!(out, "  {name:<32} count {:>8}  mean {mean}", h.count());
+        }
+    }
+
+    if !m.metrics.hdr_histograms.is_empty() {
+        let _ = writeln!(out, "\nlatency quantiles");
+        for (name, h) in &m.metrics.hdr_histograms {
+            let q = |p: f64| fmt_secs(h.quantile(p).unwrap_or(0.0));
+            let _ = writeln!(
+                out,
+                "  {name:<28} count {:>8}  p50 {:>9}  p90 {:>9}  p99 {:>9}",
+                h.count(),
+                q(0.50),
+                q(0.90),
+                q(0.99)
+            );
         }
     }
 
@@ -215,7 +241,7 @@ mod tests {
             },
         );
         let text = render(&m);
-        assert!(text.contains("schema v1"), "{text}");
+        assert!(text.contains("schema v2"), "{text}");
         assert!(text.contains("phases"), "{text}");
         assert!(text.contains("ground-truth"), "{text}");
         assert!(text.contains("machine"), "{text}");
@@ -223,6 +249,48 @@ mod tests {
         assert!(text.contains("slowest spans"), "{text}");
         assert!(text.contains("cache.hit.trace"), "{text}");
         assert!(text.contains("study.signed_error_pct"), "{text}");
+    }
+
+    #[test]
+    fn top_flag_limits_the_slowest_span_listing() {
+        let rec = InMemoryRecorder::new();
+        let study = rec.span_enter(0, "study".into());
+        for i in 0..5u64 {
+            let m = rec.span_enter(study, format!("machine:{i}"));
+            rec.span_exit(m, (i + 1) * 1_000_000);
+        }
+        rec.span_exit(study, 20_000_000);
+        let m = RunManifest::build(&rec, ManifestMeta::default());
+
+        let top2 = render_top(&m, 2);
+        assert!(top2.contains("slowest spans (top 2)"), "{top2}");
+        assert!(top2.contains("machine:4") && top2.contains("machine:3"));
+        assert!(!top2.contains("machine:2"), "{top2}");
+        assert!(
+            !render_top(&m, 0).contains("slowest spans"),
+            "--top 0 hides the section"
+        );
+        assert_eq!(render(&m), render_top(&m, 10), "render is the default top");
+    }
+
+    #[test]
+    fn latency_quantiles_render_next_to_counts() {
+        let rec = InMemoryRecorder::new();
+        let study = rec.span_enter(0, "study".into());
+        rec.span_exit(study, 1_000_000);
+        for i in 1..=100 {
+            rec.observe_hdr("lat.prediction", f64::from(i) * 1e-3);
+        }
+        let m = RunManifest::build(&rec, ManifestMeta::default());
+        let text = render(&m);
+        assert!(text.contains("latency quantiles"), "{text}");
+        assert!(text.contains("lat.prediction"), "{text}");
+        assert!(text.contains("p50") && text.contains("p99"), "{text}");
+        let line = text
+            .lines()
+            .find(|l| l.contains("lat.prediction"))
+            .expect("histogram row");
+        assert!(line.contains("100"), "count on the row: {line}");
     }
 
     #[test]

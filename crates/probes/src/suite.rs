@@ -256,11 +256,14 @@ impl ProbeSuite {
         let probes = if let Some(cached) = self.load_cached(machine, tier) {
             cached
         } else {
-            let _span = metasim_obs::recording()
+            let span = metasim_obs::recording()
                 .then(|| metasim_obs::span(format!("probe-sweep:{}", machine.id)));
             let probes = MachineProbes::measure_tiered(machine, tier);
             self.measurements.fetch_add(1, Ordering::Relaxed);
             metasim_obs::counter_add("probes.sweeps", 1);
+            if let Some(span) = span {
+                metasim_obs::observe_hdr(metasim_obs::hdr::LAT_PROBE_SWEEP, span.finish());
+            }
             if let Some(store) = &self.store {
                 let _ = store.store(PROBES_KIND, Self::store_key_tiered(machine, tier), &probes);
             }
