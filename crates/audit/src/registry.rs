@@ -353,6 +353,41 @@ rules! {
         summary: "Analytic-tier per-level hit fractions must stay within the error budget of the exact simulator on every machine spec",
         paper: "The paper's own question — how well a cheap proxy tracks a faithful model — applied to our analytic cache model",
     };
+    MS901 = {
+        code: "MS901",
+        name: "ill-conditioned-prediction",
+        severity: Error,
+        summary: "A coherent probe miscalibration must cancel through Equation 1's base ratio; a condition number over budget means systematic probe bias reaches the prediction amplified",
+        paper: "Equation 1: the base-system ratio exists so systematic measurement bias divides out of T'",
+    };
+    MS902 = {
+        code: "MS902",
+        name: "single-probe-dominated",
+        severity: Warn,
+        summary: "A multi-probe transfer function whose first-order sensitivity mass collapses onto one probe quantity degenerates into a simple metric — the other measurements are dead inputs",
+        paper: "Table 3: the predictive metrics exist because no single benchmark rate explains application time",
+    };
+    MS903 = {
+        code: "MS903",
+        name: "non-lipschitz-node",
+        severity: Error,
+        summary: "Within the ±ε probe band a formula's denominator may vanish, or the static interval widens faster than the amplification budget — the prediction is not Lipschitz in its inputs",
+        paper: "Tables 4/5 report bounded percentage errors; an unbounded transfer function could not",
+    };
+    MS904 = {
+        code: "MS904",
+        name: "interval-violation",
+        severity: Error,
+        summary: "An observed chaos probe-noise prediction landed outside the statically derived interval for its cell — the abstract interpretation is unsound or the noise model drifted",
+        paper: "Cross-validates the static error propagation against the paper's measured-variation framing",
+    };
+    MS905 = {
+        code: "MS905",
+        name: "sense-budget-stale",
+        severity: Warn,
+        summary: "The sensitivity budget file is missing, unparseable, or written against a different schema; thresholds fell back to built-in defaults",
+        paper: "Section 5: error budgets only bind when the thresholds under test are the ones on record",
+    };
 }
 
 /// Look up a rule by its stable code (`"MS002"`).

@@ -45,6 +45,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
     match cmd {
         "audit" => audit(rest),
         "lint" => lint(rest),
+        "sense" => sense(rest),
         "study" => study(rest),
         "chaos" => chaos(rest),
         "cache" => cache(rest),
@@ -118,11 +119,33 @@ commands:
                      machines, and unreachable ENHANCED MAPS branches, and
                      certify the shard cut (canonical merges, disjoint seed
                      streams, collision-free node keys, guarded shared
-                     state, acyclic partition); --mutate seeds a named
-                     defect (eq1-multiply, drop-maps, drop-network-terms,
-                     drop-target, single-dep-class, arrival-order-merge,
-                     shared-seed-stream, untagged-node-keys, unguarded-memo,
-                     cross-shard-edge) to show its rule fire
+                     state, acyclic partition); also screens the reference
+                     prediction's sensitivity profile (MS9xx); --mutate
+                     seeds a named defect (eq1-multiply, drop-maps,
+                     drop-network-terms, drop-target, single-dep-class,
+                     arrival-order-merge, shared-seed-stream,
+                     untagged-node-keys, unguarded-memo, cross-shard-edge,
+                     uncancelled-bias, dead-flop-term,
+                     cancelling-denominator, noise-blind, stale-budget)
+                     to show its rule fire
+  sense [--json] [--deny-warnings] [--allow RULE[@subject]]...
+        [--budget FILE.json] [--mutate NAME] [--epsilon E] [--seed N]
+        [--reference] [--jobs N]
+                     static sensitivity and error-propagation analysis over
+                     the formula IR: abstract interpretation derives
+                     interval bounds on every prediction under a ±E probe
+                     perturbation plus first-order elasticities (condition
+                     numbers) per probe quantity, ranked most-sensitive
+                     first, then cross-validates the intervals against a
+                     chaos probe-noise run at the same amplitude (MS901
+                     ill-conditioned, MS902 single-probe-dominated, MS903
+                     non-Lipschitz amplification, MS904 interval violated
+                     by the observed run, MS905 stale budget); --budget
+                     loads thresholds from a committed JSON file (MS905 if
+                     missing or stale); --reference analyzes only the
+                     reference cell instead of the full 150-cell grid;
+                     --mutate seeds formula or sense defects (dataflow
+                     mutations belong to `lint`)
   study [--timings] [--jobs N] [--cache-dir DIR] [--no-cache]
         [--tier exact|analytic|auto] [--export FILE.csv]
         [--bench-out FILE.json] [--obs-out FILE.json]
@@ -258,7 +281,8 @@ fn lint(rest: &[String]) -> Result<(), String> {
     use metasim_audit::{render, AllowRule, AuditPolicy};
     use metasim_core::dataflow::DataflowModel;
     use metasim_core::formula::cost_expr;
-    use metasim_core::lint::{lint_all_with_policy, AnyMutation, LintModel};
+    use metasim_core::lint::{lint_full_with_policy, AnyMutation, LintModel};
+    use metasim_core::sensitivity::{SenseModel, SenseScope};
 
     let mut json = false;
     let mut deny_warnings = false;
@@ -285,20 +309,32 @@ fn lint(rest: &[String]) -> Result<(), String> {
 
     let mut model = LintModel::shipped();
     let mut dataflow = DataflowModel::shipped();
+    // The sensitivity pass in `lint` covers the representative cell; the
+    // full 150-cell grid is `metasim sense`.
+    let mut sense = SenseModel::shipped(SenseScope::Reference);
     if let Some(m) = mutation {
-        println!(
-            "seeding mutation `{}` (expect {})\n",
+        // Keep stdout machine-parseable under --json: announcements
+        // belong on stderr there.
+        let announce = format!(
+            "seeding mutation `{}` (expect {})",
             m.name(),
             m.expected_code()
         );
+        if json {
+            eprintln!("{announce}");
+        } else {
+            println!("{announce}\n");
+        }
         match m {
             AnyMutation::Formula(m) => model = LintModel::mutated(m),
             AnyMutation::Dataflow(m) => dataflow = DataflowModel::mutated(m),
+            AnyMutation::Sense(m) => m.apply(&mut sense),
         }
     }
-    let report = lint_all_with_policy(
+    let report = lint_full_with_policy(
         &model,
         &dataflow,
+        &sense,
         AuditPolicy {
             allow,
             deny_warnings,
@@ -306,6 +342,15 @@ fn lint(rest: &[String]) -> Result<(), String> {
     );
 
     if json {
+        // One leading JSON-lines object carries the graph dimensions the
+        // human preamble prints, so `--json` stdout stays pure JSONL.
+        let g = &dataflow.graph;
+        println!(
+            "{{\"graph\":{{\"nodes\":{},\"edges\":{},\"shard_cut\":{}}}}}",
+            g.nodes.len(),
+            g.edges.len(),
+            g.shard_cut().len(),
+        );
         print!("{}", render::jsonl(&report));
     } else {
         // The dimensional reduction per metric — the statically proven part.
@@ -338,6 +383,203 @@ fn lint(rest: &[String]) -> Result<(), String> {
     }
     if report.has_errors() {
         Err(report.summary_line())
+    } else {
+        Ok(())
+    }
+}
+
+fn sense(rest: &[String]) -> Result<(), String> {
+    use metasim_audit::{render, AllowRule, AuditPolicy, Auditor};
+    use metasim_core::lint::{AnyMutation, LintModel};
+    use metasim_core::sensitivity::{analyze_with_jobs, lint_report, SenseModel, SenseScope};
+
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut allow = Vec::new();
+    let mut mutation: Option<AnyMutation> = None;
+    let mut budget_path: Option<String> = None;
+    let mut epsilon: Option<f64> = None;
+    let mut seed: Option<u64> = None;
+    let mut reference = false;
+    let mut jobs: usize = 1;
+    let mut args = rest.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--allow" => {
+                let spec = args
+                    .next()
+                    .ok_or("--allow needs RULE or RULE@subject-prefix")?;
+                allow.push(AllowRule::parse(spec)?);
+            }
+            "--mutate" => {
+                let name = args.next().ok_or("--mutate needs a mutation name")?;
+                mutation = Some(AnyMutation::parse(name)?);
+            }
+            "--budget" => {
+                budget_path = Some(args.next().ok_or("--budget needs a path")?.clone());
+            }
+            "--epsilon" => {
+                let e = args.next().ok_or("--epsilon needs a band half-width")?;
+                epsilon = Some(e.parse().map_err(|_| format!("bad --epsilon `{e}`"))?);
+            }
+            "--seed" => {
+                let s = args.next().ok_or("--seed needs an integer")?;
+                seed = Some(s.parse().map_err(|_| format!("bad --seed `{s}`"))?);
+            }
+            "--reference" => reference = true,
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a thread count")?;
+                jobs = n.parse().map_err(|_| format!("bad --jobs `{n}`"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown sense flag `{other}`")),
+        }
+    }
+
+    let scope = if reference {
+        SenseScope::Reference
+    } else {
+        SenseScope::FullGrid
+    };
+    let mut model = SenseModel::shipped(scope);
+    if let Some(path) = &budget_path {
+        model.load_budget(path);
+    }
+    if let Some(e) = epsilon {
+        model.epsilon = e;
+        model.observed_epsilon = e;
+    }
+    if let Some(s) = seed {
+        model.seed = s;
+    }
+    if let Some(m) = mutation {
+        let announce = format!(
+            "seeding mutation `{}` (expect {})",
+            m.name(),
+            m.expected_code()
+        );
+        if json {
+            eprintln!("{announce}");
+        } else {
+            println!("{announce}\n");
+        }
+        match m {
+            AnyMutation::Sense(m) => m.apply(&mut model),
+            // Formula mutations flow through: sense judges the mutated
+            // formulas by their conditioning (the EXPERIMENTS.md
+            // eq1-multiply walkthrough), not their dimensions.
+            AnyMutation::Formula(m) => model.formulas = LintModel::mutated(m).formulas,
+            AnyMutation::Dataflow(_) => {
+                return Err(format!(
+                    "`{}` is a dataflow mutation; seed it via `metasim lint --mutate {}`",
+                    m.name(),
+                    m.name()
+                ));
+            }
+        }
+    }
+
+    let report = analyze_with_jobs(&model, jobs);
+    let mut a = Auditor::with_policy(AuditPolicy {
+        allow,
+        deny_warnings,
+    });
+    lint_report(&model, &report, &mut a);
+    let audit_report = a.finish();
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&report).map_err(|e| format!("serializing report: {e}"))?
+        );
+        print!("{}", render::jsonl(&audit_report));
+    } else {
+        println!(
+            "sensitivity: {} cell{} x 9 metrics, static band ±{:.1}%, \
+             chaos cross-check seed {} at ±{:.1}%\n",
+            report.cells,
+            if report.cells == 1 { "" } else { "s" },
+            report.epsilon * 100.0,
+            report.seed,
+            report.observed_epsilon * 100.0,
+        );
+
+        let mut summary = Table::new(vec![
+            "Metric",
+            "Most sensitive",
+            "max |dlnT'/dlnq|",
+            "Coherent cond",
+            "Amplification",
+            "Dominance",
+            "Violations",
+        ])
+        .with_title("Per-metric sensitivity (condition numbers vs. the budget)");
+        for m in &report.metrics {
+            let top = m.ranked.first();
+            summary.push_row(vec![
+                m.metric.clone(),
+                top.map_or(String::new(), |r| r.quantity.clone()),
+                top.map_or(String::new(), |r| format!("{:.3}", r.max_elasticity)),
+                format!("{:.3}", m.coherent_condition),
+                if m.unbounded {
+                    "unbounded".to_string()
+                } else {
+                    format!("{:.2}", m.amplification)
+                },
+                if m.ranked.len() >= 2 {
+                    format!("{:.1}% {}", m.dominance * 100.0, m.dominant)
+                } else {
+                    "-".to_string()
+                },
+                format!("{}", m.violations.len()),
+            ]);
+        }
+        println!("{}", summary.render());
+
+        let mut ranking = Table::new(vec![
+            "Metric",
+            "Quantity",
+            "max |elast|",
+            "mean |elast|",
+            "share",
+            "potential",
+        ])
+        .with_title("Sensitivity ranking (per metric, most sensitive probe first)");
+        for m in &report.metrics {
+            for r in &m.ranked {
+                ranking.push_row(vec![
+                    m.metric.clone(),
+                    r.quantity.clone(),
+                    format!("{:.4}", r.max_elasticity),
+                    format!("{:.4}", r.mean_elasticity),
+                    format!("{:.1}%", r.share * 100.0),
+                    format!("{:.1}%", r.potential_share * 100.0),
+                ]);
+            }
+        }
+        println!("{}", ranking.render());
+
+        let total = report.cells * report.metrics.len();
+        let violations = report.total_violations();
+        if violations == 0 {
+            println!(
+                "chaos cross-check: all {total} observed predictions landed inside \
+                 their static intervals\n"
+            );
+        } else {
+            println!(
+                "chaos cross-check: {violations} of {total} observed predictions \
+                 escaped their static intervals (MS904)\n"
+            );
+        }
+        print!("{}", render::human(&audit_report));
+    }
+    if audit_report.has_errors() {
+        Err(audit_report.summary_line())
     } else {
         Ok(())
     }
@@ -1548,10 +1790,10 @@ mod tests {
     }
 
     #[test]
-    fn unknown_mutation_lists_both_families() {
+    fn unknown_mutation_lists_all_three_families() {
         let err = dispatch("lint", &["--mutate".into(), "no-such-defect".into()]).unwrap_err();
         // The error is a catalog, not a bare rejection: every mutation
-        // from both analysis families is named.
+        // from all three analysis families is named.
         for name in [
             "eq1-multiply",
             "drop-maps",
@@ -1563,6 +1805,11 @@ mod tests {
             "untagged-node-keys",
             "unguarded-memo",
             "cross-shard-edge",
+            "uncancelled-bias",
+            "dead-flop-term",
+            "cancelling-denominator",
+            "noise-blind",
+            "stale-budget",
         ] {
             assert!(err.contains(name), "error must list `{name}`: {err}");
         }
@@ -1654,6 +1901,65 @@ mod tests {
             ]
         )
         .is_err());
+    }
+
+    #[test]
+    fn sense_rejects_bad_flags() {
+        assert!(dispatch("sense", &["--frobnicate".into()]).is_err());
+        assert!(dispatch("sense", &["--mutate".into()]).is_err());
+        assert!(dispatch("sense", &["--mutate".into(), "no-such-defect".into()]).is_err());
+        assert!(dispatch("sense", &["--epsilon".into(), "wide".into()]).is_err());
+        assert!(dispatch("sense", &["--jobs".into(), "0".into()]).is_err());
+        assert!(dispatch("sense", &["--budget".into()]).is_err());
+    }
+
+    #[test]
+    fn sense_reference_is_clean_and_seeded_defects_fail() {
+        // The shipped reference analysis is warning-free...
+        assert!(dispatch("sense", &["--reference".into(), "--deny-warnings".into()]).is_ok());
+        // ...each error-severity sense defect exits non-zero...
+        for name in ["uncancelled-bias", "cancelling-denominator", "noise-blind"] {
+            let err = dispatch(
+                "sense",
+                &["--reference".into(), "--mutate".into(), name.into()],
+            )
+            .unwrap_err();
+            assert!(err.contains("error"), "{name}: {err}");
+        }
+        // ...and the MS905 warning only fails under --deny-warnings.
+        assert!(dispatch(
+            "sense",
+            &[
+                "--reference".into(),
+                "--mutate".into(),
+                "stale-budget".into()
+            ]
+        )
+        .is_ok());
+        assert!(dispatch(
+            "sense",
+            &[
+                "--reference".into(),
+                "--mutate".into(),
+                "stale-budget".into(),
+                "--deny-warnings".into()
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sense_routes_dataflow_mutations_back_to_lint() {
+        let err = dispatch(
+            "sense",
+            &[
+                "--reference".into(),
+                "--mutate".into(),
+                "arrival-order-merge".into(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("metasim lint"), "{err}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use metasim_netsim::replay::{CommEvent, CommOp};
 use crate::metric::MetricId;
 
 /// Bytes per memory reference (double precision) — mirrors the convolver.
-const REF_BYTES: f64 = 8.0;
+pub(crate) const REF_BYTES: f64 = 8.0;
 
 // ---------------------------------------------------------------------------
 // Dimensions
@@ -257,7 +257,7 @@ pub enum CommOpKind {
 }
 
 impl CommOpKind {
-    fn matches(self, op: CommOp) -> bool {
+    pub(crate) fn matches(self, op: CommOp) -> bool {
         matches!(
             (self, op),
             (CommOpKind::PointToPoint, CommOp::PointToPoint { .. })
@@ -950,6 +950,7 @@ mod tests {
     use metasim_machines::{fleet, MachineId};
     use metasim_probes::suite::ProbeSuite;
     use metasim_tracer::analysis::analyze_dependencies;
+    use proptest::prelude::*;
 
     #[test]
     fn every_prediction_reduces_to_seconds() {
@@ -1068,6 +1069,129 @@ mod tests {
                 "{m}: IR {from_ir} vs predict_all {}",
                 reference[i]
             );
+        }
+    }
+
+    /// Reference traversal: every quantity occurrence in evaluation
+    /// order, duplicates included.
+    fn all_occurrences(expr: &Expr, out: &mut Vec<ProbeQuantity>) {
+        match expr {
+            Expr::Rate(r) => out.push(match r {
+                RateSource::HplRmax => ProbeQuantity::HplRmax,
+                RateSource::StreamBandwidth => ProbeQuantity::StreamBandwidth,
+                RateSource::GupsUpdateRate => ProbeQuantity::GupsUpdateRate,
+                RateSource::GupsEffectiveBandwidth => ProbeQuantity::GupsEffectiveBandwidth,
+                RateSource::NetBandwidth => ProbeQuantity::NetBandwidth,
+            }),
+            Expr::Time(t) => match t {
+                TimeSource::NetLatency => out.push(ProbeQuantity::NetLatency),
+                TimeSource::NetAllreduce64 => out.push(ProbeQuantity::NetAllreduce64),
+                TimeSource::BaseRuntime => {}
+            },
+            Expr::Curve { .. } => out.push(ProbeQuantity::MapsCurves),
+            Expr::Const(_) | Expr::Count(_) | Expr::Scale(_) => {}
+            Expr::Recip(e) | Expr::OnBase(e) | Expr::CommSum(e) => all_occurrences(e, out),
+            Expr::BlockSum { body, .. } => all_occurrences(body, out),
+            Expr::Ratio(a, b) | Expr::Mul(a, b) | Expr::Max(a, b) => {
+                all_occurrences(a, out);
+                all_occurrences(b, out);
+            }
+            Expr::Sum(terms) => {
+                for t in terms {
+                    all_occurrences(t, out);
+                }
+            }
+            Expr::OpSwitch(arms) => {
+                for (_, e) in arms {
+                    all_occurrences(e, out);
+                }
+            }
+        }
+    }
+
+    fn dedup_first_use(occurrences: &[ProbeQuantity]) -> Vec<ProbeQuantity> {
+        let mut out = Vec::new();
+        for q in occurrences {
+            if !out.contains(q) {
+                out.push(*q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn probe_quantities_is_deduplicated_and_first_use_ordered_for_every_metric() {
+        for m in MetricId::ALL {
+            for expr in [cost_expr(m), prediction_expr(m)] {
+                let qs = expr.probe_quantities();
+                let unique: std::collections::HashSet<ProbeQuantity> = qs.iter().copied().collect();
+                assert_eq!(unique.len(), qs.len(), "{m}: duplicates in {qs:?}");
+                let mut occurrences = Vec::new();
+                all_occurrences(&expr, &mut occurrences);
+                assert_eq!(
+                    qs,
+                    dedup_first_use(&occurrences),
+                    "{m}: probe_quantities must be the occurrence list deduplicated \
+                     in first-use order"
+                );
+                assert_eq!(qs, expr.probe_quantities(), "{m}: unstable across calls");
+            }
+        }
+    }
+
+    /// A deterministic expression tree built from integer draws, covering
+    /// every structural node kind `probe_quantities` recurses through.
+    fn expr_from(draws: &[u64], lo: usize, hi: usize) -> Expr {
+        if hi - lo <= 1 {
+            return match draws.get(lo).copied().unwrap_or(0) % 9 {
+                0 => Expr::Rate(RateSource::HplRmax),
+                1 => Expr::Rate(RateSource::StreamBandwidth),
+                2 => Expr::Rate(RateSource::GupsUpdateRate),
+                3 => Expr::Rate(RateSource::GupsEffectiveBandwidth),
+                4 => Expr::Rate(RateSource::NetBandwidth),
+                5 => Expr::Time(TimeSource::NetLatency),
+                6 => Expr::Time(TimeSource::NetAllreduce64),
+                7 => Expr::Curve {
+                    random: draws[lo].is_multiple_of(2),
+                },
+                _ => Expr::Const(1.0),
+            };
+        }
+        let mid = lo + 1 + (hi - lo - 1) / 2;
+        let a = expr_from(draws, lo + 1, mid);
+        let b = expr_from(draws, mid, hi);
+        match draws[lo] % 7 {
+            0 => Expr::Sum(vec![a, b]),
+            1 => Expr::Mul(Box::new(a), Box::new(b)),
+            2 => Expr::Ratio(Box::new(a), Box::new(b)),
+            3 => Expr::Max(Box::new(a), Box::new(b)),
+            4 => Expr::Recip(Box::new(Expr::Sum(vec![a, b]))),
+            5 => Expr::OnBase(Box::new(Expr::Sum(vec![a, b]))),
+            _ => Expr::BlockSum {
+                labeled: draws[lo].is_multiple_of(2),
+                body: Box::new(Expr::Sum(vec![a, b])),
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // The dedup/ordering contract holds for arbitrary trees, not just
+        // the nine shipped formulas: no duplicates, first-use order, and
+        // byte-stable across repeated calls.
+        #[test]
+        fn probe_quantities_contract_holds_for_arbitrary_trees(
+            draws in prop::collection::vec(0u64..1_000_000, 1..48),
+        ) {
+            let expr = expr_from(&draws, 0, draws.len());
+            let qs = expr.probe_quantities();
+            let unique: std::collections::HashSet<ProbeQuantity> = qs.iter().copied().collect();
+            prop_assert_eq!(unique.len(), qs.len(), "duplicates in {:?}", qs);
+            let mut occurrences = Vec::new();
+            all_occurrences(&expr, &mut occurrences);
+            prop_assert_eq!(qs.clone(), dedup_first_use(&occurrences));
+            prop_assert_eq!(qs, expr.probe_quantities());
         }
     }
 }

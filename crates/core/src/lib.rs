@@ -22,6 +22,10 @@
 //!   functions, pinned bit-for-bit against the convolver.
 //! * [`lint`] — `metasim lint`: static dimension/dataflow checks over the
 //!   formulas and the study plan (the `MS5xx` rules).
+//! * [`sensitivity`] — `metasim sense`: interval bounds and first-order
+//!   elasticities per probe quantity, abstractly interpreted over the
+//!   formula IR and cross-validated against chaos probe noise (the
+//!   `MS9xx` rules).
 //!
 //! ```no_run
 //! use metasim_core::study::Study;
@@ -42,6 +46,7 @@ pub mod lint;
 pub mod metric;
 pub mod prediction;
 pub mod ranking;
+pub mod sensitivity;
 pub mod simple;
 pub mod study;
 pub mod superlatives;
@@ -50,7 +55,10 @@ pub mod verification;
 pub use audit::{audit_inputs, audit_study, preflight, preflight_with_policy};
 pub use convolver::Convolver;
 pub use dataflow::{DataflowModel, DataflowMutation, StudyGraph};
-pub use lint::{lint_all_with_policy, lint_with_policy, AnyMutation, LintModel, Mutation};
+pub use lint::{
+    lint_all_with_policy, lint_full_with_policy, lint_with_policy, AnyMutation, LintModel, Mutation,
+};
 pub use metric::{MetricId, MetricKind};
 pub use prediction::predict_all;
+pub use sensitivity::{SenseModel, SenseMutation, SenseScope, SensitivityReport};
 pub use study::{Coverage, Observation, Study};

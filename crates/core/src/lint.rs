@@ -31,6 +31,7 @@ use metasim_tracer::block::DependencyClass;
 use crate::dataflow::{lint_dataflow, DataflowModel, DataflowMutation};
 use crate::formula::{cost_expr, prediction_expr, Dim, Expr, ProbeQuantity};
 use crate::metric::MetricId;
+use crate::sensitivity::{lint_sensitivity, SenseModel, SenseMutation};
 
 /// A static description of the study's dataflow graph: which machines the
 /// plan observes, which quantities the probe plan measures, which
@@ -189,16 +190,19 @@ impl Mutation {
     }
 }
 
-/// A seeded defect from either analysis family: a formula/probe-plan
-/// mutation (`MS5xx`, [`Mutation`]) or a parallel-safety mutation
-/// (`MS7xx`, [`DataflowMutation`]). `metasim lint --mutate NAME` accepts
-/// any of the ten names; an unknown name lists them all.
+/// A seeded defect from any analysis family: a formula/probe-plan
+/// mutation (`MS5xx`, [`Mutation`]), a parallel-safety mutation
+/// (`MS7xx`, [`DataflowMutation`]), or a sensitivity mutation (`MS9xx`,
+/// [`SenseMutation`]). `metasim lint --mutate NAME` accepts any of the
+/// fifteen names; an unknown name lists them all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnyMutation {
     /// A formula-model defect, caught by MS501–MS505.
     Formula(Mutation),
     /// A dataflow-model defect, caught by MS701–MS705.
     Dataflow(DataflowMutation),
+    /// A sensitivity-model defect, caught by MS901–MS905.
+    Sense(SenseMutation),
 }
 
 impl AnyMutation {
@@ -208,6 +212,7 @@ impl AnyMutation {
         match self {
             AnyMutation::Formula(m) => m.name(),
             AnyMutation::Dataflow(m) => m.name(),
+            AnyMutation::Sense(m) => m.name(),
         }
     }
 
@@ -217,10 +222,11 @@ impl AnyMutation {
         match self {
             AnyMutation::Formula(m) => m.expected_code(),
             AnyMutation::Dataflow(m) => m.expected_code(),
+            AnyMutation::Sense(m) => m.expected_code(),
         }
     }
 
-    /// Every known mutation name across both families, in help order.
+    /// Every known mutation name across all three families, in help order.
     #[must_use]
     pub fn all_names() -> Vec<&'static str> {
         Mutation::ALL
@@ -231,10 +237,11 @@ impl AnyMutation {
                     .into_iter()
                     .map(DataflowMutation::name),
             )
+            .chain(SenseMutation::ALL.into_iter().map(SenseMutation::name))
             .collect()
     }
 
-    /// Parse a CLI spelling from either family. An unknown name fails with
+    /// Parse a CLI spelling from any family. An unknown name fails with
     /// the full list of available mutations, not a bare error.
     pub fn parse(name: &str) -> Result<AnyMutation, String> {
         Mutation::ALL
@@ -247,6 +254,12 @@ impl AnyMutation {
                     .find(|m| m.name() == name)
                     .map(AnyMutation::Dataflow)
             })
+            .or_else(|| {
+                SenseMutation::ALL
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .map(AnyMutation::Sense)
+            })
             .ok_or_else(|| {
                 format!(
                     "unknown mutation `{name}`; available mutations: {}",
@@ -257,7 +270,7 @@ impl AnyMutation {
 }
 
 /// Base-calibrate a cost expression (the well-formed Equation 1 shape).
-fn calibrated(cost: Expr) -> Expr {
+pub(crate) fn calibrated(cost: Expr) -> Expr {
     Expr::Mul(
         Box::new(Expr::Ratio(
             Box::new(cost.clone()),
@@ -421,6 +434,25 @@ pub fn lint_all_with_policy(
     a.finish()
 }
 
+/// Run all three static analyses — the `MS5xx` formula lint, the `MS7xx`
+/// dataflow parallel-safety lint, and the `MS9xx` sensitivity lint — into
+/// one report. This is what `metasim lint` runs end to end; the
+/// sensitivity pass evaluates `sense` abstractly (probes are measured,
+/// but no study cell is convolved beyond the model's scope).
+#[must_use]
+pub fn lint_full_with_policy(
+    model: &LintModel,
+    dataflow: &DataflowModel,
+    sense: &SenseModel,
+    policy: AuditPolicy,
+) -> AuditReport {
+    let mut a = Auditor::with_policy(policy);
+    lint_model(model, &mut a);
+    lint_dataflow(dataflow, &mut a);
+    lint_sensitivity(sense, &mut a);
+    a.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,8 +566,8 @@ mod tests {
     }
 
     #[test]
-    fn any_mutation_spans_both_families() {
-        assert_eq!(AnyMutation::all_names().len(), 10);
+    fn any_mutation_spans_all_three_families() {
+        assert_eq!(AnyMutation::all_names().len(), 15);
         for m in Mutation::ALL {
             assert_eq!(
                 AnyMutation::parse(m.name()).unwrap(),
@@ -547,6 +579,9 @@ mod tests {
                 AnyMutation::parse(m.name()).unwrap(),
                 AnyMutation::Dataflow(m)
             );
+        }
+        for m in SenseMutation::ALL {
+            assert_eq!(AnyMutation::parse(m.name()).unwrap(), AnyMutation::Sense(m));
         }
     }
 

@@ -82,7 +82,11 @@ fn every_parallel_safety_mutation_trips_exactly_its_rule() {
 #[test]
 fn the_mutation_catalogue_is_total_and_round_trips() {
     let names = AnyMutation::all_names();
-    assert_eq!(names.len(), 10, "five formula + five dataflow mutations");
+    assert_eq!(
+        names.len(),
+        15,
+        "five formula + five dataflow + five sense mutations"
+    );
     let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
     assert_eq!(unique.len(), names.len(), "mutation names are unique");
     for name in names {
@@ -91,7 +95,9 @@ fn the_mutation_catalogue_is_total_and_round_trips() {
     }
     let err = AnyMutation::parse("nonsense").unwrap_err();
     assert!(
-        err.contains("arrival-order-merge") && err.contains("eq1-multiply"),
-        "the unknown-name error lists both families: {err}"
+        err.contains("arrival-order-merge")
+            && err.contains("eq1-multiply")
+            && err.contains("uncancelled-bias"),
+        "the unknown-name error lists all three families: {err}"
     );
 }
