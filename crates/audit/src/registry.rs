@@ -6,7 +6,8 @@
 //! traces, `MS3xx` study outputs and predictions, `MS4xx` run manifests,
 //! `MS5xx` formula/dataflow lints, `MS6xx` robustness (fault injection,
 //! partial coverage, retry budgets), `MS7xx` parallel safety, `MS8xx`
-//! tiered-model fidelity. Codes are append-only —
+//! tiered-model fidelity, `MS9xx` sensitivity analysis, `MS10xx` generated
+//! fleets (sampled scenario spaces). Codes are append-only —
 //! a published code is never renumbered or reused, so `allow` lists in
 //! config files stay meaningful across releases.
 
@@ -388,6 +389,34 @@ rules! {
         summary: "The sensitivity budget file is missing, unparseable, or written against a different schema; thresholds fell back to built-in defaults",
         paper: "Section 5: error budgets only bind when the thresholds under test are the ones on record",
     };
+    MS1001 = {
+        code: "MS1001",
+        name: "fleet-degenerate-hierarchy",
+        severity: Error,
+        summary: "A sampled machine's configuration fails the MS0xx physics audits — the generator emitted a degenerate cache hierarchy, processor, or network",
+        paper: "Section 2: the study's conclusions rest on every machine being a physically coherent memory hierarchy; a sampler must only widen the grid, never break it",
+    };
+    MS1002 = {
+        code: "MS1002",
+        name: "fleet-unsatisfiable-spec",
+        severity: Error,
+        summary: "A fleet spec is unsatisfiable: an inverted range, empty choice list, zero size, or weights that cannot be normalized",
+        paper: "Tables 4-5 generalized: a sampled design space must be well-posed before its error distribution means anything",
+    };
+    MS1003 = {
+        code: "MS1003",
+        name: "fleet-seed-overlap",
+        severity: Error,
+        summary: "A fleet sampler seed stream collides with a study RNG stream (idiosyncrasy / imbalance / run-jitter / workblock) — sampling would be correlated with the ground truth it is judged against",
+        paper: "Equation 2: error statistics are only meaningful when the sampled inputs are independent of the measured noise",
+    };
+    MS1004 = {
+        code: "MS1004",
+        name: "fleet-reference-preflight",
+        severity: Error,
+        summary: "The fleet study's reference cell fails the MS9xx-style preflight: a base-side cost or runtime is non-finite, non-positive, or amplifies a coherent probe band beyond the sensitivity budget",
+        paper: "Equation 1: every prediction divides by the base system's cost, so a degenerate reference poisons all of Tables 4-5 at once",
+    };
 }
 
 /// Look up a rule by its stable code (`"MS002"`).
@@ -402,11 +431,12 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_sorted() {
-        let codes: Vec<&str> = ALL.iter().map(|r| r.code).collect();
-        let mut sorted = codes.clone();
+        // Numeric order, not lexicographic: "MS1001" follows "MS905".
+        let nums: Vec<u32> = ALL.iter().map(|r| r.code[2..].parse().unwrap()).collect();
+        let mut sorted = nums.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(codes, sorted, "registry must stay unique and in code order");
+        assert_eq!(nums, sorted, "registry must stay unique and in code order");
     }
 
     #[test]
@@ -418,28 +448,35 @@ mod tests {
     #[test]
     fn every_rule_documents_itself() {
         for r in ALL {
-            assert!(r.code.starts_with("MS") && r.code.len() == 5, "{}", r.code);
+            assert!(
+                r.code.starts_with("MS") && (5..=6).contains(&r.code.len()),
+                "{}",
+                r.code
+            );
+            assert!(r.code[2..].parse::<u32>().is_ok(), "{}", r.code);
             assert!(!r.name.is_empty() && !r.summary.is_empty() && !r.paper.is_empty());
         }
     }
 
-    /// Extract every `MSxxx` code the README's rule table covers, expanding
-    /// `MS001–MS005`-style ranges (en dash or hyphen).
+    /// Extract every `MSxxx`/`MSxxxx` code the README's rule table covers,
+    /// expanding `MS001–MS005`-style ranges (en dash or hyphen). Codes are
+    /// matched longest-first, so `MS1001` is never misread as `MS100`.
     fn readme_codes(readme: &str) -> std::collections::BTreeSet<u32> {
         let mut covered = std::collections::BTreeSet::new();
-        let digits = |s: &str| -> Option<u32> {
-            let d = s.get(..3)?;
-            if d.bytes().all(|b| b.is_ascii_digit()) {
-                d.parse().ok()
-            } else {
-                None
+        let digits = |s: &str| -> Option<(u32, usize)> {
+            let n = s.bytes().take(4).take_while(u8::is_ascii_digit).count();
+            if n < 3 {
+                return None;
             }
+            s[..n].parse().ok().map(|v| (v, n))
         };
         let mut rest = readme;
         while let Some(pos) = rest.find("MS") {
             rest = &rest[pos + 2..];
-            let Some(start) = digits(rest) else { continue };
-            rest = &rest[3..];
+            let Some((start, n)) = digits(rest) else {
+                continue;
+            };
+            rest = &rest[n..];
             // A range like `MS001–MS005` (or with `-`): expand it.
             let tail = rest
                 .strip_prefix('\u{2013}')
@@ -447,7 +484,7 @@ mod tests {
             let end = tail
                 .and_then(|t| t.strip_prefix("MS"))
                 .and_then(digits)
-                .unwrap_or(start);
+                .map_or(start, |(v, _)| v);
             covered.extend(start..=end.max(start));
         }
         covered
@@ -472,10 +509,10 @@ mod tests {
 
     #[test]
     fn readme_range_expansion_parses() {
-        let covered = readme_codes("| MS001–MS003 | x | MS105 | MS201-MS202 |");
+        let covered = readme_codes("| MS001–MS003 | x | MS105 | MS201-MS202 | MS1001–MS1003 |");
         assert_eq!(
             covered.into_iter().collect::<Vec<_>>(),
-            vec![1, 2, 3, 105, 201, 202]
+            vec![1, 2, 3, 105, 201, 202, 1001, 1002, 1003]
         );
     }
 }

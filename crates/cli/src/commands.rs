@@ -48,6 +48,7 @@ pub fn dispatch(cmd: &str, rest: &[String]) -> Result<(), String> {
         "sense" => sense(rest),
         "study" => study(rest),
         "chaos" => chaos(rest),
+        "fleet" => fleet_cmd(rest),
         "cache" => cache(rest),
         "obs" => obs(rest),
         "systems" => systems(),
@@ -195,6 +196,30 @@ commands:
                      coverage; audits the deltas against a regression
                      budget (MS404 regression = non-zero exit, MS405/MS406
                      anomalies = warnings)
+  fleet gen [--size N] [--seed S] [--spec FILE.{toml,json}] [--out FILE.json]
+        [--mutate NAME]
+                     sample a fleet of N machines + synthetic applications
+                     from a spec (built-in paper-derived space when --spec
+                     is omitted) and print it as JSON; byte-reproducible
+                     from (spec, seed) — same inputs, identical output
+  fleet study [--size N] [--seed S] [--spec FILE] [--tier exact|analytic|auto]
+        [--jobs N] [--out BENCH_fleet.json] [--mutate NAME] [--json]
+                     rerun the Table 4/5 methodology per sampled
+                     (machine, app) cell: MS1001-MS1004 preflights gate the
+                     run, cells shard across --jobs N workers along the
+                     certified machine cut (any N is byte-identical), and
+                     the report aggregates where in machine space each
+                     metric's error exceeds the paper's thresholds; --out
+                     writes the BENCH_fleet.json error distribution;
+                     --mutate seeds a named fleet defect
+                     (degenerate-hierarchy, unsatisfiable-spec,
+                     seed-overlap, reference-collapse) to show its rule fire
+  fleet report FILE.json
+                     re-render the per-region breakdown tables from a saved
+                     BENCH_fleet.json
+  fleet spec [--out FILE.json]
+                     dump the built-in paper-derived sampling space as an
+                     editable JSON spec template
   cache stats|clear [--cache-dir DIR]
                      inspect or delete the persistent artifact store
   systems            Table 1/2: the study fleet
@@ -1744,6 +1769,183 @@ fn predict(rest: &[String]) -> Result<(), String> {
     }
     println!("{}", t.render());
     Ok(())
+}
+
+/// `metasim fleet gen|study|report|spec`: seeded scenario generation and
+/// fleet-scale studies (see `metasim-fleet`).
+fn fleet_cmd(rest: &[String]) -> Result<(), String> {
+    use metasim_audit::{audit_value, render, Severity};
+    use metasim_fleet::study::{render_report, run_fleet_study, FleetBench, FleetStudyConfig};
+    use metasim_fleet::{
+        audit_generated_fleet, audit_spec, FleetGenerator, FleetMutation, FleetSpec,
+        SampledGenerator,
+    };
+
+    let sub = rest
+        .first()
+        .ok_or("fleet needs a subcommand: gen|study|report|spec")?;
+    let rest = &rest[1..];
+
+    // Shared flag state across `gen` and `study`.
+    let mut cfg = FleetStudyConfig::default();
+    let mut spec_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut json = false;
+    let mut deny_warnings = false;
+
+    let mut parse_flags = |allowed: &[&str]| -> Result<(), String> {
+        let mut args = rest.iter();
+        while let Some(arg) = args.next() {
+            let flag = arg.as_str();
+            if !allowed.contains(&flag) {
+                return Err(format!("unknown fleet {sub} flag `{flag}`"));
+            }
+            match flag {
+                "--size" => {
+                    cfg.size = args
+                        .next()
+                        .ok_or("--size needs a machine count")?
+                        .parse()
+                        .map_err(|_| "--size needs an unsigned integer".to_string())?;
+                }
+                "--seed" => {
+                    cfg.seed = args
+                        .next()
+                        .ok_or("--seed needs an integer")?
+                        .parse()
+                        .map_err(|_| "--seed needs an unsigned integer".to_string())?;
+                }
+                "--jobs" => {
+                    cfg.jobs = args
+                        .next()
+                        .ok_or("--jobs needs a worker count")?
+                        .parse()
+                        .map_err(|_| "--jobs needs an unsigned integer".to_string())?;
+                }
+                "--tier" => {
+                    let t = args.next().ok_or("--tier needs exact|analytic|auto")?;
+                    cfg.tier = t.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--spec" => {
+                    spec_path = Some(args.next().ok_or("--spec needs a path")?.clone());
+                }
+                "--out" => out = Some(args.next().ok_or("--out needs a path")?.clone()),
+                "--mutate" => {
+                    let name = args.next().ok_or("--mutate needs a mutation name")?;
+                    cfg.mutation = Some(FleetMutation::parse(name)?);
+                }
+                "--json" => json = true,
+                "--deny-warnings" => deny_warnings = true,
+                other => return Err(format!("unknown fleet {sub} flag `{other}`")),
+            }
+        }
+        Ok(())
+    };
+
+    let load_spec = |spec_path: &Option<String>| -> Result<FleetSpec, String> {
+        match spec_path {
+            Some(p) => FleetSpec::from_file(p),
+            None => Ok(FleetSpec::paper_space()),
+        }
+    };
+    let emit = |out: &Option<String>, text: &str| -> Result<(), String> {
+        match out {
+            Some(path) => {
+                std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote {path}");
+                Ok(())
+            }
+            None => {
+                println!("{text}");
+                Ok(())
+            }
+        }
+    };
+
+    match sub.as_str() {
+        "gen" => {
+            parse_flags(&["--size", "--seed", "--spec", "--out", "--mutate"])?;
+            let mut spec = load_spec(&spec_path)?;
+            if let Some(m) = cfg.mutation {
+                m.apply_to_spec(&mut spec);
+            }
+            let mut report = audit_value(|a| audit_spec(&spec, a));
+            if !report.has_errors() {
+                let generator = SampledGenerator {
+                    spec,
+                    mutation: cfg.mutation,
+                };
+                let generated = generator.generate(cfg.size, cfg.seed);
+                report.merge(audit_value(|a| audit_generated_fleet(&generated, a)));
+                if !report.has_errors() {
+                    return emit(&out, &generated.to_json_pretty());
+                }
+            }
+            eprint!("{}", render::human(&report));
+            Err(report.summary_line())
+        }
+        "study" => {
+            parse_flags(&[
+                "--size",
+                "--seed",
+                "--spec",
+                "--tier",
+                "--jobs",
+                "--out",
+                "--mutate",
+                "--json",
+                "--deny-warnings",
+            ])?;
+            let spec = load_spec(&spec_path)?;
+            match run_fleet_study(&spec, &cfg) {
+                Err(report) => {
+                    eprint!("{}", render::human(&report));
+                    Err(report.summary_line())
+                }
+                Ok(output) => {
+                    if !output.report.diagnostics.is_empty() {
+                        eprint!("{}", render::human(&output.report));
+                    }
+                    let bench_json = serde_json::to_string_pretty(&output.bench)
+                        .map_err(|e| format!("cannot serialize bench: {e}"))?;
+                    if let Some(path) = &out {
+                        std::fs::write(path, &bench_json)
+                            .map_err(|e| format!("writing {path}: {e}"))?;
+                        eprintln!("wrote {path}");
+                    }
+                    if json {
+                        println!("{bench_json}");
+                    } else {
+                        print!("{}", render_report(&output.bench));
+                    }
+                    if output.report.has_errors()
+                        || (deny_warnings && output.report.count(Severity::Warn) > 0)
+                    {
+                        Err(output.report.summary_line())
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        }
+        "report" => {
+            let path = rest
+                .first()
+                .ok_or("fleet report needs a BENCH_fleet.json path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let bench: FleetBench =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            print!("{}", render_report(&bench));
+            Ok(())
+        }
+        "spec" => {
+            parse_flags(&["--out"])?;
+            emit(&out, &FleetSpec::paper_space().to_json_pretty())
+        }
+        other => Err(format!(
+            "unknown fleet subcommand `{other}` (try gen, study, report, spec)"
+        )),
+    }
 }
 
 #[cfg(test)]

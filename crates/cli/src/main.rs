@@ -10,6 +10,8 @@
 //!                            run the full 1,350-prediction study
 //! metasim chaos run|plan --seed N [--faults SPEC]
 //!                            deterministic fault injection around the study
+//! metasim fleet gen|study|report|spec [--size N] [--seed S] [--spec FILE]
+//!                            sampled fleets beyond the paper's grid (MS10xx)
 //! metasim cache stats|clear  inspect/delete the persistent artifact store
 //! metasim obs summarize FILE render a run manifest
 //! metasim systems            Table 1/2: the study fleet

@@ -13,7 +13,13 @@
 //!   (`T′(X) = C(X)/C(X₀) · T(X₀)`), which makes Metric #4 reduce exactly to
 //!   Metric #1, as the paper observes.
 //! * [`study`] — the full 150-observation × 9-metric driver behind Table 4,
-//!   Table 5, and Figures 2–7, parallelized with Rayon.
+//!   Table 5, and Figures 2–7, sharded across workers along the
+//!   lint-certified cut. The grid here is the paper's own (ten target
+//!   machines × fifteen workloads); `metasim-fleet` reruns the same
+//!   methodology over *sampled* machine and application spaces through the
+//!   pure entry points ([`prediction::predict_all`],
+//!   [`executor::run_sharded`]) — nothing in this crate is bound to the
+//!   shipped grid.
 //! * [`balanced`] — the IDC balanced-rating comparison of §4 (fixed equal
 //!   weights, then regression-optimized weights).
 //! * [`ranking`] — the rank-correlation extension: how well each metric

@@ -1,0 +1,235 @@
+//! A minimal TOML-subset parser for fleet spec files.
+//!
+//! The workspace builds offline with no `toml` crate, so `fleet.toml`
+//! support is a deliberate subset that parses into the vendored
+//! [`serde::Value`] tree and deserializes through the same path as JSON:
+//!
+//! * `[table.path]` headers and `[[array.of.tables]]` headers,
+//! * `key = value` pairs with bare keys,
+//! * strings (`"..."`), integers, floats, booleans,
+//! * arrays (`[1, 2, 3]`, single line),
+//! * `#` comments and blank lines.
+//!
+//! That is exactly the shape [`crate::spec::FleetSpec`] serializes to; a
+//! construct outside the subset is a parse *error*, never a silent skip,
+//! so a spec either loads faithfully or loudly.
+
+use serde::Value;
+
+/// Parse TOML-subset text into a [`Value`] tree.
+///
+/// # Errors
+/// A message naming the offending line when the text leaves the subset.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently being filled; `true` marks the final
+    // segment as the last element of an array-of-tables.
+    let mut current: (Vec<String>, bool) = (Vec::new(), false);
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(path) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let segments = split_path(path, lineno)?;
+            push_array_table(&mut root, &segments, lineno)?;
+            current = (segments, true);
+        } else if let Some(path) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let segments = split_path(path, lineno)?;
+            current = (segments, false);
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim();
+            if key.is_empty() || !is_bare_key(key) {
+                return Err(format!("line {lineno}: bare key expected, got `{key}`"));
+            }
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = resolve_table(&mut root, &current.0, current.1, lineno)?;
+            if table.iter().any(|(k, _)| k == key) {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+            table.push((key.to_string(), value));
+        } else {
+            return Err(format!(
+                "line {lineno}: expected `[table]` or `key = value`"
+            ));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    key.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn split_path(path: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let segments: Vec<String> = path.split('.').map(|s| s.trim().to_string()).collect();
+    if segments.iter().any(|s| s.is_empty() || !is_bare_key(s)) {
+        return Err(format!("line {lineno}: malformed table path `{path}`"));
+    }
+    Ok(segments)
+}
+
+/// Walk (creating as needed) to the object named by `path`; when
+/// `into_array` is set the final segment is an array of tables and the
+/// last element is returned.
+fn resolve_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    into_array: bool,
+    lineno: usize,
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    let mut table = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth + 1 == path.len();
+        if !table.iter().any(|(k, _)| k == seg) {
+            let fresh = if last && into_array {
+                Value::Array(vec![Value::Object(Vec::new())])
+            } else {
+                Value::Object(Vec::new())
+            };
+            table.push((seg.clone(), fresh));
+        }
+        let slot = table
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .expect("just ensured");
+        table = match slot {
+            Value::Object(pairs) => pairs,
+            Value::Array(items) if last && into_array => match items.last_mut() {
+                Some(Value::Object(pairs)) => pairs,
+                _ => return Err(format!("line {lineno}: `{seg}` is not a table array")),
+            },
+            _ => return Err(format!("line {lineno}: `{seg}` is not a table")),
+        };
+    }
+    Ok(table)
+}
+
+/// Append a fresh element to the array of tables named by `segments`.
+fn push_array_table(
+    root: &mut Vec<(String, Value)>,
+    segments: &[String],
+    lineno: usize,
+) -> Result<(), String> {
+    let (last, parents) = segments.split_last().expect("non-empty path");
+    let parent = resolve_table(root, parents, false, lineno)?;
+    match parent.iter_mut().find(|(k, _)| k == last) {
+        None => parent.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())]))),
+        Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+        Some(_) => return Err(format!("line {lineno}: `{last}` is not a table array")),
+    }
+    Ok(())
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("line {lineno}: empty value"));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(s) = inner.strip_suffix('"') else {
+            return Err(format!("line {lineno}: unterminated string"));
+        };
+        if s.contains('"') || s.contains('\\') {
+            return Err(format!(
+                "line {lineno}: escapes and embedded quotes are outside the TOML subset"
+            ));
+        }
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return Err(format!(
+                "line {lineno}: arrays must open and close on one line"
+            ));
+        };
+        let body = body.trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue; // tolerate a trailing comma
+                }
+                items.push(parse_value(part, lineno)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(u) = text.parse::<u64>() {
+        return Ok(Value::U64(u));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::I64(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::F64(f));
+        }
+    }
+    Err(format!("line {lineno}: unsupported value `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_arrays_and_scalars_parse() {
+        let v = parse(
+            r#"
+            name = "demo" # trailing comment
+            [machines]
+            clock = 1.5
+            levels = [1, 2, 3]
+            [machines.dist.Uniform]
+            lo = 0.5
+            hi = 2.0
+            [[machines.fabrics]]
+            name = "a"
+            [[machines.fabrics]]
+            name = "b"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("demo"));
+        let m = v.get("machines").unwrap();
+        assert_eq!(m.get("clock"), Some(&Value::F64(1.5)));
+        assert_eq!(m.get("levels").unwrap().as_array().unwrap().len(), 3);
+        let uni = m.get("dist").unwrap().get("Uniform").unwrap();
+        assert_eq!(uni.get("lo"), Some(&Value::F64(0.5)));
+        let fabrics = m.get("fabrics").unwrap().as_array().unwrap();
+        assert_eq!(fabrics.len(), 2);
+        assert_eq!(fabrics[1].get("name").unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn out_of_subset_constructs_error_loudly() {
+        assert!(parse("key").is_err());
+        assert!(parse("k = ").is_err());
+        assert!(parse("k = \"unterminated").is_err());
+        assert!(parse("k = [1,\n2]").is_err());
+        assert!(parse("[a]\nk = 1\nk = 2").is_err());
+        assert!(parse("k = 2026-08-09").is_err());
+    }
+}

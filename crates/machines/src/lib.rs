@@ -15,6 +15,12 @@
 //! on them — the parameter set just plays the role reality played for the
 //! paper's authors.
 //!
+//! The shipped fleet is not the only source of [`MachineConfig`]s:
+//! [`MachineBuilder`] derives hypothetical variants, and `metasim-fleet`
+//! samples entire machine spaces from a spec — every consumer downstream
+//! (probes, ground truth, the convolver) takes a `MachineConfig` by value
+//! and works identically on a sampled machine as on a shipped one.
+//!
 //! ```
 //! use metasim_machines::{MachineId, fleet};
 //!

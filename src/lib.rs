@@ -65,6 +65,7 @@
 //! | [`tracer`] | `metasim-tracer` | MetaSim tracer + MPIDTRACE equivalents |
 //! | [`apps`] | `metasim-apps` | TI-05 applications + ground truth |
 //! | [`core`] | `metasim-core` | convolver, nine metrics, dataflow graph, sharded study driver |
+//! | [`fleet`] | `metasim-fleet` | seeded scenario generation: sampled machine/app spaces, fleet studies |
 //! | [`report`] | `metasim-report` | tables, CSV, charts, SVG |
 
 pub use metasim_apps as apps;
@@ -72,6 +73,7 @@ pub use metasim_audit as audit;
 pub use metasim_cache as cache;
 pub use metasim_chaos as chaos;
 pub use metasim_core as core;
+pub use metasim_fleet as fleet;
 pub use metasim_machines as machines;
 pub use metasim_memsim as memsim;
 pub use metasim_netsim as netsim;

@@ -1,0 +1,68 @@
+//! Cross-crate integration: generated fleets flow through the same
+//! probe → trace → predict → ground-truth pipeline as the shipped grid,
+//! via the facade crate.
+
+use metasim::fleet::study::{run_fleet_study, FleetStudyConfig};
+use metasim::fleet::{FleetGenerator, FleetSpec, SampledGenerator};
+use metasim::memsim::analytic::Tier;
+
+// A sampled machine is a first-class citizen of the prediction pipeline:
+// probes measure it, the convolver predicts it, ground truth runs on it.
+#[test]
+fn sampled_machines_flow_through_the_whole_pipeline() {
+    use metasim::apps::groundtruth::execute;
+    use metasim::apps::tracing::trace_workload;
+    use metasim::core::prediction::predict_all;
+    use metasim::machines::fleet as paper_fleet;
+    use metasim::memsim::analytic::resolve_tier;
+    use metasim::probes::suite::MachineProbes;
+    use metasim::tracer::analysis::analyze_dependencies;
+    use metasim::units::Seconds;
+
+    let generated = SampledGenerator::paper_space().generate(2, 99);
+    let base = paper_fleet().base().clone();
+    let base_probes =
+        MachineProbes::measure_tiered(&base, resolve_tier(&base.memory, Tier::Analytic));
+
+    let app = &generated.apps[0];
+    let trace = trace_workload(&app.workload);
+    let labels = analyze_dependencies(&trace.blocks);
+    let t_base = execute(&base, &app.workload).seconds;
+    assert!(t_base.is_finite() && t_base > 0.0);
+
+    for machine in &generated.machines {
+        let probes = MachineProbes::measure_tiered(
+            &machine.config,
+            resolve_tier(&machine.config.memory, Tier::Analytic),
+        );
+        let predictions = predict_all(&trace, &labels, &probes, &base_probes, Seconds::new(t_base));
+        for p in &predictions {
+            assert!(p.get().is_finite() && p.get() > 0.0, "{}", machine.name);
+        }
+        let actual = execute(&machine.config, &app.workload).seconds;
+        assert!(actual.is_finite() && actual > 0.0, "{}", machine.name);
+    }
+}
+
+// The study's export is a pure function of (spec, size, seed, tier):
+// rerunning it — at a different jobs count — reproduces the bench
+// byte-for-byte.
+#[test]
+fn fleet_bench_is_reproducible_end_to_end() {
+    let spec = FleetSpec::paper_space();
+    let cfg = |jobs| FleetStudyConfig {
+        size: 3,
+        seed: 42,
+        tier: Tier::Analytic,
+        jobs,
+        mutation: None,
+    };
+    let a = run_fleet_study(&spec, &cfg(1)).expect("study runs");
+    let b = run_fleet_study(&spec, &cfg(4)).expect("study runs");
+    let ja = serde_json::to_string_pretty(&a.bench).unwrap();
+    let jb = serde_json::to_string_pretty(&b.bench).unwrap();
+    assert_eq!(ja, jb);
+    assert_eq!(a.bench.schema, metasim::fleet::study::FLEET_BENCH_SCHEMA);
+    assert_eq!(a.bench.seed, 42);
+    assert_eq!(a.bench.size, 3);
+}
